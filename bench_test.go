@@ -1,0 +1,437 @@
+package seacma
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md §5 for the experiment index).
+//
+//	go test -bench=. -benchmem
+//
+// The expensive part — one full default-scale pipeline run (crawl 990
+// publishers with 4 UAs, cluster, attribute, milk 300 sources for 14
+// virtual days) — is executed once and shared by the table benches; each
+// bench then measures the table/figure regeneration itself and reports
+// the headline quantities as custom metrics. Tables are printed to
+// stderr once so a bench run reproduces the paper's rows verbatim.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/adblock"
+	"repro/internal/adnet"
+	"repro/internal/btgraph"
+	"repro/internal/core"
+	"repro/internal/crawler"
+	"repro/internal/phash"
+	"repro/internal/rng"
+	"repro/internal/screenshot"
+	"repro/internal/secamp"
+	"repro/internal/urlx"
+	"repro/internal/vclock"
+	"repro/internal/webtx"
+	"repro/internal/worldgen"
+)
+
+var (
+	benchOnce sync.Once
+	benchExp  *Experiment
+	benchRes  *Result
+	benchErr  error
+)
+
+// getBenchRun returns the shared default-scale pipeline run.
+func getBenchRun(b *testing.B) (*Experiment, *Result) {
+	b.Helper()
+	benchOnce.Do(func() {
+		cfg := DefaultExperimentConfig()
+		cfg.Milker.MaxSources = 300 // the paper tracked 505 (URL, UA) pairs
+		fmt.Fprintln(os.Stderr, "bench: building default-scale world and running the full pipeline once (minutes)...")
+		start := time.Now()
+		benchExp = NewExperiment(cfg)
+		benchRes, benchErr = benchExp.Run()
+		fmt.Fprintf(os.Stderr, "bench: pipeline run completed in %v\n", time.Since(start).Round(time.Second))
+	})
+	if benchErr != nil {
+		b.Fatalf("bench pipeline: %v", benchErr)
+	}
+	return benchExp, benchRes
+}
+
+var printOnce sync.Map
+
+func printTable(name, text string) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Fprintf(os.Stderr, "\n=== %s ===\n%s", name, text)
+	}
+}
+
+// BenchmarkTable1_CampaignStats regenerates Table 1 (SE ad campaign
+// statistics per category with GSB coverage).
+func BenchmarkTable1_CampaignStats(b *testing.B) {
+	exp, res := getBenchRun(b)
+	var rows []Table1Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = core.Table1(res.Discovery, exp.World.GSB, exp.World.Clock.Now())
+	}
+	b.StopTimer()
+	printTable("Table 1", FormatTable1(rows))
+	var attacks, domains, campaigns int
+	for _, r := range rows {
+		attacks += r.SEAttacks
+		domains += r.AttackDomains
+		campaigns += r.Campaigns
+	}
+	b.ReportMetric(float64(attacks), "se-attacks")
+	b.ReportMetric(float64(domains), "attack-domains")
+	b.ReportMetric(float64(campaigns), "campaigns")
+}
+
+// BenchmarkTable2_PublisherCategories regenerates Table 2 (top 20
+// categories of SEACMA-hosting publishers).
+func BenchmarkTable2_PublisherCategories(b *testing.B) {
+	exp, res := getBenchRun(b)
+	var rows []struct {
+		Category string
+		Count    int
+		Percent  float64
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := core.Table2(res.Discovery, res.Sessions, exp.World.Webcat, 20)
+		rows = rows[:0]
+		for _, r := range got {
+			rows = append(rows, struct {
+				Category string
+				Count    int
+				Percent  float64
+			}{r.Category, r.Count, r.Percent})
+		}
+	}
+	b.StopTimer()
+	text := ""
+	for _, r := range rows {
+		text += fmt.Sprintf("%-28s %6d  %5.2f%%\n", r.Category, r.Count, r.Percent)
+	}
+	printTable("Table 2", text)
+	b.ReportMetric(float64(len(rows)), "categories")
+	b.ReportMetric(float64(core.SEACMAPublisherCount(res.Discovery, res.Sessions)), "seacma-publishers")
+}
+
+// BenchmarkTable3_AdNetworkAttribution regenerates Table 3 (SE attacks
+// from each ad network, including the Unknown row).
+func BenchmarkTable3_AdNetworkAttribution(b *testing.B) {
+	exp, res := getBenchRun(b)
+	patterns := core.PatternSetFromSeeds(exp.Pipeline.Cfg.Seeds)
+	var rows []Table3Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = core.Table3(res.Attributions, patterns, res.IsSE)
+	}
+	b.StopTimer()
+	printTable("Table 3", FormatTable3(rows))
+	over50 := 0
+	var unknown float64
+	for _, r := range rows {
+		if r.SERatePct > 50 {
+			over50++
+		}
+		if r.Network == core.UnknownNetwork {
+			unknown = float64(r.SEAttackPages)
+		}
+	}
+	b.ReportMetric(float64(over50), "networks-over-50pct-se")
+	b.ReportMetric(unknown, "unknown-se-pages")
+}
+
+// BenchmarkTable4_Milking regenerates Table 4 (milking: per-category
+// domain harvest with GSB-init/GSB-final rates) and the >7-day-lag
+// headline.
+func BenchmarkTable4_Milking(b *testing.B) {
+	_, res := getBenchRun(b)
+	var rows []Table4Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = core.Table4(res.Milking)
+	}
+	b.StopTimer()
+	printTable("Table 4", FormatTable4(rows))
+	for _, r := range rows {
+		if r.Category == "total" {
+			b.ReportMetric(float64(r.Domains), "milked-domains")
+			b.ReportMetric(r.GSBInitPct, "gsb-init-pct")
+			b.ReportMetric(r.GSBFinalPct, "gsb-final-pct")
+		}
+	}
+	b.ReportMetric(res.Milking.MeanGSBLag().Hours()/24, "mean-gsb-lag-days")
+	b.ReportMetric(float64(res.Milking.Sessions), "milking-sessions")
+}
+
+// BenchmarkFigure1_TransparentAdFlow reproduces Figure 1: a click
+// anywhere on a publisher page (transparent overlay ad) opens a popup
+// that redirects to an SE attack.
+func BenchmarkFigure1_TransparentAdFlow(b *testing.B) {
+	w := worldgen.Build(worldgen.TinyConfig())
+	farm := crawler.New(w.Internet, w.Clock, crawler.Config{Workers: 1, FetchCost: time.Second})
+	task := crawler.Task{Host: w.Publishers[0].Host, ClientIP: webtx.IPResidential}
+	b.ResetTimer()
+	landings := 0
+	for i := 0; i < b.N; i++ {
+		s := farm.RunSession(task, webtx.UAChromeMac)
+		landings += len(s.Landings)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(landings)/float64(b.N), "landings-per-session")
+}
+
+// BenchmarkFigure2_PipelineEndToEnd runs the whole Figure 2 system on a
+// tiny world (the architecture smoke bench).
+func BenchmarkFigure2_PipelineEndToEnd(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := QuickExperimentConfig()
+		cfg.World.Seed = int64(100 + i)
+		res, err := NewExperiment(cfg).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Discovery.Campaigns()) == 0 {
+			b.Fatal("no campaigns")
+		}
+	}
+}
+
+// BenchmarkFigure3_BacktrackingGraph measures reconstructing ad-loading
+// graphs from instrumentation logs and prints one (the Figure 3 chain).
+func BenchmarkFigure3_BacktrackingGraph(b *testing.B) {
+	_, res := getBenchRun(b)
+	// Pick a session with an SE landing.
+	var events = res.Sessions[0].Events
+	target := ""
+	for _, s := range res.Sessions {
+		for _, a := range res.Attributions {
+			if res.IsSE(a.Ref) && res.Sessions[a.Ref.Session] == s {
+				events = s.Events
+				target = a.URL
+				break
+			}
+		}
+		if target != "" {
+			break
+		}
+	}
+	if target == "" {
+		b.Fatal("no SE landing in bench run")
+	}
+	var g *btgraph.Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g = btgraph.FromEvents(events)
+		if _, err := g.BacktrackPath(target); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	printTable("Figure 3 (backtracking graph)", g.Render(target))
+	b.ReportMetric(float64(g.EdgeCount()), "edges")
+}
+
+// BenchmarkFigure4_MilkingRotation milks one campaign's upstream URL
+// across rotations and verifies the stable URL pattern behind changing
+// domains.
+func BenchmarkFigure4_MilkingRotation(b *testing.B) {
+	clock := vclock.New()
+	internet := webtx.NewInternet()
+	camp := secamp.New("fig4", secamp.TechSupport, 0,
+		secamp.Config{RotationPeriod: time.Hour, Slots: 2, TTLFactor: 3, TDSCount: 1},
+		clock, rng.New(4), nil)
+	camp.Install(internet)
+	src := urlx.MustParse(camp.EntryURL())
+	b.ResetTimer()
+	domains := map[string]bool{}
+	for i := 0; i < b.N; i++ {
+		resp, err := internet.RoundTrip(&webtx.Request{URL: src, UserAgent: webtx.UAChromeMac, ClientIP: webtx.IPResidential, Time: clock.Now()})
+		if err != nil || !resp.Redirect() {
+			b.Fatal("milk failed")
+		}
+		domains[urlx.MustParse(resp.Location).Host] = true
+		clock.Advance(15 * time.Minute)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(domains)), "distinct-domains")
+}
+
+// BenchmarkFigure5_CampaignScreenshots renders one exemplar screenshot
+// per Figure 5 category (fake software, tech support, lottery).
+func BenchmarkFigure5_CampaignScreenshots(b *testing.B) {
+	cats := []secamp.Category{secamp.FakeSoftware, secamp.TechSupport, secamp.Lottery}
+	src := rng.New(5)
+	var tmpls []secamp.Template
+	for i, c := range cats {
+		tmpls = append(tmpls, secamp.NewTemplate(c, i, src))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, t := range tmpls {
+			doc := t.BuildDoc("http://x.club/l", uint64(i))
+			img := screenshot.Render(doc, screenshot.Options{})
+			_ = phash.DHash(img)
+		}
+	}
+}
+
+// BenchmarkFigure6_AttackGallery renders the full Appendix A gallery —
+// every SE category including the push-notification lure — and checks
+// the categories stay perceptually separated.
+func BenchmarkFigure6_AttackGallery(b *testing.B) {
+	src := rng.New(6)
+	var tmpls []secamp.Template
+	for i, c := range secamp.AllCategories {
+		tmpls = append(tmpls, secamp.NewTemplate(c, i, src))
+	}
+	var hashes []phash.Hash
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hashes = hashes[:0]
+		for _, t := range tmpls {
+			doc := t.BuildDoc("http://x.club/l", 7)
+			hashes = append(hashes, phash.DHash(screenshot.Render(doc, screenshot.Options{})))
+		}
+	}
+	b.StopTimer()
+	minDist := phash.Bits
+	for i := 0; i < len(hashes); i++ {
+		for j := i + 1; j < len(hashes); j++ {
+			if d := phash.Distance(hashes[i], hashes[j]); d < minDist {
+				minDist = d
+			}
+		}
+	}
+	b.ReportMetric(float64(minDist), "min-intercategory-bits")
+}
+
+// BenchmarkScalars_ClusterTriage reports the Section 4.3 triage scalars:
+// total clusters, SE campaigns, benign clusters (paper: 130 -> 108 + 22).
+func BenchmarkScalars_ClusterTriage(b *testing.B) {
+	_, res := getBenchRun(b)
+	var disc *core.DiscoveryResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		disc, err = core.Discover(res.Sessions, core.PaperDiscoveryParams)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(disc.Clusters)), "clusters")
+	b.ReportMetric(float64(len(disc.Campaigns())), "se-campaigns")
+	b.ReportMetric(float64(len(disc.BenignClusters())), "benign-clusters")
+}
+
+// BenchmarkScalars_AdblockEvasion reproduces the Section 4.4 AdBlock
+// test: of the 11 seed networks, only the static-domain one is blocked
+// by an EasyList-style filter.
+func BenchmarkScalars_AdblockEvasion(b *testing.B) {
+	src := rng.New(7)
+	var nets []*adnet.Network
+	for _, spec := range adnet.SeedSpecs() {
+		nets = append(nets, adnet.New(spec, src))
+	}
+	blocked := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		filter := adblock.EasyListLike()
+		blocked = 0
+		for _, n := range nets {
+			hit := false
+			for _, d := range n.ScriptDomains {
+				if filter.Match(urlx.MustParse("http://" + d + "/x/serve.js")) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				blocked++
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(blocked), "networks-blocked")
+}
+
+// BenchmarkScalars_MilkedBinaries reports the Section 4.5 file scalars:
+// previously-known fraction, post-rescan malicious fraction, >=15-AV
+// fraction.
+func BenchmarkScalars_MilkedBinaries(b *testing.B) {
+	_, res := getBenchRun(b)
+	files := res.Milking.Files
+	if len(files) == 0 {
+		b.Fatal("no milked files")
+	}
+	var known, mal, strong int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		known, mal, strong = 0, 0, 0
+		for _, f := range files {
+			if f.Known {
+				known++
+			}
+			if f.Final.Malicious() {
+				mal++
+			}
+			if f.Final.Positives >= 15 {
+				strong++
+			}
+		}
+	}
+	b.StopTimer()
+	n := float64(len(files))
+	b.ReportMetric(n, "files")
+	b.ReportMetric(100*float64(known)/n, "prev-known-pct")
+	b.ReportMetric(100*float64(mal)/n, "malicious-pct")
+	b.ReportMetric(100*float64(strong)/n, "ge15av-pct")
+}
+
+// BenchmarkScalars_NewAdNetworkDiscovery reproduces Section 4.4's
+// unknown-log analysis: recover the three unseeded networks and the
+// publisher expansion.
+func BenchmarkScalars_NewAdNetworkDiscovery(b *testing.B) {
+	_, res := getBenchRun(b)
+	var found []core.DiscoveredNetwork
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		found = res.DiscoverNewNetworks(5)
+	}
+	b.StopTimer()
+	pubs := map[string]bool{}
+	for _, d := range found {
+		for _, p := range d.Publishers {
+			pubs[p] = true
+		}
+	}
+	b.ReportMetric(float64(len(found)), "networks-discovered")
+	b.ReportMetric(float64(len(pubs)), "publishers-expanded")
+}
+
+// BenchmarkScalars_AdvertiserCost reproduces the Section 6 ethics
+// accounting at a $4 CPM: worst-case and mean advertiser cost.
+func BenchmarkScalars_AdvertiserCost(b *testing.B) {
+	_, res := getBenchRun(b)
+	var costs []core.AdvertiserCost
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		costs = core.EstimateAdvertiserCosts(res.Sessions, res.IsSEDomain, 4.0)
+	}
+	b.StopTimer()
+	if len(costs) == 0 {
+		b.Fatal("no advertiser costs")
+	}
+	var total float64
+	for _, c := range costs {
+		total += c.CostUSD
+	}
+	b.ReportMetric(costs[0].CostUSD, "worst-case-usd")
+	b.ReportMetric(total/float64(len(costs)), "mean-usd")
+}

@@ -1,0 +1,74 @@
+// Command seacma-analyze runs the offline half of the pipeline over a
+// stored crawl: load sessions (written by seacma-crawl -out), cluster
+// the landing-page hashes, triage the clusters, and print the campaign
+// inventory — no synthetic web required.
+//
+//	seacma-crawl -tiny -out sessions.jsonl
+//	seacma-analyze -in sessions.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sessionio"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		inFile  = flag.String("in", "", "session file written by seacma-crawl -out (required)")
+		eps     = flag.Float64("eps", 0.1, "DBSCAN eps over normalised dhash distance")
+		minPts  = flag.Int("minpts", 3, "DBSCAN MinPts")
+		minDoms = flag.Int("theta-c", 5, "minimum distinct e2LDs per campaign (θc)")
+	)
+	flag.Parse()
+	if *inFile == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*inFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sessions, err := sessionio.Read(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	landings := 0
+	for _, s := range sessions {
+		landings += len(s.Landings)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d sessions with %d landings\n", len(sessions), landings)
+
+	disc, err := core.Discover(sessions, core.DiscoveryParams{
+		Cluster:    cluster.Params{Eps: *eps, MinPts: *minPts},
+		MinDomains: *minDoms,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clusters: %d (noise %d, below-θc %d)\n", len(disc.Clusters), disc.NoiseCount, disc.FilteredClusters)
+	fmt.Printf("SE campaigns: %d, benign: %d\n\n", len(disc.Campaigns()), len(disc.BenignClusters()))
+	for _, c := range disc.Campaigns() {
+		fmt.Printf("campaign %3d  %-20s  %4d attacks  %3d domains  dhash %s\n",
+			c.ID, c.Category.DisplayName(), c.AttackCount(disc.Observations), len(c.Domains), c.Rep)
+		if len(c.Signals.ScamPhones) > 0 {
+			fmt.Printf("              scam phones: %v\n", c.Signals.ScamPhones)
+		}
+	}
+	if len(disc.BenignClusters()) > 0 {
+		fmt.Println("\nbenign clusters:")
+		for _, c := range disc.BenignClusters() {
+			fmt.Printf("  cluster %3d  %4d pages  %3d domains  parked-score %.2f\n",
+				c.ID, c.Signals.Pages, len(c.Domains), c.Signals.MeanParkedScore())
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command seacma-crawl runs the discovery half of the pipeline: build a
+// synthetic web, reverse the seed ad networks into a publisher pool,
+// crawl it, cluster the landing-page screenshots and triage the clusters
+// into SE campaigns.
+//
+//	seacma-crawl [-seed N] [-publishers N] [-scale F] [-max N] [-json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+	"repro/internal/sessionio"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		seed       = flag.Int64("seed", 1, "world seed")
+		publishers = flag.Int("publishers", 0, "seed publishers (0 = config default)")
+		scale      = flag.Float64("scale", 1.0, "scale factor applied to the default world")
+		maxPubs    = flag.Int("max", 0, "bound the crawl pool (0 = all)")
+		asJSON     = flag.Bool("json", false, "emit the campaign list as JSON")
+		outFile    = flag.String("out", "", "write the crawl sessions to this file (JSONL) for offline analysis with seacma-analyze")
+	)
+	flag.Parse()
+
+	cfg := seacma.DefaultExperimentConfig()
+	cfg.SkipMilking = true
+	cfg.World.Seed = *seed
+	cfg.World = scaleWorld(cfg.World, *scale)
+	if *publishers > 0 {
+		cfg.World.SeedPublishers = *publishers
+		cfg.World.NewNetPublishers = *publishers / 10
+	}
+	cfg.MaxPublishers = *maxPubs
+
+	exp := seacma.NewExperiment(cfg)
+	fmt.Fprintf(os.Stderr, "world: %d publishers, %d campaigns; crawling...\n",
+		len(exp.World.Publishers), len(exp.World.Campaigns))
+
+	res, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sessionio.Write(f, res.Sessions); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d sessions to %s\n", len(res.Sessions), *outFile)
+	}
+
+	if *asJSON {
+		type campaignJSON struct {
+			ID       int      `json:"id"`
+			Category string   `json:"category"`
+			Attacks  int      `json:"attacks"`
+			Domains  []string `json:"domains"`
+		}
+		var out []campaignJSON
+		for _, c := range res.Discovery.Campaigns() {
+			out = append(out, campaignJSON{
+				ID:       c.ID,
+				Category: string(c.Category),
+				Attacks:  c.AttackCount(res.Discovery.Observations),
+				Domains:  c.Domains,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("crawled %d publishers (%d sessions)\n", len(res.PublisherHosts), len(res.Sessions))
+	fmt.Printf("clusters: %d -> %d SE campaigns, %d benign, %d below θc\n",
+		len(res.Discovery.Clusters), len(res.Discovery.Campaigns()),
+		len(res.Discovery.BenignClusters()), res.Discovery.FilteredClusters)
+	fmt.Println()
+	fmt.Print(seacma.FormatTable1(res.Table1()))
+}
+
+func scaleWorld(cfg worldgen.Config, f float64) worldgen.Config {
+	if f == 1.0 || f <= 0 {
+		return cfg
+	}
+	cfg.SeedPublishers = int(float64(cfg.SeedPublishers) * f)
+	cfg.NewNetPublishers = int(float64(cfg.NewNetPublishers) * f)
+	cfg.Advertisers = int(float64(cfg.Advertisers) * f)
+	if cfg.SeedPublishers < 50 {
+		cfg.SeedPublishers = 50
+	}
+	if cfg.NewNetPublishers < 5 {
+		cfg.NewNetPublishers = 5
+	}
+	if cfg.Advertisers < 20 {
+		cfg.Advertisers = 20
+	}
+	return cfg
+}

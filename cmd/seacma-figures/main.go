@@ -1,0 +1,130 @@
+// Command seacma-figures renders the paper's visual artefacts into an
+// output directory: the Figure 5/6 screenshot galleries (one exemplar SE
+// landing page per category), the benign look-alike families of Section
+// 4.3, a Figure 1-style publisher page, and text files with a Figure 3
+// backtracking graph and a Figure 4 milking timeline.
+//
+//	seacma-figures [-out DIR] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/btgraph"
+	"repro/internal/crawler"
+	"repro/internal/imaging"
+	"repro/internal/rng"
+	"repro/internal/screenshot"
+	"repro/internal/secamp"
+	"repro/internal/urlx"
+	"repro/internal/webtx"
+	"repro/internal/worldgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		out  = flag.String("out", "figures", "output directory")
+		seed = flag.Int64("seed", 1, "template seed")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	src := rng.New(*seed)
+
+	// Figures 5 & 6: one exemplar per SE category.
+	for i, cat := range secamp.AllCategories {
+		tmpl := secamp.NewTemplate(cat, i, src.Split(cat.Key()))
+		doc := tmpl.BuildDoc("http://example.club/landing", uint64(i)+1)
+		img := screenshot.Render(doc, screenshot.Options{})
+		writePNG(*out, fmt.Sprintf("fig6-%s.png", cat.Key()), img)
+	}
+	fmt.Printf("wrote %d category exemplars (Figures 5/6)\n", len(secamp.AllCategories))
+
+	// The benign cluster families of Section 4.3.
+	kinds := []struct {
+		kind secamp.BenignKind
+		name string
+	}{
+		{secamp.BenignParked, "parked"},
+		{secamp.BenignAdultStock, "adult-stock"},
+		{secamp.BenignShortener, "shortener"},
+		{secamp.BenignAdvertiser, "advertiser"},
+	}
+	for _, k := range kinds {
+		f := secamp.NewBenignFamily("fig-"+k.name, k.kind, 5, src)
+		img := screenshot.Render(f.DocForTest(0), screenshot.Options{})
+		writePNG(*out, fmt.Sprintf("benign-%s.png", k.name), img)
+	}
+	fmt.Printf("wrote %d benign family exemplars\n", len(kinds))
+
+	// Figure 1/3/4: a live mini world, one crawl, one milking timeline.
+	w := worldgen.Build(worldgen.TinyConfig())
+	farm := crawler.New(w.Internet, w.Clock, crawler.Config{Workers: 2, FetchCost: time.Second})
+	var graphText string
+	var upstream string
+	for _, p := range w.Publishers {
+		s := farm.RunSession(crawler.Task{Host: p.Host, ClientIP: webtx.IPResidential}, webtx.UAChromeMac)
+		for _, l := range s.Landings {
+			if w.Truth.CampaignOfAttackDomain(l.URL.Host) == "" {
+				continue
+			}
+			g := btgraph.FromEvents(s.Events)
+			graphText = g.Render(l.URL.String())
+			if cands, err := g.MilkingCandidates(l.URL.String()); err == nil && len(cands) > 0 {
+				upstream = cands[0]
+			}
+			break
+		}
+		if graphText != "" {
+			break
+		}
+	}
+	if graphText == "" {
+		log.Fatal("no SE attack reached; try another seed")
+	}
+	writeText(*out, "fig3-backtracking-graph.txt", graphText)
+	fmt.Println("wrote fig3-backtracking-graph.txt")
+
+	timeline := fmt.Sprintf("milking %s every 15 minutes:\n", upstream)
+	seen := map[string]bool{}
+	for i := 0; i < 96; i++ { // one virtual day
+		resp, err := w.Internet.RoundTrip(&webtx.Request{
+			URL: urlx.MustParse(upstream), UserAgent: webtx.UAChromeMac,
+			ClientIP: webtx.IPResidential, Time: w.Clock.Now(),
+		})
+		if err == nil && resp.Redirect() {
+			u := urlx.MustParse(resp.Location)
+			if !seen[u.Host] {
+				seen[u.Host] = true
+				timeline += fmt.Sprintf("  t+%3dm  %s%s\n", i*15, u.Host, u.Path)
+			}
+		}
+		w.Clock.Advance(15 * time.Minute)
+	}
+	writeText(*out, "fig4-milking-timeline.txt", timeline)
+	fmt.Printf("wrote fig4-milking-timeline.txt (%d distinct domains in a day)\n", len(seen))
+}
+
+func writePNG(dir, name string, img *imaging.Image) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := img.EncodePNG(f); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func writeText(dir, name, text string) {
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Command seacma-report regenerates every table of the paper's
+// evaluation from one pipeline run, plus the headline scalars.
+//
+//	seacma-report [-seed N] [-table N] [-tiny]
+//
+// -table selects a single table (1-4); by default all four are printed
+// together with the Section 4.3/4.4/4.5 scalars.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		seed     = flag.Int64("seed", 1, "world seed")
+		table    = flag.Int("table", 0, "print only this table (1-4); 0 = everything")
+		tiny     = flag.Bool("tiny", false, "use the tiny smoke-test world")
+		jsonFile = flag.String("json", "", "also write the full machine-readable report to this file")
+	)
+	flag.Parse()
+
+	cfg := seacma.DefaultExperimentConfig()
+	if *tiny {
+		cfg = seacma.QuickExperimentConfig()
+	}
+	cfg.World.Seed = *seed
+	cfg.Milker.MaxSources = 300
+	if *table >= 1 && *table <= 3 {
+		cfg.SkipMilking = true
+	}
+
+	exp := seacma.NewExperiment(cfg)
+	fmt.Fprintf(os.Stderr, "running pipeline on seed %d...\n", *seed)
+	start := time.Now()
+	res, err := exp.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Second))
+
+	if *jsonFile != "" {
+		patterns := core.PatternSetFromSeeds(exp.Pipeline.Cfg.Seeds)
+		rep := core.BuildReport(res.RunResult, patterns, exp.World.GSB, exp.World.Webcat, exp.World.Clock.Now())
+		f, err := os.Create(*jsonFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote machine-readable report to %s\n", *jsonFile)
+	}
+
+	show := func(n int) bool { return *table == 0 || *table == n }
+
+	if show(1) {
+		fmt.Println("Table 1: SE ad campaign statistics")
+		fmt.Print(seacma.FormatTable1(res.Table1()))
+		fmt.Println()
+	}
+	if show(2) {
+		fmt.Println("Table 2: top 20 categories of SEACMA ad publisher sites")
+		rows := res.Table2(20)
+		cells := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			cells = append(cells, []string{r.Category, fmt.Sprintf("%d", r.Count), fmt.Sprintf("%.2f", r.Percent)})
+		}
+		fmt.Print(formatSimple([]string{"Category", "# Publisher Domains", "% of Total"}, cells))
+		fmt.Println()
+	}
+	if show(3) {
+		fmt.Println("Table 3: SE attacks from each ad network")
+		fmt.Print(seacma.FormatTable3(res.Table3()))
+		fmt.Println()
+	}
+	if show(4) && res.Milking != nil {
+		fmt.Println("Table 4: tracking SEACMA campaigns (milking)")
+		fmt.Print(seacma.FormatTable4(res.Table4()))
+		fmt.Println()
+	}
+
+	if *table == 0 {
+		fmt.Println("Scalars:")
+		fmt.Printf("  publishers crawled:        %d\n", len(res.PublisherHosts))
+		fmt.Printf("  crawl sessions:            %d\n", len(res.Sessions))
+		fmt.Printf("  clusters found:            %d\n", len(res.Discovery.Clusters))
+		fmt.Printf("  SE campaigns:              %d\n", len(res.Discovery.Campaigns()))
+		fmt.Printf("  benign clusters:           %d\n", len(res.Discovery.BenignClusters()))
+		fmt.Printf("  SE attack instances:       %d\n", res.SEAttackCount())
+		if res.Milking != nil {
+			fmt.Printf("  milking sources:           %d\n", res.Milking.Sources)
+			fmt.Printf("  milking sessions:          %d\n", res.Milking.Sessions)
+			fmt.Printf("  fresh domains milked:      %d\n", len(res.Milking.Domains))
+			fmt.Printf("  binaries milked:           %d\n", len(res.Milking.Files))
+			if lag := res.Milking.MeanGSBLag(); lag > 0 {
+				fmt.Printf("  mean GSB lag:              %.1f days\n", lag.Hours()/24)
+			}
+		}
+		fmt.Println("  discovered ad networks:")
+		for _, d := range res.DiscoverNewNetworks(5) {
+			fmt.Printf("    %-8s snippet var %-16q +%d publishers\n", d.PathToken, d.SnippetVar, len(d.Publishers))
+		}
+	}
+}
+
+func formatSimple(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	out := ""
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				out += "  "
+			}
+			out += fmt.Sprintf("%-*s", widths[i], c)
+		}
+		out += "\n"
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return out
+}

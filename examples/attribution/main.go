@@ -1,0 +1,69 @@
+// Command attribution demonstrates the paper's ad-attribution and
+// network-discovery loop (Sections 3.6 and 4.4): crawl, attribute each
+// landing page to a seed ad network via invariant patterns, list the
+// "Unknown" remainder, then analyse the unknown logs to derive the new
+// networks' invariants and expand the publisher pool by re-searching.
+//
+//	go run ./examples/attribution
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg := seacma.QuickExperimentConfig()
+	cfg.SkipMilking = true
+	exp := seacma.NewExperiment(cfg)
+
+	res, err := exp.Run()
+	if err != nil {
+		log.Println("pipeline failed:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("=== Table 3: SE attacks from each ad network ===")
+	fmt.Print(seacma.FormatTable3(res.Table3()))
+
+	unknown := 0
+	for _, a := range res.Attributions {
+		if a.Network == "Unknown" {
+			unknown++
+		}
+	}
+	fmt.Printf("\n%d landing pages reached through unknown ad networks\n", unknown)
+	fmt.Println("analysing their backtracking graphs and publisher snippets ...")
+
+	discovered := res.DiscoverNewNetworks(3)
+	if len(discovered) == 0 {
+		fmt.Println("nothing discovered (unknown volume too low at this scale)")
+		return
+	}
+	newPubs := map[string]bool{}
+	for _, d := range discovered {
+		fmt.Printf("\nnew ad network candidate:\n")
+		fmt.Printf("  URL invariant:     first path segment %q (seen in %d unknown chains)\n", d.PathToken, d.Support)
+		fmt.Printf("  source invariant:  \"let %s =\"\n", d.SnippetVar)
+		fmt.Printf("  attribution rules: %d patterns ready for the seed list\n", len(d.Patterns))
+		fmt.Printf("  publisher search:  %d sites embed the snippet\n", len(d.Publishers))
+		for _, p := range d.Publishers {
+			newPubs[p] = true
+		}
+	}
+	already := map[string]bool{}
+	for _, h := range res.PublisherHosts {
+		already[h] = true
+	}
+	fresh := 0
+	for p := range newPubs {
+		if !already[p] {
+			fresh++
+		}
+	}
+	fmt.Printf("\nfeeding back into the pipeline: %d previously uncrawled publishers (paper: 8,981)\n", fresh)
+}

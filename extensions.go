@@ -1,0 +1,102 @@
+package seacma
+
+// Extensions beyond the paper's evaluation, implementing its future-work
+// and defensive-application pointers:
+//
+//   - dataset export (Section 4: the released logs + screenshots),
+//   - blacklist enrichment measurement (Sections 1/6: using the milking
+//     feed as a live defence and quantifying the protection gained over
+//     GSB alone),
+//   - scam-phone blacklist access (Section 4.3).
+
+import (
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/devtools"
+	"repro/internal/enrich"
+	"repro/internal/imaging"
+	"repro/internal/phonebl"
+	"repro/internal/urlx"
+	"repro/internal/webtx"
+)
+
+// ExportDataset writes the run's release artefacts (campaign index,
+// SE-session browser logs, milking inventories, scam-phone blacklist,
+// and one exemplar screenshot per still-reachable campaign) under dir.
+// maxSessions bounds the number of per-session log files (0 = all).
+func (r *Result) ExportDataset(dir string, maxSessions int) (dataset.Summary, error) {
+	return dataset.Export(dir, r.Sessions, r.Discovery, r.Milking, dataset.Options{
+		MaxSessions: maxSessions,
+		Screenshots: r.campaignScreenshot,
+	})
+}
+
+// campaignScreenshot re-visits one of a campaign's verified milking
+// sources and captures the current landing page.
+func (r *Result) campaignScreenshot(campaignID int) (*imaging.Image, bool) {
+	for _, src := range r.Sources {
+		if src.CampaignID != campaignID {
+			continue
+		}
+		client := devtools.NewClient(r.exp.World.Internet, r.exp.World.Clock, devtools.ClientConfig{
+			UserAgent: src.UA, ClientIP: src.ClientIP,
+			StealthPatch: true, DialogBypass: true,
+			ViewportScale: 2,
+		})
+		tab, err := client.Navigate(src.URL)
+		if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
+			continue
+		}
+		srcURL, err := urlx.Parse(src.URL)
+		if err != nil || tab.URL.Host == srcURL.Host {
+			continue
+		}
+		img, err := client.CaptureScreenshot(tab)
+		if err != nil {
+			continue
+		}
+		return img, true
+	}
+	return nil, false
+}
+
+// EnrichmentOutcome re-exports the enrichment replay result.
+type EnrichmentOutcome = enrich.Outcome
+
+// MeasureEnrichment quantifies the protection gained by feeding the
+// milker's harvest into a blacklist with the given propagation delay,
+// against synthetic victim traffic over each milked domain's exposure
+// window. exposure is how long victims keep reaching a harvested domain
+// (0 = 12h, a typical throw-away-domain lifetime).
+func (r *Result) MeasureEnrichment(propagationDelay, exposure time.Duration, visitsPerDomain float64) EnrichmentOutcome {
+	if r.Milking == nil {
+		return EnrichmentOutcome{}
+	}
+	if exposure <= 0 {
+		exposure = 12 * time.Hour
+	}
+	feed := enrich.NewFeed(propagationDelay)
+	windows := make([]enrich.DomainWindow, 0, len(r.Milking.Domains))
+	for _, d := range r.Milking.Domains {
+		feed.Publish(d.Host, d.FirstSeen)
+		windows = append(windows, enrich.DomainWindow{
+			Domain: d.Host,
+			From:   d.FirstSeen,
+			To:     d.FirstSeen.Add(exposure),
+		})
+	}
+	return enrich.Replay(windows, r.exp.World.GSB, feed, enrich.TrafficModel{
+		VisitsPerDomain: visitsPerDomain,
+		Seed:            r.exp.Cfg.World.Seed,
+	})
+}
+
+// ScamPhoneBlacklist returns the phone blacklist harvested during
+// milking (nil without milking).
+func (r *Result) ScamPhoneBlacklist() *phonebl.Blacklist {
+	if r.Milking == nil {
+		return nil
+	}
+	return r.Milking.Phones
+}

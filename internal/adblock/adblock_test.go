@@ -1,0 +1,83 @@
+package adblock
+
+import (
+	"testing"
+
+	"repro/internal/adnet"
+	"repro/internal/rng"
+	"repro/internal/urlx"
+)
+
+func TestRuleHostSuffix(t *testing.T) {
+	r := Rule{HostSuffix: "clicksor.com"}
+	if !r.Matches(urlx.MustParse("http://clicksor.com/x")) {
+		t.Fatal("exact host not matched")
+	}
+	if !r.Matches(urlx.MustParse("http://cdn.clicksor.com/x")) {
+		t.Fatal("subdomain not matched")
+	}
+	if r.Matches(urlx.MustParse("http://notclicksor.com/x")) {
+		t.Fatal("label boundary violated")
+	}
+}
+
+func TestRuleURLSubstring(t *testing.T) {
+	r := Rule{URLSubstring: "/popunder/"}
+	if !r.Matches(urlx.MustParse("http://x.com/popunder/a.js")) {
+		t.Fatal("substring not matched")
+	}
+	if r.Matches(urlx.MustParse("http://x.com/other/a.js")) {
+		t.Fatal("false match")
+	}
+}
+
+func TestEmptyRuleMatchesNothing(t *testing.T) {
+	if (Rule{}).Matches(urlx.MustParse("http://x.com/")) {
+		t.Fatal("empty rule matched")
+	}
+}
+
+func TestFilterHitsCounting(t *testing.T) {
+	f := NewFilter(Rule{HostSuffix: "bad.com"})
+	u := urlx.MustParse("http://bad.com/")
+	for i := 0; i < 3; i++ {
+		if !f.Match(u) {
+			t.Fatal("no match")
+		}
+	}
+	f.Match(urlx.MustParse("http://good.com/"))
+	if f.Hits() != 3 {
+		t.Fatalf("hits = %d", f.Hits())
+	}
+	f.Add(Rule{HostSuffix: "good.com"})
+	if f.RuleCount() != 2 {
+		t.Fatalf("rules = %d", f.RuleCount())
+	}
+}
+
+// The paper's Section 4.4 result: the latest AdBlock Plus blocks only
+// Clicksor because every other network hides behind rotating random
+// domains.
+func TestEasyListBlocksOnlyStaticNetworks(t *testing.T) {
+	filter := EasyListLike()
+	src := rng.New(1)
+	blocked := map[string]bool{}
+	for _, spec := range adnet.SeedSpecs() {
+		n := adnet.New(spec, src)
+		anyBlocked := false
+		for _, d := range n.ScriptDomains {
+			if filter.Match(urlx.MustParse("http://" + d + "/x/serve.js")) {
+				anyBlocked = true
+			}
+		}
+		blocked[spec.Name] = anyBlocked
+	}
+	if !blocked["Clicksor"] {
+		t.Fatal("Clicksor not blocked")
+	}
+	for name, b := range blocked {
+		if name != "Clicksor" && b {
+			t.Fatalf("%s blocked despite rotating domains", name)
+		}
+	}
+}

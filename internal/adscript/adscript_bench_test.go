@@ -1,0 +1,51 @@
+package adscript
+
+import "testing"
+
+const benchSnippet = `
+	let _pcWidget = { z: 12345, s: "abcde" };
+	let _x = dec("` + "4c4f" + `", 7);
+	let total = 0;
+	let i = 0;
+	while (i < 50) {
+		total = total + i;
+		i = i + 1;
+	}
+	let f = function(n) { return n * 2; };
+	let doubled = f(total);
+`
+
+func BenchmarkParse(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchSnippet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRun(b *testing.B) {
+	prog, err := Parse(benchSnippet)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := NewInterp()
+		if err := in.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObfuscationRoundTrip(b *testing.B) {
+	const url = "http://some-rotating-domain.club/pcash/v3/serve.js?zid=12345"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		enc := EncodeString(url, 17)
+		if _, err := DecodeString(enc, 17); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+package adscript
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func run(t *testing.T, src string) (*Interp, []APICall) {
+	t.Helper()
+	in := NewInterp()
+	var calls []APICall
+	in.SetTracer(TracerFunc(func(c APICall) { calls = append(calls, c) }))
+	if err := in.RunSource(src); err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, src)
+	}
+	return in, calls
+}
+
+func evalExpr(t *testing.T, expr string) Value {
+	t.Helper()
+	in := NewInterp()
+	var got Value
+	in.Globals.Define("sink", &HostFunc{Name: "sink", Fn: func(args []Value) (Value, error) {
+		got = args[0]
+		return nil, nil
+	}})
+	if err := in.RunSource("sink(" + expr + ");"); err != nil {
+		t.Fatalf("eval %q: %v", expr, err)
+	}
+	return got
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want Value
+	}{
+		{"1 + 2 * 3", 7.0},
+		{"(1 + 2) * 3", 9.0},
+		{"10 / 4", 2.5},
+		{"7 % 3", 1.0},
+		{"-5 + 2", -3.0},
+		{"2 < 3", true},
+		{"2 >= 3", false},
+		{"'a' + 'b'", "ab"},
+		{"'n=' + 42", "n=42"},
+		{"1 + 2 == 3", true},
+		{"'x' != 'y'", true},
+		{"!false", true},
+		{"true && false", false},
+		{"false || 'fallback'", "fallback"},
+		{"'abc' < 'abd'", true},
+	}
+	for _, c := range cases {
+		if got := evalExpr(t, c.expr); got != c.want {
+			t.Errorf("%s = %v (%T), want %v", c.expr, got, got, c.want)
+		}
+	}
+}
+
+func TestVariablesAndScopes(t *testing.T) {
+	in, _ := run(t, `
+		let x = 1;
+		let f = function() { x = x + 10; return x; };
+		f();
+		f();
+	`)
+	v, ok := in.Globals.Get("x")
+	if !ok || v != 21.0 {
+		t.Fatalf("x = %v", v)
+	}
+}
+
+func TestClosureCapture(t *testing.T) {
+	in := NewInterp()
+	src := `
+		let make = function(n) { return function() { n = n + 1; return n; }; };
+		let c = make(100);
+	`
+	if err := in.RunSource(src); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := in.Globals.Get("c")
+	v1, err := in.Call(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := in.Call(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 101.0 || v2 != 102.0 {
+		t.Fatalf("counter = %v, %v", v1, v2)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	in, _ := run(t, `
+		let classify = function(n) {
+			if (n < 0) { return "neg"; }
+			else if (n == 0) { return "zero"; }
+			else { return "pos"; }
+		};
+		let a = classify(0 - 5);
+		let b = classify(0);
+		let c = classify(5);
+	`)
+	for name, want := range map[string]string{"a": "neg", "b": "zero", "c": "pos"} {
+		if v, _ := in.Globals.Get(name); v != want {
+			t.Errorf("%s = %v, want %q", name, v, want)
+		}
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	in, _ := run(t, `
+		let sum = 0;
+		let i = 0;
+		while (i < 10) { sum = sum + i; i = i + 1; }
+	`)
+	if v, _ := in.Globals.Get("sum"); v != 45.0 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestStepBudgetStopsInfiniteLoop(t *testing.T) {
+	in := NewInterp()
+	in.SetStepBudget(1000)
+	err := in.RunSource(`while (true) { let x = 1; }`)
+	var re *RuntimeError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "step budget") {
+		t.Fatalf("err = %v", err)
+	}
+	// Budget resets allow further work.
+	in.ResetBudget()
+	if err := in.RunSource(`let y = 2;`); err != nil {
+		t.Fatalf("after reset: %v", err)
+	}
+}
+
+func TestArraysAndObjects(t *testing.T) {
+	in, _ := run(t, `
+		let a = [1, 2, 3];
+		push(a, 4);
+		let n = a.length;
+		let second = a[1];
+		a[0] = 99;
+		let o = {name: "pop", zid: 7};
+		let z = o.zid;
+		o.extra = "x";
+		let e = o["extra"];
+	`)
+	checks := map[string]Value{"n": 4.0, "second": 2.0, "z": 7.0, "e": "x"}
+	for name, want := range checks {
+		if v, _ := in.Globals.Get(name); v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+	av, _ := in.Globals.Get("a")
+	if av.(*Array).Elems[0] != 99.0 {
+		t.Fatal("array element assignment failed")
+	}
+}
+
+func TestStringBuiltins(t *testing.T) {
+	in, _ := run(t, `
+		let s = "hello.world";
+		let i = indexOf(s, ".");
+		let head = substr(s, 0, i);
+		let parts = split(s, ".");
+		let joined = join(parts, "-");
+		let c = charAt(s, 0);
+		let code = charCodeAt(s, 0);
+		let ch = fromCharCode(104, 105);
+		let f = floor(3.9);
+		let n = num("42");
+		let st = str(3.5);
+		let l = len("abc");
+	`)
+	checks := map[string]Value{
+		"i": 5.0, "head": "hello", "joined": "hello-world",
+		"c": "h", "code": 104.0, "ch": "hi", "f": 3.0,
+		"n": 42.0, "st": "3.5", "l": 3.0,
+	}
+	for name, want := range checks {
+		if v, _ := in.Globals.Get(name); v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+}
+
+func TestObfuscationRoundTrip(t *testing.T) {
+	f := func(s string, key byte) bool {
+		enc := EncodeString(s, key)
+		dec, err := DecodeString(enc, key)
+		return err == nil && dec == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObfuscationHidesPlaintext(t *testing.T) {
+	url := "http://attacker.club/land?cid=42"
+	enc := EncodeString(url, 7)
+	if strings.Contains(enc, "attacker") || strings.Contains(enc, "club") {
+		t.Fatalf("plaintext leaks into %q", enc)
+	}
+}
+
+func TestDecBuiltinRevealsURL(t *testing.T) {
+	url := "http://hidden.example.club/pop"
+	src := `let u = dec("` + EncodeString(url, 13) + `", 13);`
+	in, _ := run(t, src)
+	if v, _ := in.Globals.Get("u"); v != url {
+		t.Fatalf("decoded = %v", v)
+	}
+}
+
+func TestDecRejectsBadHex(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource(`dec("zz", 1);`); err == nil {
+		t.Fatal("bad hex accepted")
+	}
+}
+
+func TestHostCallTracing(t *testing.T) {
+	in := NewInterp()
+	var calls []APICall
+	in.SetTracer(TracerFunc(func(c APICall) { calls = append(calls, c) }))
+	opened := ""
+	win := NewObject().Set("open", &HostFunc{Name: "window.open", Fn: func(args []Value) (Value, error) {
+		opened = Stringify(args[0])
+		return nil, nil
+	}})
+	in.Globals.Define("window", win)
+	in.ScriptURL = "http://adnet.com/serve.js"
+	enc := EncodeString("http://land.club/x", 9)
+	if err := in.RunSource(`window.open(dec("` + enc + `", 9));`); err != nil {
+		t.Fatal(err)
+	}
+	if opened != "http://land.club/x" {
+		t.Fatalf("opened = %q", opened)
+	}
+	// Trace must contain both the dec call and the window.open call with
+	// the *decoded* argument and the originating script URL.
+	var names []string
+	for _, c := range calls {
+		names = append(names, c.Name)
+		if c.ScriptURL != "http://adnet.com/serve.js" {
+			t.Errorf("call %s attributed to %q", c.Name, c.ScriptURL)
+		}
+	}
+	if len(calls) != 2 || names[0] != "dec" || names[1] != "window.open" {
+		t.Fatalf("calls = %v", names)
+	}
+	if calls[1].Args[0] != "http://land.club/x" {
+		t.Fatalf("traced arg = %v", calls[1].Args)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	in := NewInterp()
+	err := in.RunSource(`
+		let f = function(n) { return f(n + 1); };
+		f(0);
+	`)
+	var re *RuntimeError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []string{
+		`undefinedVar;`,
+		`let x = 1; x();`,
+		`let a = [1]; let b = a[5];`,
+		`let o = {}; o.missing.deep;`,
+		`1 / 0;`,
+		`"a" - "b";`,
+		`let n = num("not a number");`,
+	}
+	for _, src := range cases {
+		in := NewInterp()
+		if err := in.RunSource(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	cases := []string{
+		`let = 5;`,
+		`let x 5;`,
+		`if true {}`,
+		`let s = "unterminated;`,
+		`function(;`,
+		`let x = 1 +;`,
+		`@`,
+		`let x = 1; /* unclosed`,
+		`1 = 2;`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no syntax error for %q", src)
+		}
+	}
+}
+
+func TestCommentsAndStringEscapes(t *testing.T) {
+	in, _ := run(t, `
+		// line comment
+		let a = "tab\tnewline\nquote\"done"; /* block
+		comment */ let b = 'single \' quote';
+	`)
+	if v, _ := in.Globals.Get("a"); v != "tab\tnewline\nquote\"done" {
+		t.Fatalf("a = %q", v)
+	}
+	if v, _ := in.Globals.Get("b"); v != "single ' quote" {
+		t.Fatalf("b = %q", v)
+	}
+}
+
+func TestStrictEqualityAliases(t *testing.T) {
+	if got := evalExpr(t, "1 === 1"); got != true {
+		t.Fatalf("=== broken: %v", got)
+	}
+	if got := evalExpr(t, "1 !== 2"); got != true {
+		t.Fatalf("!== broken: %v", got)
+	}
+}
+
+func TestTopLevelReturnTolerated(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource(`let x = 1; return; let y = 2;`); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringifyForms(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{nil, "null"},
+		{true, "true"},
+		{false, "false"},
+		{3.0, "3"},
+		{3.25, "3.25"},
+		{"s", "s"},
+		{&Array{Elems: []Value{1.0, "a"}}, "[1,a]"},
+		{NewObject().Set("b", 1.0).Set("a", 2.0), "{a:2,b:1}"},
+	}
+	for _, c := range cases {
+		if got := Stringify(c.v); got != c.want {
+			t.Errorf("Stringify(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestMemberOnStringLength(t *testing.T) {
+	if got := evalExpr(t, `"hello".length`); got != 5.0 {
+		t.Fatalf("length = %v", got)
+	}
+}
+
+func TestNavigatorWebdriverPattern(t *testing.T) {
+	// The exact anti-bot check ad networks run (paper Section 3.2).
+	mk := func(webdriver bool) string {
+		in := NewInterp()
+		in.Globals.Define("navigator", NewObject().Set("webdriver", webdriver))
+		in.Globals.Define("result", "")
+		err := in.RunSource(`
+			if (navigator.webdriver) { result = "bot"; } else { result = "human"; }
+		`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, _ := in.Globals.Get("result")
+		return v.(string)
+	}
+	if mk(true) != "bot" || mk(false) != "human" {
+		t.Fatal("webdriver check misbehaves")
+	}
+}

@@ -1,0 +1,221 @@
+package adscript
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// installPureBuiltins defines the environment-independent builtins every
+// script context gets. Host-environment objects (window, document,
+// navigator) are installed by the browser.
+func installPureBuiltins(env *Env) {
+	env.Define("dec", &HostFunc{Name: "dec", Fn: builtinDec})
+	env.Define("enc", &HostFunc{Name: "enc", Fn: builtinEnc})
+	env.Define("str", &HostFunc{Name: "str", Fn: func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errors.New("want 1 arg")
+		}
+		return Stringify(args[0]), nil
+	}})
+	env.Define("num", &HostFunc{Name: "num", Fn: func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errors.New("want 1 arg")
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			if n, ok := args[0].(float64); ok {
+				return n, nil
+			}
+			return nil, fmt.Errorf("cannot convert %s", typeName(args[0]))
+		}
+		n, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", s)
+		}
+		return n, nil
+	}})
+	env.Define("len", &HostFunc{Name: "len", Fn: func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errors.New("want 1 arg")
+		}
+		switch t := args[0].(type) {
+		case string:
+			return float64(len(t)), nil
+		case *Array:
+			return float64(len(t.Elems)), nil
+		default:
+			return nil, fmt.Errorf("len of %s", typeName(args[0]))
+		}
+	}})
+	env.Define("push", &HostFunc{Name: "push", Fn: func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errors.New("want 2 args")
+		}
+		arr, ok := args[0].(*Array)
+		if !ok {
+			return nil, errors.New("first arg must be array")
+		}
+		arr.Elems = append(arr.Elems, args[1])
+		return float64(len(arr.Elems)), nil
+	}})
+	env.Define("substr", &HostFunc{Name: "substr", Fn: func(args []Value) (Value, error) {
+		if len(args) != 3 {
+			return nil, errors.New("want 3 args")
+		}
+		s, ok1 := args[0].(string)
+		from, ok2 := args[1].(float64)
+		to, ok3 := args[2].(float64)
+		if !ok1 || !ok2 || !ok3 {
+			return nil, errors.New("want (string, number, number)")
+		}
+		f, t := int(from), int(to)
+		if f < 0 || t > len(s) || f > t {
+			return nil, fmt.Errorf("bad range [%d:%d] of %d", f, t, len(s))
+		}
+		return s[f:t], nil
+	}})
+	env.Define("indexOf", &HostFunc{Name: "indexOf", Fn: func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errors.New("want 2 args")
+		}
+		s, ok1 := args[0].(string)
+		sub, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, errors.New("want (string, string)")
+		}
+		return float64(strings.Index(s, sub)), nil
+	}})
+	env.Define("split", &HostFunc{Name: "split", Fn: func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errors.New("want 2 args")
+		}
+		s, ok1 := args[0].(string)
+		sep, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, errors.New("want (string, string)")
+		}
+		parts := strings.Split(s, sep)
+		arr := &Array{Elems: make([]Value, len(parts))}
+		for i, p := range parts {
+			arr.Elems[i] = p
+		}
+		return arr, nil
+	}})
+	env.Define("join", &HostFunc{Name: "join", Fn: func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errors.New("want 2 args")
+		}
+		arr, ok1 := args[0].(*Array)
+		sep, ok2 := args[1].(string)
+		if !ok1 || !ok2 {
+			return nil, errors.New("want (array, string)")
+		}
+		parts := make([]string, len(arr.Elems))
+		for i, e := range arr.Elems {
+			parts[i] = Stringify(e)
+		}
+		return strings.Join(parts, sep), nil
+	}})
+	env.Define("charAt", &HostFunc{Name: "charAt", Fn: func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errors.New("want 2 args")
+		}
+		s, ok1 := args[0].(string)
+		i, ok2 := args[1].(float64)
+		if !ok1 || !ok2 || int(i) < 0 || int(i) >= len(s) {
+			return nil, errors.New("bad charAt")
+		}
+		return string(s[int(i)]), nil
+	}})
+	env.Define("fromCharCode", &HostFunc{Name: "fromCharCode", Fn: func(args []Value) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			n, ok := a.(float64)
+			if !ok {
+				return nil, errors.New("want numbers")
+			}
+			b.WriteByte(byte(int(n)))
+		}
+		return b.String(), nil
+	}})
+	env.Define("charCodeAt", &HostFunc{Name: "charCodeAt", Fn: func(args []Value) (Value, error) {
+		if len(args) != 2 {
+			return nil, errors.New("want 2 args")
+		}
+		s, ok1 := args[0].(string)
+		i, ok2 := args[1].(float64)
+		if !ok1 || !ok2 || int(i) < 0 || int(i) >= len(s) {
+			return nil, errors.New("bad charCodeAt")
+		}
+		return float64(s[int(i)]), nil
+	}})
+	env.Define("floor", &HostFunc{Name: "floor", Fn: func(args []Value) (Value, error) {
+		if len(args) != 1 {
+			return nil, errors.New("want 1 arg")
+		}
+		n, ok := args[0].(float64)
+		if !ok {
+			return nil, errors.New("want number")
+		}
+		return float64(int64(n)), nil
+	}})
+}
+
+// EncodeString scrambles s with a rolling XOR keyed by key and returns the
+// hex form. Ad-network generators use it to hide URLs from static
+// inspection; the paired runtime builtin "dec" reverses it.
+func EncodeString(s string, key byte) string {
+	b := []byte(s)
+	k := key
+	for i := range b {
+		b[i] ^= k
+		k = k*31 + 7
+	}
+	return hex.EncodeToString(b)
+}
+
+// DecodeString reverses EncodeString; exported for tests and offline
+// analysis tooling.
+func DecodeString(encoded string, key byte) (string, error) {
+	b, err := hex.DecodeString(encoded)
+	if err != nil {
+		return "", fmt.Errorf("adscript: decode: %w", err)
+	}
+	k := key
+	for i := range b {
+		b[i] ^= k
+		k = k*31 + 7
+	}
+	return string(b), nil
+}
+
+func builtinDec(args []Value) (Value, error) {
+	if len(args) != 2 {
+		return nil, errors.New("want (string, number)")
+	}
+	s, ok1 := args[0].(string)
+	key, ok2 := args[1].(float64)
+	if !ok1 || !ok2 {
+		return nil, errors.New("want (string, number)")
+	}
+	out, err := DecodeString(s, byte(int(key)))
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func builtinEnc(args []Value) (Value, error) {
+	if len(args) != 2 {
+		return nil, errors.New("want (string, number)")
+	}
+	s, ok1 := args[0].(string)
+	key, ok2 := args[1].(float64)
+	if !ok1 || !ok2 {
+		return nil, errors.New("want (string, number)")
+	}
+	return EncodeString(s, byte(int(key))), nil
+}

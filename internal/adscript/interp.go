@@ -1,0 +1,667 @@
+package adscript
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value: nil (null), bool, float64, string, *Array,
+// *Object, *Closure, or *HostFunc.
+type Value any
+
+// Array is a mutable value slice.
+type Array struct{ Elems []Value }
+
+// Object is a mutable string-keyed record. Host environments (window,
+// navigator, document) are Objects whose fields include HostFuncs.
+type Object struct{ Fields map[string]Value }
+
+// NewObject returns an empty object.
+func NewObject() *Object { return &Object{Fields: map[string]Value{}} }
+
+// Set assigns a field and returns the object for chaining.
+func (o *Object) Set(k string, v Value) *Object { o.Fields[k] = v; return o }
+
+// Closure is a user-defined function bound to its defining environment.
+type Closure struct {
+	params []string
+	body   []node
+	env    *Env
+}
+
+// HostFunc is a builtin provided by the embedding environment. Name is
+// the canonical dotted name used in traces ("window.open").
+type HostFunc struct {
+	Name string
+	Fn   func(args []Value) (Value, error)
+}
+
+// Env is a lexical scope.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns a fresh scope with the given parent (nil for global).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[string]Value{}, parent: parent}
+}
+
+// Define introduces a binding in this scope.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Get resolves a name through the scope chain.
+func (e *Env) Get(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// set assigns to an existing binding, or defines globally when absent
+// (mirroring sloppy-mode JS, which ad snippets rely on).
+func (e *Env) set(name string, v Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+		if s.parent == nil {
+			s.vars[name] = v
+			return
+		}
+	}
+}
+
+// APICall is one traced host-API invocation.
+type APICall struct {
+	Name      string   // canonical host function name
+	Args      []string // stringified arguments
+	ScriptURL string   // URL of the script that made the call
+	Line      int      // source line of the call site
+}
+
+// Tracer receives every host-API call made during execution.
+type Tracer interface {
+	TraceAPICall(call APICall)
+}
+
+// TracerFunc adapts a function to Tracer.
+type TracerFunc func(call APICall)
+
+// TraceAPICall implements Tracer.
+func (f TracerFunc) TraceAPICall(call APICall) { f(call) }
+
+// RuntimeError reports an execution failure.
+type RuntimeError struct {
+	Line int
+	Msg  string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("adscript: runtime error at line %d: %s", e.Line, e.Msg)
+}
+
+// control-flow signals
+type returnSignal struct{ val Value }
+
+func (returnSignal) Error() string { return "return outside function" }
+
+// Interp executes Programs against a global environment. One Interp
+// corresponds to one page's script context; the browser creates a fresh
+// Interp per page load.
+type Interp struct {
+	Globals *Env
+	tracer  Tracer
+	// ScriptURL labels traces from the currently executing script; the
+	// browser sets it before each Run.
+	ScriptURL string
+
+	steps    int
+	maxSteps int
+	depth    int
+	maxDepth int
+}
+
+// NewInterp returns an interpreter with the default pure builtins
+// installed and a generous-but-finite step budget.
+func NewInterp() *Interp {
+	in := &Interp{
+		Globals:  NewEnv(nil),
+		maxSteps: 200000,
+		maxDepth: 64,
+	}
+	installPureBuiltins(in.Globals)
+	return in
+}
+
+// SetTracer installs the API-call tracer.
+func (in *Interp) SetTracer(t Tracer) { in.tracer = t }
+
+// SetStepBudget overrides the execution step budget (for tests).
+func (in *Interp) SetStepBudget(n int) { in.maxSteps = n }
+
+// ResetBudget restores the step counter; the browser calls this per
+// dispatched event so a page cannot starve later handlers.
+func (in *Interp) ResetBudget() { in.steps = 0 }
+
+// Run executes a program's top-level statements in the global scope.
+func (in *Interp) Run(prog *Program) error {
+	err := in.execBlock(prog.stmts, in.Globals)
+	if _, ok := err.(returnSignal); ok {
+		return nil // top-level return: tolerated
+	}
+	return err
+}
+
+// RunSource parses and runs source in one call.
+func (in *Interp) RunSource(source string) error {
+	prog, err := Parse(source)
+	if err != nil {
+		return err
+	}
+	return in.Run(prog)
+}
+
+// Call invokes a callable Value (Closure or HostFunc) with arguments; the
+// browser uses it to dispatch event handlers and timer callbacks.
+func (in *Interp) Call(fn Value, args ...Value) (Value, error) {
+	return in.callValue(fn, args, 0)
+}
+
+func (in *Interp) rerr(line int, format string, args ...any) error {
+	return &RuntimeError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (in *Interp) step(line int) error {
+	in.steps++
+	if in.steps > in.maxSteps {
+		return &RuntimeError{Line: line, Msg: "step budget exhausted (possible page-locking loop)"}
+	}
+	return nil
+}
+
+func (in *Interp) execBlock(stmts []node, env *Env) error {
+	for _, s := range stmts {
+		if err := in.exec(s, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *Interp) exec(s node, env *Env) error {
+	if err := in.step(s.nodeLine()); err != nil {
+		return err
+	}
+	switch st := s.(type) {
+	case *letStmt:
+		v, err := in.eval(st.val, env)
+		if err != nil {
+			return err
+		}
+		env.Define(st.name, v)
+		return nil
+	case *assignStmt:
+		v, err := in.eval(st.val, env)
+		if err != nil {
+			return err
+		}
+		return in.assign(st.target, v, env)
+	case *ifStmt:
+		cond, err := in.eval(st.cond, env)
+		if err != nil {
+			return err
+		}
+		if truthy(cond) {
+			return in.execBlock(st.then, NewEnv(env))
+		}
+		if st.alt != nil {
+			if st.altIsBlock {
+				return in.execBlock(st.alt, NewEnv(env))
+			}
+			return in.exec(st.alt[0], env)
+		}
+		return nil
+	case *whileStmt:
+		for {
+			cond, err := in.eval(st.cond, env)
+			if err != nil {
+				return err
+			}
+			if !truthy(cond) {
+				return nil
+			}
+			if err := in.execBlock(st.body, NewEnv(env)); err != nil {
+				return err
+			}
+			if err := in.step(st.line); err != nil {
+				return err
+			}
+		}
+	case *returnStmt:
+		var v Value
+		if st.val != nil {
+			var err error
+			v, err = in.eval(st.val, env)
+			if err != nil {
+				return err
+			}
+		}
+		return returnSignal{v}
+	case *exprStmt:
+		_, err := in.eval(st.x, env)
+		return err
+	default:
+		return in.rerr(s.nodeLine(), "unknown statement %T", s)
+	}
+}
+
+func (in *Interp) assign(target node, v Value, env *Env) error {
+	switch t := target.(type) {
+	case *ident:
+		env.set(t.name, v)
+		return nil
+	case *memberExpr:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return err
+		}
+		o, ok := obj.(*Object)
+		if !ok {
+			return in.rerr(t.line, "cannot set property %q on %s", t.name, typeName(obj))
+		}
+		o.Fields[t.name] = v
+		return nil
+	case *indexExpr:
+		obj, err := in.eval(t.obj, env)
+		if err != nil {
+			return err
+		}
+		idx, err := in.eval(t.idx, env)
+		if err != nil {
+			return err
+		}
+		switch o := obj.(type) {
+		case *Array:
+			i, ok := idx.(float64)
+			if !ok || int(i) < 0 || int(i) >= len(o.Elems) {
+				return in.rerr(t.line, "bad array index %v", idx)
+			}
+			o.Elems[int(i)] = v
+			return nil
+		case *Object:
+			k, ok := idx.(string)
+			if !ok {
+				return in.rerr(t.line, "object index must be string")
+			}
+			o.Fields[k] = v
+			return nil
+		default:
+			return in.rerr(t.line, "cannot index %s", typeName(obj))
+		}
+	default:
+		return in.rerr(target.nodeLine(), "invalid assignment target")
+	}
+}
+
+func (in *Interp) eval(x node, env *Env) (Value, error) {
+	if err := in.step(x.nodeLine()); err != nil {
+		return nil, err
+	}
+	switch e := x.(type) {
+	case *numLit:
+		return e.val, nil
+	case *strLit:
+		return e.val, nil
+	case *boolLit:
+		return e.val, nil
+	case *nullLit:
+		return nil, nil
+	case *ident:
+		v, ok := env.Get(e.name)
+		if !ok {
+			return nil, in.rerr(e.line, "undefined variable %q", e.name)
+		}
+		return v, nil
+	case *arrayLit:
+		arr := &Array{}
+		for _, el := range e.elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems = append(arr.Elems, v)
+		}
+		return arr, nil
+	case *objectLit:
+		obj := NewObject()
+		for i, k := range e.keys {
+			v, err := in.eval(e.vals[i], env)
+			if err != nil {
+				return nil, err
+			}
+			obj.Fields[k] = v
+		}
+		return obj, nil
+	case *funcLit:
+		return &Closure{params: e.params, body: e.body, env: env}, nil
+	case *unaryExpr:
+		v, err := in.eval(e.x, env)
+		if err != nil {
+			return nil, err
+		}
+		switch e.op {
+		case "!":
+			return !truthy(v), nil
+		case "-":
+			n, ok := v.(float64)
+			if !ok {
+				return nil, in.rerr(e.line, "cannot negate %s", typeName(v))
+			}
+			return -n, nil
+		}
+		return nil, in.rerr(e.line, "unknown unary %q", e.op)
+	case *binaryExpr:
+		return in.evalBinary(e, env)
+	case *memberExpr:
+		obj, err := in.eval(e.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		switch o := obj.(type) {
+		case *Object:
+			return o.Fields[e.name], nil
+		case *Array:
+			if e.name == "length" {
+				return float64(len(o.Elems)), nil
+			}
+		case string:
+			if e.name == "length" {
+				return float64(len(o)), nil
+			}
+		}
+		return nil, in.rerr(e.line, "no property %q on %s", e.name, typeName(obj))
+	case *indexExpr:
+		obj, err := in.eval(e.obj, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(e.idx, env)
+		if err != nil {
+			return nil, err
+		}
+		switch o := obj.(type) {
+		case *Array:
+			i, ok := idx.(float64)
+			if !ok || int(i) < 0 || int(i) >= len(o.Elems) {
+				return nil, in.rerr(e.line, "bad array index %v", idx)
+			}
+			return o.Elems[int(i)], nil
+		case string:
+			i, ok := idx.(float64)
+			if !ok || int(i) < 0 || int(i) >= len(o) {
+				return nil, in.rerr(e.line, "bad string index %v", idx)
+			}
+			return string(o[int(i)]), nil
+		case *Object:
+			k, ok := idx.(string)
+			if !ok {
+				return nil, in.rerr(e.line, "object index must be string")
+			}
+			return o.Fields[k], nil
+		default:
+			return nil, in.rerr(e.line, "cannot index %s", typeName(obj))
+		}
+	case *callExpr:
+		fn, err := in.eval(e.fn, env)
+		if err != nil {
+			return nil, err
+		}
+		args := make([]Value, len(e.args))
+		for i, a := range e.args {
+			v, err := in.eval(a, env)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = v
+		}
+		return in.callValue(fn, args, e.line)
+	default:
+		return nil, in.rerr(x.nodeLine(), "unknown expression %T", x)
+	}
+}
+
+func (in *Interp) callValue(fn Value, args []Value, line int) (Value, error) {
+	in.depth++
+	defer func() { in.depth-- }()
+	if in.depth > in.maxDepth {
+		return nil, in.rerr(line, "call depth exceeded")
+	}
+	switch f := fn.(type) {
+	case *HostFunc:
+		if in.tracer != nil {
+			strArgs := make([]string, len(args))
+			for i, a := range args {
+				strArgs[i] = Stringify(a)
+			}
+			in.tracer.TraceAPICall(APICall{Name: f.Name, Args: strArgs, ScriptURL: in.ScriptURL, Line: line})
+		}
+		v, err := f.Fn(args)
+		if err != nil {
+			return nil, &RuntimeError{Line: line, Msg: f.Name + ": " + err.Error()}
+		}
+		return v, nil
+	case *Closure:
+		env := NewEnv(f.env)
+		for i, p := range f.params {
+			if i < len(args) {
+				env.Define(p, args[i])
+			} else {
+				env.Define(p, nil)
+			}
+		}
+		err := in.execBlock(f.body, env)
+		if rs, ok := err.(returnSignal); ok {
+			return rs.val, nil
+		}
+		return nil, err
+	default:
+		return nil, in.rerr(line, "%s is not callable", typeName(fn))
+	}
+}
+
+func (in *Interp) evalBinary(e *binaryExpr, env *Env) (Value, error) {
+	// Short-circuit logical operators.
+	if e.op == "&&" || e.op == "||" {
+		l, err := in.eval(e.l, env)
+		if err != nil {
+			return nil, err
+		}
+		if e.op == "&&" && !truthy(l) {
+			return l, nil
+		}
+		if e.op == "||" && truthy(l) {
+			return l, nil
+		}
+		return in.eval(e.r, env)
+	}
+	l, err := in.eval(e.l, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := in.eval(e.r, env)
+	if err != nil {
+		return nil, err
+	}
+	switch e.op {
+	case "==":
+		return valueEqual(l, r), nil
+	case "!=":
+		return !valueEqual(l, r), nil
+	case "+":
+		// String concatenation when either side is a string.
+		if ls, ok := l.(string); ok {
+			return ls + Stringify(r), nil
+		}
+		if rs, ok := r.(string); ok {
+			return Stringify(l) + rs, nil
+		}
+		ln, lok := l.(float64)
+		rn, rok := r.(float64)
+		if lok && rok {
+			return ln + rn, nil
+		}
+		return nil, in.rerr(e.line, "cannot add %s and %s", typeName(l), typeName(r))
+	case "-", "*", "/", "%", "<", ">", "<=", ">=":
+		ln, lok := l.(float64)
+		rn, rok := r.(float64)
+		if !lok || !rok {
+			// String ordering comparisons.
+			if ls, ok := l.(string); ok {
+				if rs, ok := r.(string); ok {
+					switch e.op {
+					case "<":
+						return ls < rs, nil
+					case ">":
+						return ls > rs, nil
+					case "<=":
+						return ls <= rs, nil
+					case ">=":
+						return ls >= rs, nil
+					}
+				}
+			}
+			return nil, in.rerr(e.line, "numeric op %q on %s and %s", e.op, typeName(l), typeName(r))
+		}
+		switch e.op {
+		case "-":
+			return ln - rn, nil
+		case "*":
+			return ln * rn, nil
+		case "/":
+			if rn == 0 {
+				return nil, in.rerr(e.line, "division by zero")
+			}
+			return ln / rn, nil
+		case "%":
+			if rn == 0 {
+				return nil, in.rerr(e.line, "modulo by zero")
+			}
+			return float64(int64(ln) % int64(rn)), nil
+		case "<":
+			return ln < rn, nil
+		case ">":
+			return ln > rn, nil
+		case "<=":
+			return ln <= rn, nil
+		case ">=":
+			return ln >= rn, nil
+		}
+	}
+	return nil, in.rerr(e.line, "unknown operator %q", e.op)
+}
+
+func truthy(v Value) bool {
+	switch t := v.(type) {
+	case nil:
+		return false
+	case bool:
+		return t
+	case float64:
+		return t != 0
+	case string:
+		return t != ""
+	default:
+		return true
+	}
+}
+
+func valueEqual(a, b Value) bool {
+	switch av := a.(type) {
+	case nil:
+		return b == nil
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case float64:
+		bv, ok := b.(float64)
+		return ok && av == bv
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	default:
+		return a == b // reference equality for arrays/objects/functions
+	}
+}
+
+func typeName(v Value) string {
+	switch v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return "bool"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Array:
+		return "array"
+	case *Object:
+		return "object"
+	case *Closure:
+		return "function"
+	case *HostFunc:
+		return "hostfunc"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+// Stringify renders a value the way traces and string concatenation see
+// it.
+func Stringify(v Value) string {
+	switch t := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	case float64:
+		if t == float64(int64(t)) {
+			return strconv.FormatInt(int64(t), 10)
+		}
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case string:
+		return t
+	case *Array:
+		parts := make([]string, len(t.Elems))
+		for i, e := range t.Elems {
+			parts[i] = Stringify(e)
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	case *Object:
+		keys := make([]string, 0, len(t.Fields))
+		for k := range t.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, len(keys))
+		for i, k := range keys {
+			parts[i] = k + ":" + Stringify(t.Fields[k])
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	case *Closure:
+		return "function"
+	case *HostFunc:
+		return "[native " + t.Name + "]"
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}

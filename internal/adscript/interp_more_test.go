@@ -1,0 +1,291 @@
+package adscript
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Additional interpreter edge cases beyond the core language tests.
+
+func TestObjectLiteralsAndNestedAccess(t *testing.T) {
+	in, _ := run(t, `
+		let cfg = {zone: 12, nested: {deep: "v"}, "quoted": true};
+		let a = cfg.zone;
+		let b = cfg.nested.deep;
+		let c = cfg["quoted"];
+		cfg.nested.deep = "w";
+		let d = cfg.nested.deep;
+	`)
+	for name, want := range map[string]Value{"a": 12.0, "b": "v", "c": true, "d": "w"} {
+		if v, _ := in.Globals.Get(name); v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+}
+
+func TestMissingObjectFieldIsNull(t *testing.T) {
+	in, _ := run(t, `let o = {a: 1}; let missing = o.b; let isNull = missing == null;`)
+	if v, _ := in.Globals.Get("isNull"); v != true {
+		t.Fatal("missing field not null")
+	}
+}
+
+func TestKeywordAsPropertyName(t *testing.T) {
+	in, _ := run(t, `let o = {"return": 1}; let v = o.return;`)
+	if v, _ := in.Globals.Get("v"); v != 1.0 {
+		t.Fatalf("v = %v", v)
+	}
+}
+
+func TestAssignmentToObjectIndexAndArray(t *testing.T) {
+	in, _ := run(t, `
+		let o = {};
+		o["k"] = 5;
+		let arr = [0, 0];
+		arr[1] = 9;
+		let sum = o["k"] + arr[1];
+	`)
+	if v, _ := in.Globals.Get("sum"); v != 14.0 {
+		t.Fatalf("sum = %v", v)
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	cases := []string{
+		`let n = 5; n.field = 1;`,  // set property on number
+		`let a = [1]; a[9] = 1;`,   // index out of range
+		`let a = [1]; a["x"] = 1;`, // non-numeric array index
+		`let o = {}; o[5] = 1;`,    // non-string object index
+		`let n = 1; n[0] = 2;`,     // index into number
+	}
+	for _, src := range cases {
+		in := NewInterp()
+		if err := in.RunSource(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	cases := []string{
+		`let a = [1]; let x = a["k"];`,
+		`let s = "ab"; let x = s[9];`,
+		`let o = {}; let x = o[1];`,
+		`let n = 4; let x = n[0];`,
+	}
+	for _, src := range cases {
+		in := NewInterp()
+		if err := in.RunSource(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestStringIndexAndComparisons(t *testing.T) {
+	in, _ := run(t, `
+		let s = "abc";
+		let ch = s[1];
+		let ge = "b" >= "a";
+		let le = "a" <= "a";
+	`)
+	if v, _ := in.Globals.Get("ch"); v != "b" {
+		t.Fatalf("ch = %v", v)
+	}
+	if v, _ := in.Globals.Get("ge"); v != true {
+		t.Fatal("string >= broken")
+	}
+	if v, _ := in.Globals.Get("le"); v != true {
+		t.Fatal("string <= broken")
+	}
+}
+
+func TestModuloAndDivisionErrors(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource(`let x = 5 % 0;`); err == nil {
+		t.Fatal("modulo by zero allowed")
+	}
+}
+
+func TestWhileConditionError(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource(`while (missing) { let x = 1; }`); err == nil {
+		t.Fatal("undefined condition allowed")
+	}
+}
+
+func TestCallNonCallable(t *testing.T) {
+	in := NewInterp()
+	err := in.RunSource(`let obj = {}; obj();`)
+	var re *RuntimeError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "not callable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestHostFuncErrorWrapped(t *testing.T) {
+	in := NewInterp()
+	in.Globals.Define("boom", &HostFunc{Name: "boom", Fn: func([]Value) (Value, error) {
+		return nil, errors.New("kapow")
+	}})
+	err := in.RunSource(`boom();`)
+	if err == nil || !strings.Contains(err.Error(), "boom: kapow") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCallWithMissingArgsGivesNull(t *testing.T) {
+	in, _ := run(t, `
+		let f = function(a, b) { return b == null; };
+		let missing = f(1);
+	`)
+	if v, _ := in.Globals.Get("missing"); v != true {
+		t.Fatal("missing arg not null")
+	}
+}
+
+func TestLogicalOperatorValues(t *testing.T) {
+	cases := map[string]Value{
+		`0 || "x"`:   "x",
+		`"a" || "b"`: "a",
+		`0 && "x"`:   0.0,
+		`"a" && "b"`: "b",
+		`null || 7`:  7.0,
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestTruthiness(t *testing.T) {
+	cases := map[string]Value{
+		`!0`:    true,
+		`!1`:    false,
+		`!""`:   true,
+		`!"x"`:  false,
+		`!null`: true,
+		`![]`:   false, // arrays are truthy
+		`!{}`:   false, // objects are truthy
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+}
+
+func TestEqualityAcrossTypes(t *testing.T) {
+	cases := map[string]Value{
+		`1 == "1"`:     false,
+		`null == null`: true,
+		`null == 0`:    false,
+		`true == 1`:    false,
+	}
+	for expr, want := range cases {
+		if got := evalExpr(t, expr); got != want {
+			t.Errorf("%s = %v, want %v", expr, got, want)
+		}
+	}
+	// Reference equality for arrays.
+	in, _ := run(t, `let a = [1]; let b = [1]; let same = a == a; let diff = a == b;`)
+	if v, _ := in.Globals.Get("same"); v != true {
+		t.Fatal("self-equality broken")
+	}
+	if v, _ := in.Globals.Get("diff"); v != false {
+		t.Fatal("distinct arrays equal")
+	}
+}
+
+func TestNegateNonNumber(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource(`let x = -"s";`); err == nil {
+		t.Fatal("negating string allowed")
+	}
+}
+
+func TestAddIncompatible(t *testing.T) {
+	in := NewInterp()
+	if err := in.RunSource(`let x = [1] + 2;`); err == nil {
+		t.Fatal("array + number allowed")
+	}
+}
+
+func TestArrayLengthAndPushSemantics(t *testing.T) {
+	in, _ := run(t, `
+		let a = [];
+		push(a, "x");
+		push(a, "y");
+		let n = a.length;
+		let j = join(a, ",");
+	`)
+	if v, _ := in.Globals.Get("n"); v != 2.0 {
+		t.Fatalf("n = %v", v)
+	}
+	if v, _ := in.Globals.Get("j"); v != "x,y" {
+		t.Fatalf("j = %v", v)
+	}
+}
+
+func TestBuiltinArgErrors(t *testing.T) {
+	cases := []string{
+		`len(5);`, `len();`,
+		`push(5, 1);`, `push([1]);`,
+		`substr("abc", 0);`, `substr("abc", 2, 1);`, `substr(1, 0, 1);`,
+		`indexOf("a", 5);`, `split(5, ",");`, `join(5, ",");`,
+		`charAt("a", 5);`, `charCodeAt("a", 9);`, `fromCharCode("x");`,
+		`floor("x");`, `str();`, `num([1]);`, `dec("00");`, `enc("x");`,
+	}
+	for _, src := range cases {
+		in := NewInterp()
+		if err := in.RunSource(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestEncBuiltinRoundTrips(t *testing.T) {
+	in, _ := run(t, `let e = enc("secret", 9); let d = dec(e, 9);`)
+	if v, _ := in.Globals.Get("d"); v != "secret" {
+		t.Fatalf("d = %v", v)
+	}
+}
+
+func TestParserEdgeCases(t *testing.T) {
+	good := []string{
+		`let f = function() { return; };`, // bare return
+		`if (1) {} else if (0) {} else {}`,
+		`let o = {a: 1,};`, // trailing handled? — no trailing comma support
+	}
+	// The first two must parse; trailing comma in object must fail.
+	if _, err := Parse(good[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(good[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(`let a = [1, 2,];`); err != nil {
+		t.Fatal("trailing comma in array should be tolerated (parsed as end)")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse(`let = ;`)
+}
+
+func TestSyntaxErrorMessageHasLine(t *testing.T) {
+	_, err := Parse("let a = 1;\nlet b = ;\n")
+	var se *SyntaxError
+	if !errors.As(err, &se) || se.Line != 2 {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(se.Error(), "line 2") {
+		t.Fatalf("message = %q", se.Error())
+	}
+}

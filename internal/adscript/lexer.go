@@ -1,0 +1,229 @@
+// Package adscript implements the miniature scripting language executed
+// by pages in the synthetic web, standing in for the JavaScript that real
+// ad networks and SE attack pages run.
+//
+// The language is deliberately small — variables, functions/closures,
+// conditionals, bounded loops, strings, numbers, objects and arrays — but
+// the *runtime* mirrors what the paper's instrumented Chromium logs: every
+// host-API call (window.open, location.assign, addEventListener,
+// setTimeout, history.pushState, alert, ...) is traced with its arguments
+// and originating script URL. Those traces are exactly what
+// internal/btgraph consumes to rebuild ad-loading chains (paper Sections
+// 3.2 and 3.4: "deep code instrumentation to accurately track JS code
+// execution ... tracking all JS API calls across the entire Blink-JS
+// bindings").
+//
+// Ad networks obfuscate their snippets; the package provides a string
+// scrambler (EncodeString) paired with a runtime decoder builtin ("dec"),
+// so URLs are invisible to static inspection but revealed — and traced —
+// during execution.
+package adscript
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct   // single or multi-char operator/punctuation
+	tokKeyword // let if else function return true false null while
+)
+
+var keywords = map[string]bool{
+	"let": true, "if": true, "else": true, "function": true,
+	"return": true, "true": true, "false": true, "null": true,
+	"while": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "EOF"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with a line number.
+type SyntaxError struct {
+	Line int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("adscript: line %d: %s", e.Line, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, t)
+		if t.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: l.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.errf("unterminated block comment")
+			}
+			l.line += strings.Count(l.src[l.pos:l.pos+2+end+2], "\n")
+			l.pos += 2 + end + 2
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// multi-char punctuation, longest first
+var puncts = []string{
+	"===", "!==", "==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "{", "}", "[", "]", ",", ";", ".", "=", "+", "-", "*", "/", "%", "<", ">", "!", ":",
+}
+
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	start := l.pos
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: l.line}, nil
+	case isDigit(c):
+		for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		text := l.src[start:l.pos]
+		var n float64
+		if _, err := fmt.Sscanf(text, "%g", &n); err != nil {
+			return token{}, l.errf("bad number %q", text)
+		}
+		return token{kind: tokNumber, text: text, num: n, line: l.line}, nil
+	case c == '"' || c == '\'':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf("unterminated string")
+			}
+			ch := l.src[l.pos]
+			if ch == quote {
+				l.pos++
+				return token{kind: tokString, text: b.String(), line: l.line}, nil
+			}
+			if ch == '\n' {
+				return token{}, l.errf("newline in string")
+			}
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case '\'':
+					b.WriteByte('\'')
+				default:
+					b.WriteByte(l.src[l.pos])
+				}
+				l.pos++
+				continue
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+	default:
+		for _, p := range puncts {
+			if strings.HasPrefix(l.src[l.pos:], p) {
+				l.pos += len(p)
+				// Normalise JS-style strict operators.
+				text := p
+				if text == "===" {
+					text = "=="
+				} else if text == "!==" {
+					text = "!="
+				}
+				return token{kind: tokPunct, text: text, line: l.line}, nil
+			}
+		}
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}

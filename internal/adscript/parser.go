@@ -1,0 +1,513 @@
+package adscript
+
+import "fmt"
+
+// AST node types. The interpreter walks these directly.
+
+type node interface{ nodeLine() int }
+
+type baseNode struct{ line int }
+
+func (b baseNode) nodeLine() int { return b.line }
+
+type (
+	numLit struct {
+		baseNode
+		val float64
+	}
+	strLit struct {
+		baseNode
+		val string
+	}
+	boolLit struct {
+		baseNode
+		val bool
+	}
+	nullLit struct{ baseNode }
+	ident   struct {
+		baseNode
+		name string
+	}
+	arrayLit struct {
+		baseNode
+		elems []node
+	}
+	objectLit struct {
+		baseNode
+		keys []string
+		vals []node
+	}
+	funcLit struct {
+		baseNode
+		params []string
+		body   []node
+	}
+	unaryExpr struct {
+		baseNode
+		op string
+		x  node
+	}
+	binaryExpr struct {
+		baseNode
+		op   string
+		l, r node
+	}
+	callExpr struct {
+		baseNode
+		fn   node
+		args []node
+	}
+	memberExpr struct {
+		baseNode
+		obj  node
+		name string
+	}
+	indexExpr struct {
+		baseNode
+		obj, idx node
+	}
+	letStmt struct {
+		baseNode
+		name string
+		val  node
+	}
+	assignStmt struct {
+		baseNode
+		target node // ident, memberExpr or indexExpr
+		val    node
+	}
+	ifStmt struct {
+		baseNode
+		cond       node
+		then, alt  []node
+		altIsBlock bool
+	}
+	whileStmt struct {
+		baseNode
+		cond node
+		body []node
+	}
+	returnStmt struct {
+		baseNode
+		val node // may be nil
+	}
+	exprStmt struct {
+		baseNode
+		x node
+	}
+)
+
+// Program is a parsed script ready for execution.
+type Program struct {
+	stmts []node
+	// Source is retained for source-pattern matching and diagnostics.
+	Source string
+}
+
+// Parse compiles source into a Program.
+func Parse(source string) (*Program, error) {
+	toks, err := lex(source)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []node
+	for !p.at(tokEOF, "") {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return &Program{stmts: stmts, Source: source}, nil
+}
+
+// MustParse panics on parse errors; for generator-built literals.
+func MustParse(source string) *Program {
+	p, err := Parse(source)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance()   { p.pos++ }
+func (p *parser) line() int  { return p.cur().line }
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Line: p.line(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		return token{}, p.errf("expected %q, found %q", text, p.cur().String())
+	}
+	t := p.cur()
+	p.advance()
+	return t, nil
+}
+
+func (p *parser) statement() (node, error) {
+	switch {
+	case p.at(tokKeyword, "let"):
+		line := p.line()
+		p.advance()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		val, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &letStmt{baseNode{line}, name.text, val}, nil
+
+	case p.at(tokKeyword, "if"):
+		return p.ifStatement()
+
+	case p.at(tokKeyword, "while"):
+		line := p.line()
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &whileStmt{baseNode{line}, cond, body}, nil
+
+	case p.at(tokKeyword, "return"):
+		line := p.line()
+		p.advance()
+		var val node
+		if !p.at(tokPunct, ";") {
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			val = v
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &returnStmt{baseNode{line}, val}, nil
+
+	default:
+		line := p.line()
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		// Assignment: expr "=" expr when expr is assignable.
+		if p.at(tokPunct, "=") {
+			p.advance()
+			switch x.(type) {
+			case *ident, *memberExpr, *indexExpr:
+			default:
+				return nil, p.errf("invalid assignment target")
+			}
+			val, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &assignStmt{baseNode{line}, x, val}, nil
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &exprStmt{baseNode{line}, x}, nil
+	}
+}
+
+func (p *parser) ifStatement() (node, error) {
+	line := p.line()
+	p.advance() // "if"
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	cond, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	then, err := p.block()
+	if err != nil {
+		return nil, err
+	}
+	st := &ifStmt{baseNode{line}, cond, then, nil, false}
+	if p.accept(tokKeyword, "else") {
+		if p.at(tokKeyword, "if") {
+			alt, err := p.ifStatement()
+			if err != nil {
+				return nil, err
+			}
+			st.alt = []node{alt}
+		} else {
+			alt, err := p.block()
+			if err != nil {
+				return nil, err
+			}
+			st.alt = alt
+			st.altIsBlock = true
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) block() ([]node, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []node
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, p.errf("unterminated block")
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // "}"
+	return stmts, nil
+}
+
+// Precedence-climbing expression parser.
+
+func (p *parser) expression() (node, error) { return p.binary(0) }
+
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"==": 3, "!=": 3,
+	"<": 4, ">": 4, "<=": 4, ">=": 4,
+	"+": 5, "-": 5,
+	"*": 6, "/": 6, "%": 6,
+}
+
+func (p *parser) binary(minPrec int) (node, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.kind != tokPunct {
+			return left, nil
+		}
+		prec, ok := binPrec[t.text]
+		if !ok || prec < minPrec {
+			return left, nil
+		}
+		p.advance()
+		right, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &binaryExpr{baseNode{t.line}, t.text, left, right}
+	}
+}
+
+func (p *parser) unary() (node, error) {
+	t := p.cur()
+	if t.kind == tokPunct && (t.text == "!" || t.text == "-") {
+		p.advance()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{baseNode{t.line}, t.text, x}, nil
+	}
+	return p.postfix()
+}
+
+func (p *parser) postfix() (node, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokPunct, "("):
+			line := p.line()
+			p.advance()
+			var args []node
+			for !p.at(tokPunct, ")") {
+				a, err := p.expression()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			x = &callExpr{baseNode{line}, x, args}
+		case p.at(tokPunct, "."):
+			line := p.line()
+			p.advance()
+			name := p.cur()
+			if name.kind != tokIdent && name.kind != tokKeyword {
+				return nil, p.errf("expected property name, found %q", name.String())
+			}
+			p.advance()
+			x = &memberExpr{baseNode{line}, x, name.text}
+		case p.at(tokPunct, "["):
+			line := p.line()
+			p.advance()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			x = &indexExpr{baseNode{line}, x, idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primary() (node, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		return &numLit{baseNode{t.line}, t.num}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &strLit{baseNode{t.line}, t.text}, nil
+	case t.kind == tokKeyword && t.text == "true":
+		p.advance()
+		return &boolLit{baseNode{t.line}, true}, nil
+	case t.kind == tokKeyword && t.text == "false":
+		p.advance()
+		return &boolLit{baseNode{t.line}, false}, nil
+	case t.kind == tokKeyword && t.text == "null":
+		p.advance()
+		return &nullLit{baseNode{t.line}}, nil
+	case t.kind == tokKeyword && t.text == "function":
+		p.advance()
+		if _, err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		var params []string
+		for !p.at(tokPunct, ")") {
+			name, err := p.expect(tokIdent, "")
+			if err != nil {
+				return nil, err
+			}
+			params = append(params, name.text)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.block()
+		if err != nil {
+			return nil, err
+		}
+		return &funcLit{baseNode{t.line}, params, body}, nil
+	case t.kind == tokIdent:
+		p.advance()
+		return &ident{baseNode{t.line}, t.text}, nil
+	case t.kind == tokPunct && t.text == "(":
+		p.advance()
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.kind == tokPunct && t.text == "[":
+		p.advance()
+		var elems []node
+		for !p.at(tokPunct, "]") {
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		return &arrayLit{baseNode{t.line}, elems}, nil
+	case t.kind == tokPunct && t.text == "{":
+		p.advance()
+		ol := &objectLit{baseNode: baseNode{t.line}}
+		for !p.at(tokPunct, "}") {
+			key := p.cur()
+			if key.kind != tokIdent && key.kind != tokString && key.kind != tokKeyword {
+				return nil, p.errf("expected object key, found %q", key.String())
+			}
+			p.advance()
+			if _, err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			val, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			ol.keys = append(ol.keys, key.text)
+			ol.vals = append(ol.vals, val)
+			if !p.accept(tokPunct, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return ol, nil
+	default:
+		return nil, p.errf("unexpected token %q", t.String())
+	}
+}

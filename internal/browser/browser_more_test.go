@@ -1,0 +1,278 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/vclock"
+	"repro/internal/webtx"
+)
+
+// Additional edge-path coverage for the browser runtime.
+
+func TestOptionsAccessor(t *testing.T) {
+	opts := defaultOpts()
+	opts.MaxTabs = 3
+	b := New(webtx.NewInternet(), vclock.New(), opts)
+	if got := b.Options(); got.MaxTabs != 3 || !got.Stealth {
+		t.Fatalf("Options = %+v", got)
+	}
+}
+
+func TestOnBeforeUnloadBypassOnNavigation(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("lock.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		if req.URL.Path == "/away" {
+			return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body"), Title: "away"})
+		}
+		doc := &dom.Document{Root: dom.NewElement("body"),
+			Scripts: []dom.ScriptRef{{Code: `window.onbeforeunload(function() { return "stay!"; });`}}}
+		return webtx.DocumentPage(doc)
+	}))
+
+	// With bypass: navigation away succeeds and logs the bypass.
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://lock.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.navigate(tab, tab.URL.WithPath("/away"), "", CauseUserNavigate)
+	if tab.URL.Path != "/away" {
+		t.Fatalf("navigation blocked: %s", tab.URL.String())
+	}
+	saw := false
+	for _, e := range b.Events() {
+		if e.Kind == EvDialogBypass && e.Detail == "onbeforeunload" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("bypass not logged")
+	}
+
+	// Without bypass: the tab wedges on leaving.
+	opts := defaultOpts()
+	opts.BypassDialogs = false
+	b2 := New(internet, vclock.New(), opts)
+	tab2, err := b2.Visit("http://lock.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2.navigate(tab2, tab2.URL.WithPath("/away"), "", CauseUserNavigate)
+	if !tab2.Blocked() {
+		t.Fatal("tab not wedged by onbeforeunload without bypass")
+	}
+	if tab2.URL.Path == "/away" {
+		t.Fatal("navigation proceeded despite wedge")
+	}
+}
+
+func TestExternalScriptFailures(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		doc := &dom.Document{Root: dom.NewElement("body"), Scripts: []dom.ScriptRef{
+			{Src: "http://dead.example/x.js"}, // NXDOMAIN
+			{Src: "http://p.com/missing.js"},  // 404
+			{Src: "http://p.com/bad.js"},      // syntax error
+			{Src: "://broken"},                // unresolvable
+		}}
+		return webtx.DocumentPage(doc)
+	}))
+	// Re-register p.com with script endpoints via a wrapper host.
+	internet.Register("p.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		switch req.URL.Path {
+		case "/bad.js":
+			return webtx.Script(`let = broken;`)
+		case "/missing.js":
+			return webtx.NotFound()
+		default:
+			doc := &dom.Document{Root: dom.NewElement("body"), Scripts: []dom.ScriptRef{
+				{Src: "http://dead.example/x.js"},
+				{Src: "http://p.com/missing.js"},
+				{Src: "http://p.com/bad.js"},
+				{Src: "://broken"},
+				{Code: `let ok = 1;`},
+			}}
+			return webtx.DocumentPage(doc)
+		}
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://p.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Status != webtx.StatusOK {
+		t.Fatal("page load failed")
+	}
+	errs := 0
+	for _, e := range b.Events() {
+		if e.Kind == EvError {
+			errs++
+		}
+	}
+	if errs < 4 {
+		t.Fatalf("only %d errors logged for 4 failing scripts", errs)
+	}
+}
+
+func TestInlineScriptErrorLogged(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		doc := &dom.Document{Root: dom.NewElement("body"),
+			Scripts: []dom.ScriptRef{{Code: `undefinedCall();`}}}
+		return webtx.DocumentPage(doc)
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	if _, err := b.Visit("http://p.com/"); err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, e := range b.Events() {
+		if e.Kind == EvError && strings.Contains(e.Detail, "inline script") {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("inline script error not logged")
+	}
+}
+
+func TestJSNavigationAndDownloadErrorPaths(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		doc := &dom.Document{Root: dom.NewElement("body"), Scripts: []dom.ScriptRef{{Code: `
+			document.download("http://nowhere.example/file.bin");
+			document.download("/not-a-download");
+			location.assign("://bad");
+		`}}}
+		return webtx.DocumentPage(doc)
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://p.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Downloads) != 0 {
+		t.Fatal("phantom downloads recorded")
+	}
+	errs := 0
+	for _, e := range b.Events() {
+		if e.Kind == EvError {
+			errs++
+		}
+	}
+	if errs < 3 {
+		t.Fatalf("errors = %d, want >= 3", errs)
+	}
+}
+
+func TestPopupBadURLLogged(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		doc := &dom.Document{Root: dom.NewElement("body"),
+			Scripts: []dom.ScriptRef{{Code: `window.open("://nope");`}}}
+		return webtx.DocumentPage(doc)
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	if _, err := b.Visit("http://p.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Tabs()) != 1 {
+		t.Fatal("bad popup opened a tab")
+	}
+}
+
+func TestConfirmDialogBypassed(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		doc := &dom.Document{Root: dom.NewElement("body"),
+			Scripts: []dom.ScriptRef{{Code: `let ok = window.confirm("leave?");`}}}
+		return webtx.DocumentPage(doc)
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	if _, err := b.Visit("http://p.com/"); err != nil {
+		t.Fatal(err)
+	}
+	saw := false
+	for _, e := range b.Events() {
+		if e.Kind == EvDialogBypass && e.Detail == "confirm" {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("confirm bypass not logged")
+	}
+}
+
+func TestClickOnEmptyTabErrors(t *testing.T) {
+	b := New(webtx.NewInternet(), vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://nosuch.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ClickAt(tab, 1, 1); err == nil {
+		t.Fatal("click on empty tab succeeded")
+	}
+	if _, err := b.Screenshot(tab); err == nil {
+		t.Fatal("screenshot of empty tab succeeded")
+	}
+}
+
+func TestVisitBadURL(t *testing.T) {
+	b := New(webtx.NewInternet(), vclock.New(), defaultOpts())
+	if _, err := b.Visit("not a url"); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+}
+
+func TestOverlayIdempotent(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		root := dom.NewElement("body")
+		root.W, root.H = 100, 100
+		doc := &dom.Document{Root: root, Scripts: []dom.ScriptRef{{Code: `
+			document.addOverlay("ovl", 10);
+			document.addOverlay("ovl", 10);
+		`}}}
+		return webtx.DocumentPage(doc)
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://p.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	tab.Doc.Root.Walk(func(el *dom.Element) bool {
+		if el.ID() == "ovl" {
+			count++
+		}
+		return true
+	})
+	if count != 1 {
+		t.Fatalf("overlay count = %d", count)
+	}
+}
+
+func TestReferrerSuppression(t *testing.T) {
+	internet := webtx.NewInternet()
+	var lastReferrer string
+	internet.Register("a.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		doc := &dom.Document{Root: dom.NewElement("body"),
+			Scripts: []dom.ScriptRef{{Code: `window.open("http://b.com/t");`}}}
+		resp := webtx.DocumentPage(doc)
+		resp.ReferrerPolicy = "no-referrer"
+		return resp
+	}))
+	internet.Register("b.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		lastReferrer = req.Referrer
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body")})
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	if _, err := b.Visit("http://a.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if lastReferrer != "" {
+		t.Fatalf("referrer leaked: %q", lastReferrer)
+	}
+}

@@ -1,0 +1,533 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/adnet"
+	"repro/internal/dom"
+	"repro/internal/rng"
+	"repro/internal/secamp"
+	"repro/internal/urlx"
+	"repro/internal/vclock"
+	"repro/internal/webtx"
+)
+
+// testWorld builds a minimal publisher + ad network + campaign triangle.
+type testWorld struct {
+	internet *webtx.Internet
+	clock    *vclock.Clock
+	net      *adnet.Network
+	camp     *secamp.Campaign
+	pubHost  string
+}
+
+func newTestWorld(t *testing.T, spec adnet.Spec) *testWorld {
+	t.Helper()
+	src := rng.New(1234)
+	w := &testWorld{internet: webtx.NewInternet(), clock: vclock.New(), pubHost: "pub-site.com"}
+	w.net = adnet.New(spec, src)
+	w.net.Install(w.internet)
+	w.camp = secamp.New("camp-A", secamp.FakeSoftware, 0,
+		secamp.Config{RotationPeriod: time.Hour, Slots: 1, TTLFactor: 3, TDSCount: 1},
+		w.clock, src, nil)
+	w.camp.Install(w.internet)
+	w.net.AddCampaign(w.camp)
+	adv := secamp.NewAdvertiser("adv-A", src)
+	adv.Install(w.internet)
+	w.net.AddAdvertiser(adv)
+
+	// Publisher page with a banner image and the network's snippet.
+	snippet := w.net.SnippetCode(adnet.ZoneFor(w.pubHost))
+	w.internet.Register(w.pubHost, webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		root := dom.NewElement("body")
+		root.W, root.H = 1024, 768
+		root.Style.Background = 0xf0f0f0
+		banner := dom.NewElement("img").SetAttr("id", "banner")
+		banner.X, banner.Y, banner.W, banner.H = 100, 100, 728, 90
+		banner.Style.Background = 0x88aa88
+		root.Append(banner)
+		doc := &dom.Document{URL: "http://" + w.pubHost + "/", Title: "pub", Root: root,
+			Scripts: []dom.ScriptRef{{Code: snippet}}}
+		return webtx.DocumentPage(doc)
+	}))
+	return w
+}
+
+func defaultOpts() Options {
+	return Options{
+		UserAgent: webtx.UAChromeMac, ClientIP: webtx.IPResidential,
+		Stealth: true, BypassDialogs: true,
+	}
+}
+
+func TestVisitLoadsDocument(t *testing.T) {
+	w := newTestWorld(t, adnet.SeedSpecs()[2]) // PopCash
+	b := New(w.internet, w.clock, defaultOpts())
+	tab, err := b.Visit("http://pub-site.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Status != webtx.StatusOK || tab.Doc == nil {
+		t.Fatalf("tab = %+v", tab)
+	}
+	// Snippet executed: overlay injected, script fetch logged.
+	foundFetch := false
+	for _, e := range b.Events() {
+		if e.Kind == EvScriptFetch && strings.Contains(e.To, "/serve.js") {
+			foundFetch = true
+		}
+	}
+	if !foundFetch {
+		t.Fatal("ad script fetch not logged")
+	}
+	overlayFound := false
+	tab.Doc.Root.Walk(func(el *dom.Element) bool {
+		if el.Style.Transparent && el.Area() > 0 {
+			overlayFound = true
+		}
+		return true
+	})
+	if !overlayFound {
+		t.Fatal("transparent overlay not injected")
+	}
+}
+
+func TestClickOpensPopupThroughAdChain(t *testing.T) {
+	w := newTestWorld(t, adnet.SeedSpecs()[2]) // PopCash, no webdriver check
+	b := New(w.internet, w.clock, defaultOpts())
+	tab, err := b.Visit("http://pub-site.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Click anywhere: the overlay handler fires.
+	res, err := b.ClickAt(tab, 500, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OpenedTabs) != 1 {
+		t.Fatalf("opened %d tabs", len(res.OpenedTabs))
+	}
+	popup := res.OpenedTabs[0]
+	if popup.Status != webtx.StatusOK || popup.Doc == nil {
+		t.Fatalf("popup = status %d", popup.Status)
+	}
+	// The popup went through the click-tracker redirect; its final URL is
+	// a third-party page (advertiser or SE attack).
+	if popup.URL.Host == w.pubHost {
+		t.Fatal("popup stayed on publisher")
+	}
+	// The redirect hop through the click domain must be in the log.
+	sawClickHop := false
+	for _, e := range b.Events() {
+		if e.Kind == EvNavigation && e.Cause == CauseRedirect && strings.Contains(e.From, "-c/go") {
+			sawClickHop = true
+		}
+	}
+	if !sawClickHop {
+		t.Fatal("click-tracker redirect hop not logged")
+	}
+}
+
+func TestWebdriverCloaking(t *testing.T) {
+	spec := adnet.SeedSpecs()[3] // Propeller: checks webdriver
+	run := func(stealth bool) int {
+		w := newTestWorld(t, spec)
+		opts := defaultOpts()
+		opts.Stealth = stealth
+		opts.ClientIP = webtx.IPResidential
+		b := New(w.internet, w.clock, opts)
+		tab, err := b.Visit("http://pub-site.com/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := b.ClickAt(tab, 500, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(res.OpenedTabs)
+	}
+	if got := run(false); got != 0 {
+		t.Fatalf("unstealthy browser got %d popups from webdriver-checking network", got)
+	}
+	if got := run(true); got == 0 {
+		t.Fatal("stealthy browser got no ads")
+	}
+}
+
+func TestPageLockBypass(t *testing.T) {
+	// A tech-support page locks with alerts and onbeforeunload.
+	internet := webtx.NewInternet()
+	clock := vclock.New()
+	src := rng.New(5)
+	camp := secamp.New("ts", secamp.TechSupport, 0,
+		secamp.Config{RotationPeriod: time.Hour, Slots: 1, TTLFactor: 3, TDSCount: 1},
+		clock, src, nil)
+	camp.Install(internet)
+
+	// With bypass: page loads, screenshot works, navigation away works.
+	b := New(internet, clock, defaultOpts())
+	tab, err := b.Visit(camp.EntryURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Blocked() {
+		t.Fatal("tab wedged despite bypass")
+	}
+	if _, err := b.Screenshot(tab); err != nil {
+		t.Fatalf("screenshot: %v", err)
+	}
+	bypasses := 0
+	for _, e := range b.Events() {
+		if e.Kind == EvDialogBypass {
+			bypasses++
+		}
+	}
+	if bypasses < 3 { // three alert() calls in the lock loop
+		t.Fatalf("only %d dialog bypasses logged", bypasses)
+	}
+
+	// Without bypass: the tab wedges on the first alert.
+	opts := defaultOpts()
+	opts.BypassDialogs = false
+	b2 := New(internet, clock, opts)
+	tab2, err := b2.Visit(camp.EntryURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tab2.Blocked() {
+		t.Fatal("locking page did not wedge unbypassed tab")
+	}
+	if _, err := b2.Screenshot(tab2); err != ErrTabBlocked {
+		t.Fatalf("screenshot on wedged tab: %v", err)
+	}
+	if _, err := b2.ClickAt(tab2, 10, 10); err != ErrTabBlocked {
+		t.Fatalf("click on wedged tab: %v", err)
+	}
+}
+
+func TestDownloadFlow(t *testing.T) {
+	internet := webtx.NewInternet()
+	clock := vclock.New()
+	src := rng.New(6)
+	camp := secamp.New("fs", secamp.FakeSoftware, 0,
+		secamp.Config{RotationPeriod: time.Hour, Slots: 1, TTLFactor: 3, TDSCount: 1},
+		clock, src, nil)
+	camp.Install(internet)
+	b := New(internet, clock, defaultOpts())
+	tab, err := b.Visit(camp.EntryURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	install := tab.Doc.Root.Find("install")
+	if install == nil {
+		t.Fatal("no install button")
+	}
+	if _, err := b.ClickElement(tab, install); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Downloads) != 1 {
+		t.Fatalf("downloads = %d", len(tab.Downloads))
+	}
+	dl := tab.Downloads[0]
+	if dl.CampaignID != "fs" || dl.SHA256 == "" {
+		t.Fatalf("download = %+v", dl)
+	}
+	found := false
+	for _, e := range b.Events() {
+		if e.Kind == EvDownload && e.Download == dl {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("download not in event log")
+	}
+}
+
+func TestRedirectChainRecorded(t *testing.T) {
+	internet := webtx.NewInternet()
+	clock := vclock.New()
+	internet.Register("a.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		return webtx.RedirectTo("http://b.com/x")
+	}))
+	internet.Register("b.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		return webtx.RedirectTo("http://c.com/y")
+	}))
+	internet.Register("c.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		root := dom.NewElement("body")
+		return webtx.DocumentPage(&dom.Document{Root: root})
+	}))
+	b := New(internet, clock, defaultOpts())
+	tab, err := b.Visit("http://a.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.URL.Host != "c.com" {
+		t.Fatalf("final URL = %s", tab.URL.String())
+	}
+	var hops []string
+	for _, e := range b.Events() {
+		if e.Kind == EvNavigation && e.Cause == CauseRedirect {
+			hops = append(hops, e.From+" -> "+e.To)
+		}
+	}
+	if len(hops) != 2 {
+		t.Fatalf("hops = %v", hops)
+	}
+}
+
+func TestRedirectLoopBounded(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("loop.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		return webtx.RedirectTo("http://loop.com" + req.URL.Path + "x")
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://loop.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Status != 0 {
+		t.Fatalf("status = %d", tab.Status)
+	}
+	sawLimit := false
+	for _, e := range b.Events() {
+		if e.Kind == EvError && strings.Contains(e.Detail, "redirect limit") {
+			sawLimit = true
+		}
+	}
+	if !sawLimit {
+		t.Fatal("redirect limit not reported")
+	}
+}
+
+func TestNXDomainLogged(t *testing.T) {
+	b := New(webtx.NewInternet(), vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://nowhere.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Status != 0 {
+		t.Fatalf("status = %d", tab.Status)
+	}
+}
+
+func TestMetaRefreshFollowed(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("m.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		doc := &dom.Document{Root: dom.NewElement("body"),
+			MetaRefresh: &dom.MetaRefresh{DelaySeconds: 3, Target: "http://n.com/next"}}
+		return webtx.DocumentPage(doc)
+	}))
+	internet.Register("n.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body"), Title: "target"})
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://m.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.URL.Host != "n.com" {
+		t.Fatalf("meta refresh not followed: %s", tab.URL.String())
+	}
+	saw := false
+	for _, e := range b.Events() {
+		if e.Kind == EvNavigation && e.Cause == CauseMetaRefresh {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("meta refresh cause not logged")
+	}
+}
+
+func TestJSNavigationCauses(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("js.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		if req.URL.Path == "/" {
+			doc := &dom.Document{Root: dom.NewElement("body"),
+				Scripts: []dom.ScriptRef{{Code: `history.pushState("/deep");`}}}
+			return webtx.DocumentPage(doc)
+		}
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body"), Title: "deep"})
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://js.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.URL.Path != "/deep" {
+		t.Fatalf("pushState not applied: %s", tab.URL.String())
+	}
+	saw := false
+	for _, e := range b.Events() {
+		if e.Kind == EvNavigation && e.Cause == CausePushState {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("pushState cause not logged")
+	}
+}
+
+func TestSetTimeoutRuns(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("t.com", webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		if req.URL.Path == "/" {
+			doc := &dom.Document{Root: dom.NewElement("body"),
+				Scripts: []dom.ScriptRef{{Code: `window.setTimeout(function() { location.assign("/later"); }, 500);`}}}
+			return webtx.DocumentPage(doc)
+		}
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body")})
+	}))
+	b := New(internet, vclock.New(), defaultOpts())
+	tab, err := b.Visit("http://t.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.URL.Path != "/later" {
+		t.Fatalf("timeout navigation missing: %s", tab.URL.String())
+	}
+}
+
+func TestPopupLimitEnforced(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("spam.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		code := `
+			let i = 0;
+			while (i < 50) { window.open("http://spam.com/p"); i = i + 1; }
+		`
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body"),
+			Scripts: []dom.ScriptRef{{Code: code}}})
+	}))
+	opts := defaultOpts()
+	opts.MaxTabs = 4
+	b := New(internet, vclock.New(), opts)
+	if _, err := b.Visit("http://spam.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Tabs()) > 4 {
+		t.Fatalf("tabs = %d", len(b.Tabs()))
+	}
+}
+
+func TestAdblockFilterBlocksScript(t *testing.T) {
+	w := newTestWorld(t, adnet.SeedSpecs()[2])
+	opts := defaultOpts()
+	opts.BlockFilter = func(u urlx.URL) bool {
+		return strings.Contains(u.Path, "/serve.js")
+	}
+	b := New(w.internet, w.clock, opts)
+	tab, err := b.Visit("http://pub-site.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.ClickAt(tab, 500, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OpenedTabs) != 0 {
+		t.Fatal("blocked network still delivered ads")
+	}
+	sawBlock := false
+	for _, e := range b.Events() {
+		if e.Kind == EvBlocked {
+			sawBlock = true
+		}
+	}
+	if !sawBlock {
+		t.Fatal("block event missing")
+	}
+}
+
+func TestScreenshotDeviceEmulation(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		// Size-less document: the device viewport applies.
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body")})
+	}))
+	internet.Register("q.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		root := dom.NewElement("body")
+		root.W, root.H = 1024, 768
+		return webtx.DocumentPage(&dom.Document{Root: root})
+	}))
+	opts := defaultOpts()
+	opts.UserAgent = webtx.UAChromeAndroid
+	opts.DeviceEmulation = true
+	b := New(internet, vclock.New(), opts)
+	tab, err := b.Visit("http://p.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := b.Screenshot(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.W != webtx.UAChromeAndroid.ScreenW || img.H != webtx.UAChromeAndroid.ScreenH {
+		t.Fatalf("size-less screenshot = %dx%d", img.W, img.H)
+	}
+	// Sized documents are captured whole and scaled, independent of the
+	// device profile: perceptual clustering aligns captures across UAs.
+	tab2, err := b.Visit("http://q.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, err := b.Screenshot(tab2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img2.W != 1024 || img2.H != 768 {
+		t.Fatalf("sized screenshot = %dx%d", img2.W, img2.H)
+	}
+}
+
+func TestAPICallsTraced(t *testing.T) {
+	w := newTestWorld(t, adnet.SeedSpecs()[2])
+	b := New(w.internet, w.clock, defaultOpts())
+	tab, err := b.Visit("http://pub-site.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ClickAt(tab, 500, 400); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, e := range b.Events() {
+		if e.Kind == EvAPICall {
+			names[e.API.Name] = true
+		}
+	}
+	for _, want := range []string{"dec", "document.loadScript", "document.addOverlay", "window.addEventListener", "window.open"} {
+		if !names[want] {
+			t.Errorf("API call %q not traced (have %v)", want, names)
+		}
+	}
+}
+
+func TestFetchCostAdvancesClock(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("p.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body")})
+	}))
+	clock := vclock.New()
+	opts := defaultOpts()
+	opts.FetchCost = 2 * time.Second
+	b := New(internet, clock, opts)
+	if _, err := b.Visit("http://p.com/"); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Since(vclock.Epoch) < 2*time.Second {
+		t.Fatal("fetch cost not applied")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for k := EvNavigation; k <= EvError; k++ {
+		if strings.HasPrefix(k.String(), "EventKind(") {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

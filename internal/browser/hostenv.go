@@ -1,0 +1,281 @@
+package browser
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/adscript"
+	"repro/internal/dom"
+	"repro/internal/urlx"
+)
+
+// installHostEnv builds the page's script environment: window, document,
+// navigator, history, notification and screen objects whose methods are
+// host functions traced by the interpreter. The shape mirrors the browser
+// APIs the paper lists as ad-delivery mechanisms (Section 3.4): window
+// .open, location navigations, history.pushState/replaceState,
+// addEventListener, setTimeout, plus the page-locking APIs of Section 3.2.
+func (b *Browser) installHostEnv(tab *Tab) {
+	in := tab.interp
+	g := in.Globals
+
+	hf := func(name string, fn func(args []adscript.Value) (adscript.Value, error)) *adscript.HostFunc {
+		return &adscript.HostFunc{Name: name, Fn: fn}
+	}
+	str := func(args []adscript.Value, i int) (string, bool) {
+		if i >= len(args) {
+			return "", false
+		}
+		s, ok := args[i].(string)
+		return s, ok
+	}
+
+	// --- window ---
+	win := adscript.NewObject()
+	win.Set("open", hf("window.open", func(args []adscript.Value) (adscript.Value, error) {
+		target, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want url string")
+		}
+		b.openPopup(tab, target)
+		return nil, nil
+	}))
+	win.Set("addEventListener", hf("window.addEventListener", func(args []adscript.Value) (adscript.Value, error) {
+		ev, ok := str(args, 0)
+		if !ok || len(args) < 2 {
+			return nil, errors.New("want (event, fn)")
+		}
+		tab.listeners["window"] = append(tab.listeners["window"],
+			listenerEntry{event: ev, fn: args[1], scriptURL: in.ScriptURL})
+		return nil, nil
+	}))
+	win.Set("setTimeout", hf("window.setTimeout", func(args []adscript.Value) (adscript.Value, error) {
+		if len(args) < 1 {
+			return nil, errors.New("want (fn, ms)")
+		}
+		delay := time.Duration(0)
+		if len(args) > 1 {
+			if ms, ok := args[1].(float64); ok {
+				delay = time.Duration(ms) * time.Millisecond
+			}
+		}
+		tab.timeouts = append(tab.timeouts, timeoutEntry{fn: args[0], delay: delay, scriptURL: in.ScriptURL})
+		return float64(len(tab.timeouts)), nil
+	}))
+	win.Set("alert", hf("window.alert", func(args []adscript.Value) (adscript.Value, error) {
+		b.handleDialog(tab, "alert")
+		return nil, nil
+	}))
+	win.Set("confirm", hf("window.confirm", func(args []adscript.Value) (adscript.Value, error) {
+		b.handleDialog(tab, "confirm")
+		return true, nil
+	}))
+	win.Set("onbeforeunload", hf("window.onbeforeunload", func(args []adscript.Value) (adscript.Value, error) {
+		if len(args) < 1 {
+			return nil, errors.New("want handler fn")
+		}
+		tab.beforeUnload = append(tab.beforeUnload, args[0])
+		return nil, nil
+	}))
+
+	location := adscript.NewObject()
+	location.Set("href", tab.URL.String())
+	location.Set("assign", hf("location.assign", func(args []adscript.Value) (adscript.Value, error) {
+		target, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want url string")
+		}
+		b.jsNavigate(tab, target, CauseLocation)
+		return nil, nil
+	}))
+	location.Set("replace", hf("location.replace", func(args []adscript.Value) (adscript.Value, error) {
+		target, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want url string")
+		}
+		b.jsNavigate(tab, target, CauseLocation)
+		return nil, nil
+	}))
+	win.Set("location", location)
+	g.Define("window", win)
+	g.Define("location", location)
+
+	// --- document ---
+	docObj := adscript.NewObject()
+	docObj.Set("referrer", "")
+	docObj.Set("title", tab.Doc.Title)
+	docObj.Set("loadScript", hf("document.loadScript", func(args []adscript.Value) (adscript.Value, error) {
+		src, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want url string")
+		}
+		b.runExternalScript(tab, tab.URL, src)
+		return nil, nil
+	}))
+	docObj.Set("addOverlay", hf("document.addOverlay", func(args []adscript.Value) (adscript.Value, error) {
+		id, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want (id, zindex)")
+		}
+		z := 99999
+		if len(args) > 1 {
+			if zf, ok := args[1].(float64); ok {
+				z = int(zf)
+			}
+		}
+		if tab.Doc.Root.Find(id) == nil {
+			ovl := dom.NewElement("div").SetAttr("id", id)
+			ovl.W, ovl.H = tab.Doc.Root.W, tab.Doc.Root.H
+			if ovl.W == 0 {
+				ovl.W, ovl.H = 1024, 768
+			}
+			ovl.Style.Transparent = true
+			ovl.Style.ZIndex = z
+			tab.Doc.Root.Append(ovl)
+		}
+		return id, nil
+	}))
+	docObj.Set("listen", hf("document.listen", func(args []adscript.Value) (adscript.Value, error) {
+		id, ok1 := str(args, 0)
+		ev, ok2 := str(args, 1)
+		if !ok1 || !ok2 || len(args) < 3 {
+			return nil, errors.New("want (id, event, fn)")
+		}
+		tab.listeners[id] = append(tab.listeners[id],
+			listenerEntry{event: ev, fn: args[2], scriptURL: in.ScriptURL})
+		return nil, nil
+	}))
+	docObj.Set("download", hf("document.download", func(args []adscript.Value) (adscript.Value, error) {
+		target, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want url string")
+		}
+		b.jsDownload(tab, target)
+		return nil, nil
+	}))
+	g.Define("document", docObj)
+
+	// --- navigator ---
+	nav := adscript.NewObject()
+	nav.Set("userAgent", b.opts.UserAgent.Header)
+	// DevTools automation exposes webdriver=true; the paper's patched
+	// build removes the flag. Stealth reproduces the patch.
+	nav.Set("webdriver", !b.opts.Stealth)
+	g.Define("navigator", nav)
+
+	// --- history ---
+	hist := adscript.NewObject()
+	hist.Set("pushState", hf("history.pushState", func(args []adscript.Value) (adscript.Value, error) {
+		target, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want url string")
+		}
+		b.jsNavigate(tab, target, CausePushState)
+		return nil, nil
+	}))
+	hist.Set("replaceState", hf("history.replaceState", func(args []adscript.Value) (adscript.Value, error) {
+		target, ok := str(args, 0)
+		if !ok {
+			return nil, errors.New("want url string")
+		}
+		b.jsNavigate(tab, target, CausePushState)
+		return nil, nil
+	}))
+	g.Define("history", hist)
+
+	// --- notification (the Chrome push-notification lure surface) ---
+	notif := adscript.NewObject()
+	notif.Set("request", hf("notification.request", func(args []adscript.Value) (adscript.Value, error) {
+		// The crawler records the permission request but never grants it.
+		return "default", nil
+	}))
+	g.Define("notification", notif)
+
+	// --- screen (device emulation) ---
+	scr := adscript.NewObject()
+	if b.opts.DeviceEmulation {
+		scr.Set("width", float64(b.opts.UserAgent.ScreenW))
+		scr.Set("height", float64(b.opts.UserAgent.ScreenH))
+	} else {
+		scr.Set("width", float64(1024))
+		scr.Set("height", float64(768))
+	}
+	g.Define("screen", scr)
+}
+
+// handleDialog implements the modal-dialog instrumentation: bypassed
+// dialogs are logged and dismissed; without the bypass the tab wedges
+// (repeated alerts are the paper's page-locking tactic).
+func (b *Browser) handleDialog(tab *Tab, kind string) {
+	if b.opts.BypassDialogs {
+		b.logEvent(Event{Kind: EvDialogBypass, Tab: tab.ID, From: tab.URL.String(), Detail: kind})
+		return
+	}
+	tab.blocked = true
+	b.logEvent(Event{Kind: EvError, Tab: tab.ID, From: tab.URL.String(), Detail: "tab wedged by " + kind})
+}
+
+// openPopup opens target in a new tab (window.open), honouring MaxTabs.
+func (b *Browser) openPopup(opener *Tab, target string) {
+	u, err := opener.URL.Resolve(target)
+	if err != nil {
+		b.logEvent(Event{Kind: EvError, Tab: opener.ID, To: target, Detail: "bad popup url: " + err.Error()})
+		return
+	}
+	if len(b.tabs) >= b.opts.MaxTabs {
+		b.logEvent(Event{Kind: EvError, Tab: opener.ID, To: u.String(), Detail: "popup suppressed: tab limit"})
+		return
+	}
+	// The popup is attributed to the script whose handler opened it (not
+	// merely the page), so backtracking graphs thread through the right
+	// ad network even on pages stacking several networks' scripts.
+	from := opener.URL.String()
+	if opener.interp != nil && opener.interp.ScriptURL != "" {
+		from = opener.interp.ScriptURL
+	}
+	b.logEvent(Event{Kind: EvPopup, Tab: opener.ID, From: from, To: u.String(), Cause: CauseWindowOpen})
+	tab := b.newTab()
+	ref := opener.URL.String()
+	if opener.suppressRef {
+		ref = ""
+	}
+	b.navigateWithReferrer(tab, u, ref, CauseWindowOpen)
+}
+
+func (b *Browser) navigateWithReferrer(tab *Tab, u urlx.URL, referrer, cause string) {
+	b.navigate(tab, u, referrer, cause)
+}
+
+// jsNavigate handles location.assign / history.pushState navigations.
+func (b *Browser) jsNavigate(tab *Tab, target, cause string) {
+	u, err := tab.URL.Resolve(target)
+	if err != nil {
+		b.logEvent(Event{Kind: EvError, Tab: tab.ID, To: target, Detail: "bad js navigation: " + err.Error()})
+		return
+	}
+	ref := tab.URL.String()
+	if tab.suppressRef {
+		ref = ""
+	}
+	b.navigate(tab, u, ref, cause)
+}
+
+// jsDownload fetches a download URL triggered from script.
+func (b *Browser) jsDownload(tab *Tab, target string) {
+	u, err := tab.URL.Resolve(target)
+	if err != nil {
+		b.logEvent(Event{Kind: EvError, Tab: tab.ID, To: target, Detail: "bad download url: " + err.Error()})
+		return
+	}
+	resp, err := b.fetch(u, tab.URL.String())
+	if err != nil {
+		b.logEvent(Event{Kind: EvError, Tab: tab.ID, To: u.String(), Detail: err.Error()})
+		return
+	}
+	if resp.Download == nil {
+		b.logEvent(Event{Kind: EvError, Tab: tab.ID, To: u.String(), Detail: "no file at download url"})
+		return
+	}
+	tab.Downloads = append(tab.Downloads, resp.Download)
+	b.logEvent(Event{Kind: EvDownload, Tab: tab.ID, From: tab.URL.String(), To: u.String(), Download: resp.Download})
+}

@@ -1,0 +1,222 @@
+// Package btgraph rebuilds the ad-loading process from browser
+// instrumentation logs as a backtracking graph of URLs (paper Sections
+// 3.4 and 3.5, Figure 3): for a given SE-attack landing page it answers
+// "which URLs were involved in publishing the ad and reaching this
+// page?", even across obfuscated, referrer-suppressing JS redirections —
+// because the edges come from in-browser events (redirect hops, script
+// fetches, window.open and JS navigations), not from HTTP headers.
+//
+// The graph's backtracking walk also yields the candidate milkable URLs
+// of Section 3.5: walking upstream from the attack page, the first URLs
+// not hosted on the attack page's domain.
+package btgraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/browser"
+	"repro/internal/urlx"
+)
+
+// Edge is one directed load relationship: From participated in causing
+// To to load.
+type Edge struct {
+	From  string
+	To    string
+	Cause string
+}
+
+// Graph is a URL-node multigraph with reverse adjacency for backtracking.
+type Graph struct {
+	nodes map[string]bool
+	fwd   map[string][]Edge
+	rev   map[string][]Edge
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{nodes: map[string]bool{}, fwd: map[string][]Edge{}, rev: map[string][]Edge{}}
+}
+
+// AddEdge inserts an edge, creating nodes as needed. Self-loops and
+// duplicate edges are dropped.
+func (g *Graph) AddEdge(from, to, cause string) {
+	if from == "" || to == "" || from == to {
+		return
+	}
+	for _, e := range g.fwd[from] {
+		if e.To == to && e.Cause == cause {
+			return
+		}
+	}
+	e := Edge{From: from, To: to, Cause: cause}
+	g.nodes[from] = true
+	g.nodes[to] = true
+	g.fwd[from] = append(g.fwd[from], e)
+	g.rev[to] = append(g.rev[to], e)
+}
+
+// Nodes returns all URLs, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the graph contains the URL.
+func (g *Graph) Has(url string) bool { return g.nodes[url] }
+
+// Incoming returns the edges pointing at url.
+func (g *Graph) Incoming(url string) []Edge { return g.rev[url] }
+
+// Outgoing returns the edges leaving url.
+func (g *Graph) Outgoing(url string) []Edge { return g.fwd[url] }
+
+// FromEvents builds the graph for one browsing session. The edge set
+// mirrors the paper's reconstruction: HTTP redirect hops, script fetches,
+// window.open popups, JS navigations (location / pushState), meta
+// refreshes, and initial navigations chained from the previous page.
+func FromEvents(events []browser.Event) *Graph {
+	g := NewGraph()
+	for _, e := range events {
+		switch e.Kind {
+		case browser.EvNavigation:
+			if e.From != "" && e.To != "" {
+				g.AddEdge(e.From, e.To, e.Cause)
+			}
+		case browser.EvScriptFetch:
+			g.AddEdge(e.From, e.To, browser.CauseScriptSrc)
+		case browser.EvPopup:
+			g.AddEdge(e.From, e.To, browser.CauseWindowOpen)
+		case browser.EvDownload:
+			if e.From != "" && e.To != "" {
+				g.AddEdge(e.From, e.To, "download")
+			}
+		}
+	}
+	return g
+}
+
+// BacktrackPath walks upstream from the target URL to a root (a node
+// with no incoming edges), preferring the earliest-added incoming edge —
+// reproducing Figure 3's publisher → ad network → TDS → attack chain in
+// reverse. Returns the path root-first.
+func (g *Graph) BacktrackPath(target string) ([]string, error) {
+	if !g.nodes[target] {
+		return nil, fmt.Errorf("btgraph: unknown URL %s", target)
+	}
+	path := []string{target}
+	seen := map[string]bool{target: true}
+	cur := target
+	for {
+		in := g.rev[cur]
+		if len(in) == 0 {
+			break
+		}
+		next := ""
+		for _, e := range in {
+			if !seen[e.From] {
+				next = e.From
+				break
+			}
+		}
+		if next == "" {
+			break
+		}
+		seen[next] = true
+		path = append(path, next)
+		cur = next
+	}
+	// Reverse to root-first order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// MilkingCandidates walks upstream from the attack page URL and returns
+// the first URLs encountered that are NOT hosted on the attack page's
+// e2LD — the paper's candidate milkable URLs (Section 3.5). Candidates
+// are returned in upstream order (nearest first) without duplicates.
+func (g *Graph) MilkingCandidates(attackURL string) ([]string, error) {
+	u, err := urlx.Parse(attackURL)
+	if err != nil {
+		return nil, fmt.Errorf("btgraph: %w", err)
+	}
+	if !g.nodes[attackURL] {
+		return nil, fmt.Errorf("btgraph: unknown URL %s", attackURL)
+	}
+	attackE2LD := urlx.E2LD(u.Host)
+
+	var out []string
+	seenURL := map[string]bool{attackURL: true}
+	added := map[string]bool{}
+	frontier := []string{attackURL}
+	for len(frontier) > 0 {
+		var next []string
+		for _, cur := range frontier {
+			for _, e := range g.rev[cur] {
+				if seenURL[e.From] {
+					continue
+				}
+				seenURL[e.From] = true
+				fu, err := urlx.Parse(e.From)
+				if err != nil {
+					continue
+				}
+				if urlx.E2LD(fu.Host) != attackE2LD {
+					// First off-domain hop: a candidate; do not walk past it
+					// for this branch (the paper stops at the first
+					// off-domain node).
+					if !added[e.From] {
+						added[e.From] = true
+						out = append(out, e.From)
+					}
+					continue
+				}
+				next = append(next, e.From)
+			}
+		}
+		frontier = next
+	}
+	return out, nil
+}
+
+// Render prints the graph rooted at target as an indented upstream tree
+// (a textual Figure 3).
+func (g *Graph) Render(target string) string {
+	var b strings.Builder
+	path, err := g.BacktrackPath(target)
+	if err != nil {
+		return "(unknown URL)"
+	}
+	for i, url := range path {
+		indent := strings.Repeat("  ", i)
+		arrow := ""
+		if i > 0 {
+			// Find the cause of the edge path[i-1] -> path[i].
+			for _, e := range g.fwd[path[i-1]] {
+				if e.To == url {
+					arrow = " [" + e.Cause + "]"
+					break
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%s%s%s\n", indent, url, arrow)
+	}
+	return b.String()
+}
+
+// EdgeCount returns the total number of edges.
+func (g *Graph) EdgeCount() int {
+	n := 0
+	for _, es := range g.fwd {
+		n += len(es)
+	}
+	return n
+}

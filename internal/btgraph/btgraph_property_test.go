@@ -1,0 +1,110 @@
+package btgraph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/urlx"
+)
+
+// randomGraph builds an arbitrary URL multigraph.
+func randomGraph(seed int64) (*Graph, []string) {
+	src := rng.New(seed)
+	n := src.IntRange(2, 20)
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://%s%d.com/p%d", src.Token(4), i, src.Intn(5))
+	}
+	g := NewGraph()
+	edges := src.IntRange(1, 40)
+	causes := []string{"http-redirect", "window.open", "script-src", "meta-refresh"}
+	for i := 0; i < edges; i++ {
+		from := urls[src.Intn(n)]
+		to := urls[src.Intn(n)]
+		g.AddEdge(from, to, rng.Pick(src, causes))
+	}
+	return g, urls
+}
+
+// Property: BacktrackPath terminates, ends at the target, has no
+// duplicate nodes, and every consecutive pair is a real edge.
+func TestBacktrackPathProperties(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		g, urls := randomGraph(seed)
+		target := urls[int(pick)%len(urls)]
+		if !g.Has(target) {
+			_, err := g.BacktrackPath(target)
+			return err != nil
+		}
+		path, err := g.BacktrackPath(target)
+		if err != nil || len(path) == 0 {
+			return false
+		}
+		if path[len(path)-1] != target {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, u := range path {
+			if seen[u] {
+				return false
+			}
+			seen[u] = true
+		}
+		for i := 1; i < len(path); i++ {
+			ok := false
+			for _, e := range g.Outgoing(path[i-1]) {
+				if e.To == path[i] {
+					ok = true
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every milking candidate is off the target's e2LD and
+// reachable upstream of it.
+func TestMilkingCandidatesProperties(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		g, urls := randomGraph(seed)
+		target := urls[int(pick)%len(urls)]
+		if !g.Has(target) {
+			return true
+		}
+		cands, err := g.MilkingCandidates(target)
+		if err != nil {
+			return false
+		}
+		tu, err := urlx.Parse(target)
+		if err != nil {
+			return false
+		}
+		te := urlx.E2LD(tu.Host)
+		seen := map[string]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				return false // duplicates
+			}
+			seen[c] = true
+			cu, err := urlx.Parse(c)
+			if err != nil {
+				return false
+			}
+			if urlx.E2LD(cu.Host) == te {
+				return false // candidate on the attack domain
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,177 @@
+package btgraph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/browser"
+)
+
+// figure3Events reproduces the paper's Figure 3 chain:
+// publisher → adnet JS → click URL → TDS → attack page.
+func figure3Events() []browser.Event {
+	pub := "http://verbeinlaliga.com/"
+	js := "http://nsvf17p9.com/atg/v3/serve.js?zid=7"
+	click := "http://nsvf17p9.com/atg-c/go?z=7&n=0"
+	tds := "http://findglo210.info/track/abc"
+	attack := "http://live6nmld10.club/es7/index.html?v=3"
+	return []browser.Event{
+		{Kind: browser.EvNavigation, From: "", To: pub, Cause: browser.CauseInitial},
+		{Kind: browser.EvScriptFetch, From: pub, To: js},
+		{Kind: browser.EvPopup, From: pub, To: click, Cause: browser.CauseWindowOpen},
+		{Kind: browser.EvNavigation, From: click, To: tds, Cause: browser.CauseRedirect},
+		{Kind: browser.EvNavigation, From: tds, To: attack, Cause: browser.CauseRedirect},
+	}
+}
+
+const attackURL = "http://live6nmld10.club/es7/index.html?v=3"
+
+func TestFromEventsBuildsChain(t *testing.T) {
+	g := FromEvents(figure3Events())
+	if !g.Has(attackURL) {
+		t.Fatal("attack URL missing")
+	}
+	if g.EdgeCount() != 4 {
+		t.Fatalf("edges = %d", g.EdgeCount())
+	}
+	path, err := g.BacktrackPath(attackURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Linear chain: publisher -> click URL -> TDS -> attack (the script
+	// fetch is a branch off the publisher node, not on the path).
+	if len(path) != 4 {
+		t.Fatalf("path = %v", path)
+	}
+	if path[0] != "http://verbeinlaliga.com/" || path[len(path)-1] != attackURL {
+		t.Fatalf("path endpoints wrong: %v", path)
+	}
+	if !g.Has("http://nsvf17p9.com/atg/v3/serve.js?zid=7") {
+		t.Fatal("script node missing from graph")
+	}
+}
+
+func TestMilkingCandidates(t *testing.T) {
+	g := FromEvents(figure3Events())
+	cands, err := g.MilkingCandidates(attackURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The first off-domain upstream node is the TDS URL — the milkable
+	// candidate. The walk must NOT continue past it to the click URL.
+	if len(cands) != 1 || !strings.Contains(cands[0], "findglo210.info") {
+		t.Fatalf("candidates = %v", cands)
+	}
+}
+
+func TestMilkingCandidatesSameDomainHopsSkipped(t *testing.T) {
+	// attack page redirected internally first: /a -> /b on same domain.
+	g := NewGraph()
+	g.AddEdge("http://up.info/x", "http://atk.club/a", "http-redirect")
+	g.AddEdge("http://atk.club/a", "http://atk.club/b", "http-redirect")
+	cands, err := g.MilkingCandidates("http://atk.club/b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0] != "http://up.info/x" {
+		t.Fatalf("candidates = %v", cands)
+	}
+}
+
+func TestMilkingCandidatesSubdomainsCollapse(t *testing.T) {
+	// www.atk.club and cdn.atk.club share an e2LD: not candidates.
+	g := NewGraph()
+	g.AddEdge("http://tds.info/t", "http://cdn.atk.club/r", "http-redirect")
+	g.AddEdge("http://cdn.atk.club/r", "http://www.atk.club/land", "http-redirect")
+	cands, err := g.MilkingCandidates("http://www.atk.club/land")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 1 || cands[0] != "http://tds.info/t" {
+		t.Fatalf("candidates = %v", cands)
+	}
+}
+
+func TestMilkingCandidatesErrors(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.MilkingCandidates("http://unknown.com/"); err == nil {
+		t.Fatal("unknown URL accepted")
+	}
+	if _, err := g.MilkingCandidates(":::"); err == nil {
+		t.Fatal("bad URL accepted")
+	}
+}
+
+func TestBacktrackUnknown(t *testing.T) {
+	g := NewGraph()
+	if _, err := g.BacktrackPath("http://x.com/"); err == nil {
+		t.Fatal("unknown URL accepted")
+	}
+}
+
+func TestCycleTerminates(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("http://a.com/", "http://b.com/", "x")
+	g.AddEdge("http://b.com/", "http://a.com/", "x")
+	path, err := g.BacktrackPath("http://a.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 2 {
+		t.Fatalf("path = %v", path)
+	}
+}
+
+func TestSelfLoopAndDuplicateDropped(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge("http://a.com/", "http://a.com/", "x")
+	if g.EdgeCount() != 0 {
+		t.Fatal("self loop kept")
+	}
+	g.AddEdge("http://a.com/", "http://b.com/", "x")
+	g.AddEdge("http://a.com/", "http://b.com/", "x")
+	if g.EdgeCount() != 1 {
+		t.Fatalf("duplicate edge kept: %d", g.EdgeCount())
+	}
+	// Same pair with different cause is a distinct edge.
+	g.AddEdge("http://a.com/", "http://b.com/", "y")
+	if g.EdgeCount() != 2 {
+		t.Fatal("distinct-cause edge dropped")
+	}
+}
+
+func TestRenderShowsChainWithCauses(t *testing.T) {
+	g := FromEvents(figure3Events())
+	out := g.Render(attackURL)
+	for _, want := range []string{"verbeinlaliga.com", "findglo210.info", "live6nmld10.club", "[http-redirect]", "[window.open]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if g.Render("http://nope.com/") != "(unknown URL)" {
+		t.Fatal("unknown render wrong")
+	}
+}
+
+func TestIncomingOutgoing(t *testing.T) {
+	g := FromEvents(figure3Events())
+	if len(g.Incoming(attackURL)) != 1 {
+		t.Fatal("incoming wrong")
+	}
+	if len(g.Outgoing("http://verbeinlaliga.com/")) != 2 {
+		t.Fatalf("outgoing = %v", g.Outgoing("http://verbeinlaliga.com/"))
+	}
+	if len(g.Nodes()) != 5 {
+		t.Fatalf("nodes = %v", g.Nodes())
+	}
+}
+
+func TestDownloadEdge(t *testing.T) {
+	events := []browser.Event{
+		{Kind: browser.EvDownload, From: "http://atk.club/land", To: "http://atk.club/dl/f.bin"},
+	}
+	g := FromEvents(events)
+	if g.EdgeCount() != 1 {
+		t.Fatal("download edge missing")
+	}
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"repro/internal/phash"
+)
+
+// HashNeighbourIndex accelerates DBSCAN neighbour queries over perceptual
+// hashes. Screenshot corpora contain many exact-duplicate hashes (the same
+// SE template rendered on many domains), so the index groups points by
+// exact hash and answers neighbourhood queries with one distance
+// computation per distinct hash instead of per point.
+type HashNeighbourIndex struct {
+	hashes   []phash.Hash
+	distinct []phash.Hash
+	members  [][]int // members[d] = point indices with distinct hash d
+	ofPoint  []int   // ofPoint[i] = index into distinct for point i
+	maxBits  int     // eps expressed in raw bits
+}
+
+// NewHashNeighbourIndex builds an index for the given hashes and a
+// normalised eps (fraction of 128 bits).
+func NewHashNeighbourIndex(hashes []phash.Hash, eps float64) *HashNeighbourIndex {
+	idx := &HashNeighbourIndex{
+		hashes:  hashes,
+		ofPoint: make([]int, len(hashes)),
+		maxBits: int(eps * float64(phash.Bits)),
+	}
+	seen := map[phash.Hash]int{}
+	for i, h := range hashes {
+		d, ok := seen[h]
+		if !ok {
+			d = len(idx.distinct)
+			seen[h] = d
+			idx.distinct = append(idx.distinct, h)
+			idx.members = append(idx.members, nil)
+		}
+		idx.ofPoint[i] = d
+		idx.members[d] = append(idx.members[d], i)
+	}
+	return idx
+}
+
+// Neighbours returns all point indices within eps of point i, including i.
+func (idx *HashNeighbourIndex) Neighbours(i int) []int {
+	h := idx.distinct[idx.ofPoint[i]]
+	var out []int
+	for d, other := range idx.distinct {
+		if phash.Distance(h, other) <= idx.maxBits {
+			out = append(out, idx.members[d]...)
+		}
+	}
+	return out
+}
+
+// DistinctCount reports the number of distinct hashes in the corpus.
+func (idx *HashNeighbourIndex) DistinctCount() int { return len(idx.distinct) }
+
+// DBSCANHashes clusters perceptual hashes with the paper's metric
+// (normalised Hamming distance) using the duplicate-collapsing index.
+func DBSCANHashes(hashes []phash.Hash, params Params) (Result, error) {
+	idx := NewHashNeighbourIndex(hashes, params.Eps)
+	return DBSCANIndexed(len(hashes), idx.Neighbours, params)
+}

@@ -1,0 +1,322 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/btgraph"
+	"repro/internal/crawler"
+	"repro/internal/urlx"
+	"repro/internal/websearch"
+)
+
+// UnknownNetwork is the attribution label for ads matching no seed
+// pattern (Table 3's final row).
+const UnknownNetwork = "Unknown"
+
+// Attribution is the result of attributing one landing page back to an
+// ad network (Section 3.6).
+type Attribution struct {
+	Ref     LandingRef
+	URL     string // landing URL
+	Network string // seed network name or UnknownNetwork
+	// Chain is the backtracking URL path (root first).
+	Chain []string
+}
+
+// AttributeSessions links every landing page in the crawl to the ad
+// network that delivered it, by matching each URL of the reconstructed
+// ad-loading process against the seed invariant patterns.
+func AttributeSessions(sessions []*crawler.Session, patterns *urlx.PatternSet) []Attribution {
+	var out []Attribution
+	for si, s := range sessions {
+		if s == nil || len(s.Landings) == 0 {
+			continue
+		}
+		g := btgraph.FromEvents(s.Events)
+		for li, l := range s.Landings {
+			if l.URL.IsZero() {
+				continue
+			}
+			a := Attribution{
+				Ref:     LandingRef{Session: si, Landing: li},
+				URL:     l.URL.String(),
+				Network: UnknownNetwork,
+			}
+			if path, err := g.BacktrackPath(l.URL.String()); err == nil {
+				a.Chain = path
+				for _, raw := range path {
+					u, err := urlx.Parse(raw)
+					if err != nil {
+						continue
+					}
+					if owner := patterns.MatchURL(u); owner != "" {
+						a.Network = owner
+						break
+					}
+				}
+			}
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// NetworkRow is one Table 3 row.
+type NetworkRow struct {
+	Network       string
+	LandingPages  int
+	SEAttackPages int
+	SERate        float64 // percentage
+}
+
+// AggregateAttribution builds the Table 3 rows: landing pages and
+// SE-attack pages per network. isSE reports whether a landing belongs to
+// a discovered SE campaign (by its (hash, e2LD) observation).
+func AggregateAttribution(attrs []Attribution, isSE func(ref LandingRef) bool) []NetworkRow {
+	type agg struct{ landings, se int }
+	byNet := map[string]*agg{}
+	for _, a := range attrs {
+		g, ok := byNet[a.Network]
+		if !ok {
+			g = &agg{}
+			byNet[a.Network] = g
+		}
+		g.landings++
+		if isSE(a.Ref) {
+			g.se++
+		}
+	}
+	var out []NetworkRow
+	for net, g := range byNet {
+		row := NetworkRow{Network: net, LandingPages: g.landings, SEAttackPages: g.se}
+		if g.landings > 0 {
+			row.SERate = 100 * float64(g.se) / float64(g.landings)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LandingPages != out[j].LandingPages {
+			return out[i].LandingPages > out[j].LandingPages
+		}
+		return out[i].Network < out[j].Network
+	})
+	return out
+}
+
+// DiscoveredNetwork is a previously unknown ad network inferred from the
+// logs of Unknown-attributed SE attacks (Section 4.4).
+type DiscoveredNetwork struct {
+	// PathToken is the recurring first path segment of the network's
+	// serve/click URLs — its URL invariant.
+	PathToken string
+	// SnippetVar is the recurring snippet variable name found on the
+	// publishers that delivered the unknown ads — its source invariant.
+	SnippetVar string
+	// Support counts how many unknown attack chains exhibited the token.
+	Support int
+	// Patterns are ready-to-use attribution patterns.
+	Patterns []urlx.Pattern
+	// Publishers are the additional publisher hosts found by re-searching
+	// the snippet invariant.
+	Publishers []string
+}
+
+// DiscoverNewNetworks analyses Unknown-attributed attacks: it extracts
+// recurring URL path tokens from their ad-loading chains and recurring
+// snippet variables from the originating publisher pages, yielding new
+// seed networks. pageSource fetches a publisher page's source (the
+// search engine's copy suffices).
+func DiscoverNewNetworks(
+	attrs []Attribution,
+	sessions []*crawler.Session,
+	knownVars map[string]bool,
+	engine *websearch.Engine,
+	minSupport int,
+) []DiscoveredNetwork {
+	// 1. Recurring first-path-segment tokens across unknown chains.
+	tokenSupport := map[string]int{}
+	tokenPublishers := map[string]map[string]bool{}
+	for _, a := range attrs {
+		if a.Network != UnknownNetwork {
+			continue
+		}
+		pub := sessions[a.Ref.Session].Publisher
+		landingE2LD := ""
+		if lu, err := urlx.Parse(a.URL); err == nil {
+			landingE2LD = urlx.E2LD(lu.Host)
+		}
+		seen := map[string]bool{}
+		for _, raw := range a.Chain {
+			u, err := urlx.Parse(raw)
+			if err != nil || u.Host == pub {
+				continue
+			}
+			// The landing page's own paths are campaign artefacts, not
+			// ad-network invariants.
+			if landingE2LD != "" && urlx.E2LD(u.Host) == landingE2LD {
+				continue
+			}
+			tok := firstPathSegment(u.Path)
+			if tok == "" || seen[tok] {
+				continue
+			}
+			seen[tok] = true
+			tokenSupport[tok]++
+			if tokenPublishers[tok] == nil {
+				tokenPublishers[tok] = map[string]bool{}
+			}
+			tokenPublishers[tok][pub] = true
+		}
+	}
+	// Normalise click tokens ("xyz-c") onto their serve token ("xyz").
+	merged := map[string]int{}
+	mergedPubs := map[string]map[string]bool{}
+	for tok, n := range tokenSupport {
+		base := strings.TrimSuffix(tok, "-c")
+		merged[base] += n
+		if mergedPubs[base] == nil {
+			mergedPubs[base] = map[string]bool{}
+		}
+		for p := range tokenPublishers[tok] {
+			mergedPubs[base][p] = true
+		}
+	}
+
+	var tokens []string
+	for tok, n := range merged {
+		if n >= minSupport && !looksGeneric(tok) {
+			tokens = append(tokens, tok)
+		}
+	}
+	sort.Strings(tokens)
+
+	// 2. For each token, find the snippet variable shared by its
+	// publishers' page sources.
+	var out []DiscoveredNetwork
+	for _, tok := range tokens {
+		var pubs []string
+		for p := range mergedPubs[tok] {
+			pubs = append(pubs, p)
+		}
+		sort.Strings(pubs)
+		snippetVar := commonSnippetVar(engine, pubs, knownVars)
+		dn := DiscoveredNetwork{
+			PathToken:  tok,
+			SnippetVar: snippetVar,
+			Support:    merged[tok],
+			Patterns: []urlx.Pattern{
+				{Name: "discovered/" + tok + "/serve-url", Kind: urlx.KindURL, PathGlob: "/" + tok + "/*/serve.js"},
+				{Name: "discovered/" + tok + "/click-url", Kind: urlx.KindURL, PathPrefix: "/" + tok + "-c/"},
+			},
+		}
+		if snippetVar != "" {
+			dn.Patterns = append(dn.Patterns, urlx.Pattern{
+				Name: "discovered/" + tok + "/snippet-var", Kind: urlx.KindSource,
+				BodyToken: "let " + snippetVar + " =",
+			})
+			dn.Publishers = engine.Search("let " + snippetVar + " =")
+		}
+		out = append(out, dn)
+	}
+	return out
+}
+
+func firstPathSegment(path string) string {
+	path = strings.TrimPrefix(path, "/")
+	seg, _, _ := strings.Cut(path, "/")
+	return seg
+}
+
+// looksGeneric filters path tokens that cannot be network invariants
+// (landing paths, tracker paths shared with campaigns).
+func looksGeneric(tok string) bool {
+	switch {
+	case tok == "", len(tok) > 12:
+		return true
+	case strings.Contains(tok, "."): // file names
+		return true
+	case tok == "track", tok == "dl", tok == "signup":
+		return true
+	}
+	return false
+}
+
+// commonSnippetVar finds a "let <var> =" variable present on a majority
+// of the publishers and absent from the known-variable set.
+func commonSnippetVar(engine *websearch.Engine, pubs []string, knownVars map[string]bool) string {
+	if len(pubs) == 0 {
+		return ""
+	}
+	counts := map[string]int{}
+	for _, p := range pubs {
+		for _, v := range snippetVarsIn(pageSourceOf(engine, p)) {
+			if !knownVars[v] {
+				counts[v]++
+			}
+		}
+	}
+	best, bestN := "", 0
+	var names []string
+	for v := range counts {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	for _, v := range names {
+		if counts[v] > bestN {
+			best, bestN = v, counts[v]
+		}
+	}
+	if bestN*2 < len(pubs) { // require majority support
+		return ""
+	}
+	return best
+}
+
+// pageSourceOf retrieves the indexed source for a host by probing the
+// engine with a throwaway search; the engine has no direct getter, so we
+// keep a minimal accessor here. (The search engine stores exactly what
+// the crawler would re-fetch.)
+func pageSourceOf(engine *websearch.Engine, host string) string {
+	return engine.Source(host)
+}
+
+// snippetVarsIn extracts candidate invariant variable names: the "<var>"
+// of every top-level "let <var> =" whose initialiser is an object
+// literal (ad snippets configure zones that way).
+func snippetVarsIn(source string) []string {
+	var out []string
+	rest := source
+	for {
+		i := strings.Index(rest, "let ")
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+4:]
+		j := strings.IndexAny(rest, " =")
+		if j <= 0 {
+			continue
+		}
+		name := rest[:j]
+		after := strings.TrimLeft(rest[j:], " ")
+		after = strings.TrimPrefix(after, "=")
+		after = strings.TrimLeft(after, " ")
+		if strings.HasPrefix(after, "{") && validIdent(name) {
+			out = append(out, name)
+		}
+	}
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

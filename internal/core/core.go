@@ -1,0 +1,126 @@
+// Package core implements the paper's contribution: the SEACMA
+// discovery-and-tracking pipeline of Figure 2.
+//
+//	seed ad networks ① → publisher websites ② → crawler farm ③ →
+//	screenshots/perceptual hashes ④ → clustering ⑤ → campaign tracking
+//	(milking) ⑥ → ad attribution & new-network discovery ⑦
+//
+// The pipeline only consumes the measurement-side interfaces of the
+// synthetic web (transport, search engine, GSB lookups, VT submissions)
+// — never the simulator's ground truth, which lives in worldgen and is
+// used exclusively by the evaluation code to score pipeline output.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/urlx"
+	"repro/internal/webtx"
+)
+
+// Category is the pipeline's SE-attack taxonomy — the Table 1 rows. The
+// values double as GSB category keys.
+type Category string
+
+const (
+	CatFakeSoftware  Category = "fake-software"
+	CatRegistration  Category = "registration"
+	CatLottery       Category = "lottery"
+	CatNotifications Category = "chrome-notifications"
+	CatScareware     Category = "scareware"
+	CatTechSupport   Category = "tech-support"
+	// CatBenign marks clusters triaged as non-SEACMA.
+	CatBenign Category = "benign"
+	// CatUnknownSE marks clusters that look like SE attacks but match no
+	// known category signature.
+	CatUnknownSE Category = "unknown-se"
+)
+
+// AllSECategories lists the SE categories in Table 1 row order.
+var AllSECategories = []Category{
+	CatFakeSoftware, CatRegistration, CatLottery,
+	CatNotifications, CatScareware, CatTechSupport,
+}
+
+// DisplayName returns the Table 1 row label.
+func (c Category) DisplayName() string {
+	switch c {
+	case CatFakeSoftware:
+		return "Fake Software"
+	case CatRegistration:
+		return "Registration"
+	case CatLottery:
+		return "Lottery/Gift"
+	case CatNotifications:
+		return "Chrome Notifications"
+	case CatScareware:
+		return "Scareware"
+	case CatTechSupport:
+		return "Technical Support"
+	case CatBenign:
+		return "Benign"
+	case CatUnknownSE:
+		return "Unknown SE"
+	default:
+		return string(c)
+	}
+}
+
+// SeedNetwork is one entry of the analyst-curated seed list: the network
+// name and its invariant features (Section 3.1). In the paper these are
+// derived manually in ~15 minutes per network; here the analyst knowledge
+// is captured as data.
+type SeedNetwork struct {
+	Name string
+	// Patterns are the invariant URL/source features.
+	Patterns []urlx.Pattern
+	// SearchSnippet reverses the network into publisher lists.
+	SearchSnippet string
+	// ResidentialRequired marks networks known (from pilot experiments)
+	// to cloak from non-residential IP space.
+	ResidentialRequired bool
+}
+
+// PublisherGroup is a crawl partition: the paper crawled
+// Propeller/Clickadu publishers from residential lines and the rest from
+// the institutional network (Section 4.1).
+type PublisherGroup struct {
+	Hosts    []string
+	ClientIP webtx.IPClass
+}
+
+// GroupPublishers splits a publisher -> networks mapping into the
+// institutional and residential crawl groups.
+func GroupPublishers(byHost map[string][]string, seeds []SeedNetwork) (institutional, residential PublisherGroup) {
+	needRes := map[string]bool{}
+	for _, s := range seeds {
+		if s.ResidentialRequired {
+			needRes[s.Name] = true
+		}
+	}
+	institutional.ClientIP = webtx.IPInstitutional
+	residential.ClientIP = webtx.IPResidential
+	for host, nets := range byHost {
+		res := false
+		for _, n := range nets {
+			if needRes[n] {
+				res = true
+				break
+			}
+		}
+		if res {
+			residential.Hosts = append(residential.Hosts, host)
+		} else {
+			institutional.Hosts = append(institutional.Hosts, host)
+		}
+	}
+	sort.Strings(institutional.Hosts)
+	sort.Strings(residential.Hosts)
+	return
+}
+
+// Errorf wraps pipeline errors with a stable prefix.
+func Errorf(format string, args ...any) error {
+	return fmt.Errorf("seacma: "+format, args...)
+}

@@ -1,0 +1,286 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/crawler"
+	"repro/internal/parking"
+	"repro/internal/phash"
+	"repro/internal/phonebl"
+)
+
+// DiscoveryParams tune campaign discovery (Section 3.3).
+type DiscoveryParams struct {
+	// Cluster are the DBSCAN parameters over normalised dhash Hamming
+	// distance; the paper tuned eps=0.1, MinPts=3.
+	Cluster cluster.Params
+	// MinDomains is θc: clusters spanning fewer distinct e2LDs are
+	// discarded (the paper sets 5).
+	MinDomains int
+}
+
+// PaperDiscoveryParams are the published values.
+var PaperDiscoveryParams = DiscoveryParams{Cluster: cluster.PaperParams, MinDomains: 5}
+
+// Observation is one distinct (dhash, e2LD) pair with its supporting
+// landings — the clustering unit of Section 3.3.
+type Observation struct {
+	Hash phash.Hash
+	E2LD string
+	// Sessions/Landings index back into the crawl output for triage,
+	// attribution and milking.
+	Refs []LandingRef
+}
+
+// LandingRef addresses one landing within the crawl output.
+type LandingRef struct {
+	Session int // index into the sessions slice
+	Landing int // index into Session.Landings
+}
+
+// CollectObservations extracts the distinct (dhash, e2LD) pairs from the
+// crawl. Unhashed landings (wedged tabs, direct downloads) are skipped.
+func CollectObservations(sessions []*crawler.Session) []Observation {
+	type key struct {
+		h    phash.Hash
+		e2ld string
+	}
+	index := map[key]int{}
+	var out []Observation
+	for si, s := range sessions {
+		if s == nil {
+			continue
+		}
+		for li, l := range s.Landings {
+			if !l.Hashed {
+				continue
+			}
+			k := key{l.Hash, l.E2LD}
+			idx, ok := index[k]
+			if !ok {
+				idx = len(out)
+				index[k] = idx
+				out = append(out, Observation{Hash: l.Hash, E2LD: l.E2LD})
+			}
+			out[idx].Refs = append(out[idx].Refs, LandingRef{Session: si, Landing: li})
+		}
+	}
+	return out
+}
+
+// DiscoveredCampaign is one candidate SEACMA campaign: a visually
+// coherent cluster spanning at least θc distinct domains.
+type DiscoveredCampaign struct {
+	ID int
+	// Rep is the representative hash (the first member).
+	Rep phash.Hash
+	// Members are indices into the observation slice.
+	Members []int
+	// Domains are the distinct e2LDs.
+	Domains []string
+	// Category is filled by Triage.
+	Category Category
+	// Signals summarise the triage evidence.
+	Signals TriageSignals
+}
+
+// AttackCount returns the total SE-attack instances (landings) behind the
+// cluster.
+func (d *DiscoveredCampaign) AttackCount(obs []Observation) int {
+	n := 0
+	for _, m := range d.Members {
+		n += len(obs[m].Refs)
+	}
+	return n
+}
+
+// DiscoveryResult is the output of step ⑤.
+type DiscoveryResult struct {
+	Observations []Observation
+	// Clusters are all DBSCAN clusters spanning >= θc domains, SEACMA or
+	// not (the paper's 130).
+	Clusters []*DiscoveredCampaign
+	// NoiseCount is the number of observations clustered as noise.
+	NoiseCount int
+	// FilteredClusters counts clusters dropped by the θc domain filter.
+	FilteredClusters int
+}
+
+// Campaigns returns only the clusters triaged as SE campaigns (the
+// paper's 108 of 130).
+func (r *DiscoveryResult) Campaigns() []*DiscoveredCampaign {
+	var out []*DiscoveredCampaign
+	for _, c := range r.Clusters {
+		if c.Category != CatBenign {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// BenignClusters returns the clusters triaged benign (the paper's 22).
+func (r *DiscoveryResult) BenignClusters() []*DiscoveredCampaign {
+	var out []*DiscoveredCampaign
+	for _, c := range r.Clusters {
+		if c.Category == CatBenign {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Discover runs clustering ⑤ and the θc filter on crawl output, then
+// triages each surviving cluster (Section 4.3).
+func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryResult, error) {
+	obs := CollectObservations(sessions)
+	hashes := make([]phash.Hash, len(obs))
+	for i, o := range obs {
+		hashes[i] = o.Hash
+	}
+	res, err := cluster.DBSCANHashes(hashes, params.Cluster)
+	if err != nil {
+		return nil, Errorf("clustering: %v", err)
+	}
+	out := &DiscoveryResult{Observations: obs, NoiseCount: len(res.NoisePoints())}
+	for id, members := range res.Clusters() {
+		domains := map[string]bool{}
+		for _, m := range members {
+			domains[obs[m].E2LD] = true
+		}
+		if len(domains) < params.MinDomains {
+			out.FilteredClusters++
+			continue
+		}
+		dc := &DiscoveredCampaign{ID: id, Rep: obs[members[0]].Hash, Members: members}
+		for d := range domains {
+			dc.Domains = append(dc.Domains, d)
+		}
+		sort.Strings(dc.Domains)
+		dc.Signals = gatherSignals(sessions, obs, members)
+		dc.Category = classify(dc.Signals)
+		out.Clusters = append(out.Clusters, dc)
+	}
+	// Stable ordering: by descending attack volume, then cluster id.
+	sort.SliceStable(out.Clusters, func(i, j int) bool {
+		a, b := out.Clusters[i].AttackCount(obs), out.Clusters[j].AttackCount(obs)
+		if a != b {
+			return a > b
+		}
+		return out.Clusters[i].ID < out.Clusters[j].ID
+	})
+	return out, nil
+}
+
+// TriageSignals aggregate the behavioural evidence of a cluster's
+// landings — the automated counterpart of the paper's triage methods
+// (visual inspection, interaction, source inspection).
+type TriageSignals struct {
+	Pages               int
+	Alerts              int
+	BeforeUnload        int
+	NotificationRequest int
+	Downloads           int
+	SignupPopups        int
+	MobilePages         int
+	DesktopPages        int
+	ParkedTitles        int
+	ShortenerTitles     int
+	EmptyTitles         int
+	// ParkedScoreSum accumulates the parked-domain detector's per-page
+	// scores; MeanParkedScore() averages them.
+	ParkedScoreSum float64
+	// ScamPhones are the distinct telephone numbers harvested from the
+	// cluster's pages (tech-support scams monetise by phone).
+	ScamPhones []string
+}
+
+// MeanParkedScore averages the parked-domain detector's score over the
+// cluster's pages.
+func (sg TriageSignals) MeanParkedScore() float64 {
+	if sg.Pages == 0 {
+		return 0
+	}
+	return sg.ParkedScoreSum / float64(sg.Pages)
+}
+
+func gatherSignals(sessions []*crawler.Session, obs []Observation, members []int) TriageSignals {
+	var sg TriageSignals
+	phones := map[string]bool{}
+	for _, m := range members {
+		for _, ref := range obs[m].Refs {
+			l := sessions[ref.Session].Landings[ref.Landing]
+			sg.Pages++
+			sg.ParkedScoreSum += l.ParkedScore
+			for _, p := range phonebl.Extract(l.Title) {
+				if !phones[p] {
+					phones[p] = true
+					sg.ScamPhones = append(sg.ScamPhones, p)
+				}
+			}
+			sg.Alerts += l.Behaviour.Alerts
+			if l.Behaviour.BeforeUnload {
+				sg.BeforeUnload++
+			}
+			if l.Behaviour.NotificationRequest {
+				sg.NotificationRequest++
+			}
+			if l.Behaviour.Downloaded || len(l.Downloads) > 0 {
+				sg.Downloads++
+			}
+			if l.Behaviour.OpenedSignup {
+				sg.SignupPopups++
+			}
+			if l.Mobile {
+				sg.MobilePages++
+			} else {
+				sg.DesktopPages++
+			}
+			title := strings.ToLower(l.Title)
+			switch {
+			case strings.Contains(title, "domain") && strings.Contains(title, "sale"):
+				sg.ParkedTitles++
+			case strings.Contains(title, "please wait"):
+				sg.ShortenerTitles++
+			case title == "":
+				sg.EmptyTitles++
+			}
+		}
+	}
+	return sg
+}
+
+// classify maps triage signals to a category. Thresholds are fractions
+// of the cluster's page count; a cluster with no SE signal is benign.
+func classify(sg TriageSignals) Category {
+	if sg.Pages == 0 {
+		return CatBenign
+	}
+	frac := func(n int) float64 { return float64(n) / float64(sg.Pages) }
+	locked := frac(sg.BeforeUnload) > 0.3 || float64(sg.Alerts)/float64(sg.Pages) > 0.5
+	switch {
+	case frac(sg.NotificationRequest) > 0.3:
+		return CatNotifications
+	case frac(sg.Downloads) > 0.15 && locked:
+		return CatScareware
+	case frac(sg.Downloads) > 0.15:
+		return CatFakeSoftware
+	case locked && frac(sg.MobilePages) <= 0.5:
+		return CatTechSupport
+	case frac(sg.SignupPopups) > 0.1:
+		return CatRegistration
+	case frac(sg.MobilePages) > 0.9 && sg.Alerts > 0:
+		return CatLottery
+	case sg.MeanParkedScore() >= parking.Threshold:
+		// Automated parked-domain filtering (the paper's future-work
+		// component): placeholder clusters never reach manual triage.
+		return CatBenign
+	case frac(sg.ParkedTitles) > 0.5, frac(sg.ShortenerTitles) > 0.5, frac(sg.EmptyTitles) > 0.8:
+		return CatBenign
+	case sg.Alerts > 0 && frac(sg.MobilePages) > 0.5:
+		return CatLottery
+	default:
+		return CatBenign
+	}
+}

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/btgraph"
+	"repro/internal/crawler"
+	"repro/internal/devtools"
+	"repro/internal/gsb"
+	"repro/internal/phash"
+	"repro/internal/phonebl"
+	"repro/internal/urlx"
+	"repro/internal/vclock"
+	"repro/internal/vtsim"
+	"repro/internal/webtx"
+)
+
+// MilkSource is one (upstream URL, user agent) milking pair — the
+// paper's 505 milking sources (Section 4.2).
+type MilkSource struct {
+	URL      string
+	UA       webtx.UserAgent
+	ClientIP webtx.IPClass
+	// CampaignID indexes the discovered campaign the source tracks.
+	CampaignID int
+	// Category is the campaign's triaged category.
+	Category Category
+	// RepHash is the campaign's representative screenshot hash, used to
+	// verify that milked pages still belong to the campaign.
+	RepHash phash.Hash
+}
+
+// ExtractMilkingSources walks every SE cluster's backtracking graphs and
+// collects candidate (upstream URL, UA) pairs (Section 3.5): the first
+// off-domain URLs upstream of each attack page.
+func ExtractMilkingSources(sessions []*crawler.Session, disc *DiscoveryResult) []MilkSource {
+	graphs := map[int]*btgraph.Graph{}
+	graphFor := func(si int) *btgraph.Graph {
+		if g, ok := graphs[si]; ok {
+			return g
+		}
+		g := btgraph.FromEvents(sessions[si].Events)
+		graphs[si] = g
+		return g
+	}
+	seen := map[string]bool{}
+	var out []MilkSource
+	for _, c := range disc.Campaigns() {
+		for _, m := range c.Members {
+			obs := disc.Observations[m]
+			for _, ref := range obs.Refs {
+				s := sessions[ref.Session]
+				l := s.Landings[ref.Landing]
+				g := graphFor(ref.Session)
+				cands, err := g.MilkingCandidates(l.URL.String())
+				if err != nil {
+					continue
+				}
+				for _, cand := range cands {
+					key := cand + "|" + s.UserAgent.Name
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+					out = append(out, MilkSource{
+						URL:        cand,
+						UA:         s.UserAgent,
+						ClientIP:   s.ClientIP,
+						CampaignID: c.ID,
+						Category:   c.Category,
+						RepHash:    c.Rep,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].URL != out[j].URL {
+			return out[i].URL < out[j].URL
+		}
+		return out[i].UA.Name < out[j].UA.Name
+	})
+	return out
+}
+
+// MilkerConfig tunes the tracking experiment (Sections 3.5 and 4.2).
+type MilkerConfig struct {
+	// MilkInterval is the per-source revisit period (paper: 15 minutes).
+	MilkInterval time.Duration
+	// GSBInterval is the blacklist polling period (paper: 30 minutes).
+	GSBInterval time.Duration
+	// Duration is the milking horizon (paper: 14 days).
+	Duration time.Duration
+	// GSBExtra extends blacklist polling past the milking horizon
+	// (paper: 12 more days).
+	GSBExtra time.Duration
+	// FinalLookupAfter schedules the last blacklist sweep (paper: 2
+	// months after milking ended).
+	FinalLookupAfter time.Duration
+	// VerifyBits is the maximum dhash distance for a milked page to count
+	// as the same campaign (the clustering eps expressed in bits).
+	VerifyBits int
+	// ViewportScale reduces screenshot resolution.
+	ViewportScale int
+	// MaxSources bounds the number of sources (0 = no bound).
+	MaxSources int
+}
+
+// PaperMilkerConfig is the published setup.
+func PaperMilkerConfig() MilkerConfig {
+	return MilkerConfig{
+		MilkInterval:     15 * time.Minute,
+		GSBInterval:      30 * time.Minute,
+		Duration:         14 * 24 * time.Hour,
+		GSBExtra:         12 * 24 * time.Hour,
+		FinalLookupAfter: 60 * 24 * time.Hour,
+		VerifyBits:       12,
+		ViewportScale:    4,
+	}
+}
+
+func (c *MilkerConfig) fillDefaults() {
+	p := PaperMilkerConfig()
+	if c.MilkInterval == 0 {
+		c.MilkInterval = p.MilkInterval
+	}
+	if c.GSBInterval == 0 {
+		c.GSBInterval = p.GSBInterval
+	}
+	if c.Duration == 0 {
+		c.Duration = p.Duration
+	}
+	if c.GSBExtra == 0 {
+		c.GSBExtra = p.GSBExtra
+	}
+	if c.FinalLookupAfter == 0 {
+		c.FinalLookupAfter = p.FinalLookupAfter
+	}
+	if c.VerifyBits == 0 {
+		c.VerifyBits = p.VerifyBits
+	}
+	if c.ViewportScale == 0 {
+		c.ViewportScale = p.ViewportScale
+	}
+}
+
+// MilkedDomain is one never-before-seen attack domain harvested by
+// milking.
+type MilkedDomain struct {
+	Host       string
+	Category   Category
+	CampaignID int
+	FirstSeen  time.Time
+	// GSBInit reports whether the domain was already blacklisted when
+	// milking first reached it.
+	GSBInit bool
+	// GSBListedAt is when polling first saw the domain listed (zero if
+	// never during polling).
+	GSBListedAt time.Time
+	// GSBFinal reports the final-lookup verdict.
+	GSBFinal bool
+}
+
+// MilkedFile is one binary collected during milking.
+type MilkedFile struct {
+	SHA256     string
+	Category   Category
+	CampaignID int
+	Known      bool // previously known to the scan service
+	Initial    vtsim.Report
+	Final      vtsim.Report
+}
+
+// MilkingResult aggregates a tracking run.
+type MilkingResult struct {
+	Sources       int
+	Sessions      int
+	VerifiedMatch int // sessions whose screenshot matched the campaign
+	Domains       []MilkedDomain
+	Files         []MilkedFile
+	// Phones is the scam-phone-number blacklist harvested in real time
+	// from tech-support landing pages (Section 4.3's defensive output).
+	Phones *phonebl.Blacklist
+	// Start/End bound the milking window.
+	Start, End time.Time
+}
+
+// GSBLags returns the birth→listing lags observed by polling.
+func (r *MilkingResult) GSBLags() []time.Duration {
+	var out []time.Duration
+	for _, d := range r.Domains {
+		if !d.GSBListedAt.IsZero() {
+			out = append(out, d.GSBListedAt.Sub(d.FirstSeen))
+		}
+	}
+	return out
+}
+
+// MeanGSBLag returns the mean polling-observed lag (0 when none).
+func (r *MilkingResult) MeanGSBLag() time.Duration {
+	lags := r.GSBLags()
+	if len(lags) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range lags {
+		sum += l
+	}
+	return sum / time.Duration(len(lags))
+}
+
+// Milker runs the tracking experiment.
+type Milker struct {
+	internet *webtx.Internet
+	clock    *vclock.Clock
+	gsb      *gsb.Blacklist
+	vt       *vtsim.Service
+	cfg      MilkerConfig
+}
+
+// NewMilker builds a Milker.
+func NewMilker(internet *webtx.Internet, clock *vclock.Clock, bl *gsb.Blacklist, vt *vtsim.Service, cfg MilkerConfig) *Milker {
+	cfg.fillDefaults()
+	return &Milker{internet: internet, clock: clock, gsb: bl, vt: vt, cfg: cfg}
+}
+
+// VerifySources runs the pilot check of Section 4.2: each candidate is
+// visited once and kept only if it leads to a page whose screenshot
+// matches its campaign.
+func (m *Milker) VerifySources(cands []MilkSource) []MilkSource {
+	var out []MilkSource
+	for _, src := range cands {
+		if m.cfg.MaxSources > 0 && len(out) >= m.cfg.MaxSources {
+			break
+		}
+		if _, h, ok := m.visit(src); ok && phash.Distance(h, src.RepHash) <= m.cfg.VerifyBits {
+			out = append(out, src)
+		}
+	}
+	return out
+}
+
+// visit loads a milking source and returns the final landing tab's host
+// and screenshot hash.
+func (m *Milker) visit(src MilkSource) (host string, h phash.Hash, ok bool) {
+	client := devtools.NewClient(m.internet, m.clock, devtools.ClientConfig{
+		UserAgent: src.UA, ClientIP: src.ClientIP,
+		StealthPatch: true, DialogBypass: true,
+		DeviceEmulation: src.UA.Mobile,
+		ViewportScale:   m.cfg.ViewportScale,
+	})
+	tab, err := client.Navigate(src.URL)
+	if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
+		return "", phash.Hash{}, false
+	}
+	srcURL, err := urlx.Parse(src.URL)
+	if err != nil || tab.URL.Host == srcURL.Host {
+		return "", phash.Hash{}, false
+	}
+	img, err := client.Browser().Screenshot(tab)
+	if err != nil {
+		return "", phash.Hash{}, false
+	}
+	return tab.URL.Host, phash.DHash(img), true
+}
+
+// milkOnce performs one milking session, returning any newly discovered
+// domain and the downloads it produced.
+func (m *Milker) milkOnce(src MilkSource, res *MilkingResult, seenHosts map[string]bool, mu *sync.Mutex) {
+	client := devtools.NewClient(m.internet, m.clock, devtools.ClientConfig{
+		UserAgent: src.UA, ClientIP: src.ClientIP,
+		StealthPatch: true, DialogBypass: true,
+		DeviceEmulation: src.UA.Mobile,
+		ViewportScale:   m.cfg.ViewportScale,
+	})
+	tab, err := client.Navigate(src.URL)
+	mu.Lock()
+	res.Sessions++
+	mu.Unlock()
+	if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
+		return
+	}
+	srcURL, err := urlx.Parse(src.URL)
+	if err != nil || tab.URL.Host == srcURL.Host {
+		return
+	}
+	host := tab.URL.Host
+
+	mu.Lock()
+	known := seenHosts[host]
+	if !known {
+		seenHosts[host] = true
+	}
+	mu.Unlock()
+	if known {
+		return
+	}
+
+	// Never-before-seen domain: verify it still shows the campaign's
+	// attack, then record and blacklist-check it.
+	img, err := client.Browser().Screenshot(tab)
+	if err != nil {
+		return
+	}
+	h := phash.DHash(img)
+	if phash.Distance(h, src.RepHash) > m.cfg.VerifyBits {
+		return
+	}
+	now := m.clock.Now()
+	d := MilkedDomain{
+		Host: host, Category: src.Category, CampaignID: src.CampaignID,
+		FirstSeen: now,
+		GSBInit:   m.gsb.Lookup(host, now),
+	}
+	if d.GSBInit {
+		d.GSBListedAt = now
+	}
+
+	// Harvest scam phone numbers from the fresh page (tech support).
+	if res.Phones != nil && tab.Doc != nil {
+		res.Phones.HarvestText(tab.Doc.Serialize(), host, now)
+	}
+
+	// Interact for downloads (fake software / scareware).
+	interactForDownloads(client, tab)
+	var files []MilkedFile
+	for _, dl := range tab.Downloads {
+		f := MilkedFile{
+			SHA256: dl.SHA256, Category: src.Category, CampaignID: src.CampaignID,
+			Known: m.vt.Known(dl.SHA256),
+		}
+		f.Initial = m.vt.Submit(dl.SHA256, dl.CampaignID, now)
+		files = append(files, f)
+	}
+
+	mu.Lock()
+	res.VerifiedMatch++
+	res.Domains = append(res.Domains, d)
+	res.Files = append(res.Files, files...)
+	mu.Unlock()
+}
+
+func interactForDownloads(client *devtools.Client, tab *browser.Tab) {
+	if tab.Doc == nil {
+		return
+	}
+	if el := tab.Doc.Root.Find("install"); el != nil {
+		_, _ = client.ClickElement(tab, el)
+	}
+}
+
+// Run executes the full tracking experiment on the virtual clock:
+// milking every MilkInterval for Duration, GSB polling every GSBInterval
+// until Duration+GSBExtra, and a final lookup at
+// Duration+FinalLookupAfter (files are rescanned then too).
+func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
+	if m.cfg.MaxSources > 0 && len(sources) > m.cfg.MaxSources {
+		sources = sources[:m.cfg.MaxSources]
+	}
+	res := &MilkingResult{Sources: len(sources), Start: m.clock.Now(), Phones: phonebl.NewBlacklist()}
+	if len(sources) == 0 {
+		return res, Errorf("milker: no sources")
+	}
+	var mu sync.Mutex
+	seenHosts := map[string]bool{}
+	horizon := m.clock.Now().Add(m.cfg.Duration)
+	gsbHorizon := horizon.Add(m.cfg.GSBExtra)
+
+	for _, src := range sources {
+		src := src
+		if err := m.clock.Every(m.cfg.MilkInterval, horizon, func(now time.Time) bool {
+			m.milkOnce(src, res, seenHosts, &mu)
+			return true
+		}); err != nil {
+			return nil, Errorf("milker: schedule: %v", err)
+		}
+	}
+	// Blacklist polling: every GSBInterval, look up every yet-unlisted
+	// domain.
+	if err := m.clock.Every(m.cfg.GSBInterval, gsbHorizon, func(now time.Time) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for i := range res.Domains {
+			d := &res.Domains[i]
+			if !d.GSBListedAt.IsZero() {
+				continue
+			}
+			if m.gsb.Lookup(d.Host, now) {
+				d.GSBListedAt = now
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, Errorf("milker: gsb schedule: %v", err)
+	}
+
+	m.clock.AdvanceTo(gsbHorizon.Add(time.Minute))
+	res.End = horizon
+
+	// Final sweep two months after milking ended.
+	finalAt := horizon.Add(m.cfg.FinalLookupAfter)
+	m.clock.AdvanceTo(finalAt)
+	for i := range res.Domains {
+		d := &res.Domains[i]
+		d.GSBFinal = m.gsb.Lookup(d.Host, finalAt)
+		// GSBListedAt is left zero for final-lookup-only detections: the
+		// exact listing time between polls is unknown, so they are
+		// excluded from lag statistics.
+	}
+	for i := range res.Files {
+		f := &res.Files[i]
+		if rep, err := m.vt.Rescan(f.SHA256, finalAt); err == nil {
+			f.Final = rep
+		}
+	}
+	return res, nil
+}

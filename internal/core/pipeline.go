@@ -1,0 +1,184 @@
+package core
+
+import (
+	"repro/internal/crawler"
+	"repro/internal/gsb"
+	"repro/internal/vclock"
+	"repro/internal/vtsim"
+	"repro/internal/webcat"
+	"repro/internal/websearch"
+	"repro/internal/webtx"
+)
+
+// PipelineConfig assembles the full Figure 2 system.
+type PipelineConfig struct {
+	// Seeds is the analyst-curated seed ad-network list ①.
+	Seeds []SeedNetwork
+	// Crawler configures the farm ③.
+	Crawler crawler.Config
+	// Discovery configures clustering and the θc filter ⑤.
+	Discovery DiscoveryParams
+	// Milker configures campaign tracking ⑥.
+	Milker MilkerConfig
+	// MaxPublishers bounds the crawl (0 = all found).
+	MaxPublishers int
+}
+
+// Pipeline is the end-to-end SEACMA system bound to one (synthetic) web.
+type Pipeline struct {
+	Cfg      PipelineConfig
+	Internet *webtx.Internet
+	Clock    *vclock.Clock
+	Search   *websearch.Engine
+	GSB      *gsb.Blacklist
+	VT       *vtsim.Service
+	Webcat   *webcat.Service
+}
+
+// RunResult is everything one full pipeline run produces.
+type RunResult struct {
+	// PublisherHosts is the crawl pool from reversing the seeds ②.
+	PublisherHosts []string
+	// NetworksByHost maps each publisher to the seed networks whose
+	// invariants its page matched.
+	NetworksByHost map[string][]string
+	// Sessions is the crawl output ③/④.
+	Sessions []*crawler.Session
+	// Discovery is the clustering + triage output ⑤.
+	Discovery *DiscoveryResult
+	// Attributions link every landing page to an ad network ⑦.
+	Attributions []Attribution
+	// Sources are the verified milkable URLs ⑥.
+	Sources []MilkSource
+	// Milking is the tracking result ⑥ (nil if milking skipped).
+	Milking *MilkingResult
+
+	seRefCache    map[LandingRef]bool
+	seDomainCache map[string]bool
+}
+
+// IsSE reports whether a landing (by reference) belongs to a discovered
+// SE campaign.
+func (r *RunResult) IsSE(ref LandingRef) bool {
+	return r.seRefs()[ref]
+}
+
+func (r *RunResult) seRefs() map[LandingRef]bool {
+	if r.seRefCache != nil {
+		return r.seRefCache
+	}
+	m := map[LandingRef]bool{}
+	if r.Discovery != nil {
+		for _, c := range r.Discovery.Campaigns() {
+			for _, mi := range c.Members {
+				for _, ref := range r.Discovery.Observations[mi].Refs {
+					m[ref] = true
+				}
+			}
+		}
+	}
+	r.seRefCache = m
+	return m
+}
+
+// IsSEDomain reports whether an e2LD belongs to a discovered SE campaign.
+func (r *RunResult) IsSEDomain(e2ld string) bool {
+	if r.seDomainCache == nil {
+		m := map[string]bool{}
+		if r.Discovery != nil {
+			for _, c := range r.Discovery.Campaigns() {
+				for _, d := range c.Domains {
+					m[d] = true
+				}
+			}
+		}
+		r.seDomainCache = m
+	}
+	return r.seDomainCache[e2ld]
+}
+
+// SEAttackCount returns the total SE attack instances discovered.
+func (r *RunResult) SEAttackCount() int {
+	n := 0
+	for _, c := range r.Discovery.Campaigns() {
+		n += c.AttackCount(r.Discovery.Observations)
+	}
+	return n
+}
+
+// NewPipeline binds a pipeline to the measurement-facing services.
+func NewPipeline(cfg PipelineConfig, internet *webtx.Internet, clock *vclock.Clock,
+	search *websearch.Engine, bl *gsb.Blacklist, vt *vtsim.Service, cats *webcat.Service) *Pipeline {
+	return &Pipeline{Cfg: cfg, Internet: internet, Clock: clock, Search: search, GSB: bl, VT: vt, Webcat: cats}
+}
+
+// Reverse runs step ②.
+func (p *Pipeline) Reverse() (hosts []string, byHost map[string][]string) {
+	return ReverseSeeds(p.Search, p.Cfg.Seeds)
+}
+
+// Crawl runs step ③ over the two IP-vantage groups.
+func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
+	inst, res := GroupPublishers(byHost, p.Cfg.Seeds)
+	var tasks []crawler.Task
+	for _, h := range inst.Hosts {
+		tasks = append(tasks, crawler.Task{Host: h, ClientIP: inst.ClientIP})
+	}
+	for _, h := range res.Hosts {
+		tasks = append(tasks, crawler.Task{Host: h, ClientIP: res.ClientIP})
+	}
+	if p.Cfg.MaxPublishers > 0 && len(tasks) > p.Cfg.MaxPublishers {
+		tasks = tasks[:p.Cfg.MaxPublishers]
+	}
+	farm := crawler.New(p.Internet, p.Clock, p.Cfg.Crawler)
+	return farm.CrawlAll(tasks)
+}
+
+// Discover runs step ⑤.
+func (p *Pipeline) Discover(sessions []*crawler.Session) (*DiscoveryResult, error) {
+	params := p.Cfg.Discovery
+	if params.Cluster.MinPts == 0 {
+		params = PaperDiscoveryParams
+	}
+	return Discover(sessions, params)
+}
+
+// Attribute runs step ⑦.
+func (p *Pipeline) Attribute(sessions []*crawler.Session) []Attribution {
+	return AttributeSessions(sessions, PatternSetFromSeeds(p.Cfg.Seeds))
+}
+
+// Milk runs step ⑥: candidate extraction, source verification, tracking.
+func (p *Pipeline) Milk(sessions []*crawler.Session, disc *DiscoveryResult) ([]MilkSource, *MilkingResult, error) {
+	cands := ExtractMilkingSources(sessions, disc)
+	milker := NewMilker(p.Internet, p.Clock, p.GSB, p.VT, p.Cfg.Milker)
+	sources := milker.VerifySources(cands)
+	if len(sources) == 0 {
+		return nil, nil, Errorf("no milkable sources verified from %d candidates", len(cands))
+	}
+	res, err := milker.Run(sources)
+	return sources, res, err
+}
+
+// Run executes the full pipeline (milking included).
+func (p *Pipeline) Run() (*RunResult, error) {
+	out := &RunResult{}
+	out.PublisherHosts, out.NetworksByHost = p.Reverse()
+	if len(out.PublisherHosts) == 0 {
+		return nil, Errorf("seed reversal found no publishers")
+	}
+	out.Sessions = p.Crawl(out.NetworksByHost)
+	disc, err := p.Discover(out.Sessions)
+	if err != nil {
+		return nil, err
+	}
+	out.Discovery = disc
+	out.Attributions = p.Attribute(out.Sessions)
+	sources, milking, err := p.Milk(out.Sessions, disc)
+	if err != nil {
+		return nil, err
+	}
+	out.Sources = sources
+	out.Milking = milking
+	return out, nil
+}

@@ -1,0 +1,355 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/crawler"
+	"repro/internal/gsb"
+	"repro/internal/urlx"
+	"repro/internal/webcat"
+)
+
+// Table1Row is one row of the paper's Table 1 (SE ad campaign
+// statistics).
+type Table1Row struct {
+	Category       Category
+	SEAttacks      int
+	AttackDomains  int
+	Campaigns      int
+	GSBDomainPct   float64
+	GSBCampaignPct float64
+}
+
+// Table1 aggregates discovery output into Table 1: per category, the
+// attack instances, distinct attack domains, campaign count and GSB
+// coverage at lookup time.
+func Table1(disc *DiscoveryResult, bl *gsb.Blacklist, at time.Time) []Table1Row {
+	type agg struct {
+		attacks     int
+		domains     map[string]bool
+		campaigns   int
+		detectedDom int
+		detectedCmp int
+	}
+	byCat := map[Category]*agg{}
+	for _, c := range disc.Campaigns() {
+		cat := c.Category
+		a, ok := byCat[cat]
+		if !ok {
+			a = &agg{domains: map[string]bool{}}
+			byCat[cat] = a
+		}
+		a.campaigns++
+		a.attacks += c.AttackCount(disc.Observations)
+		anyListed := false
+		for _, d := range c.Domains {
+			if !a.domains[d] {
+				a.domains[d] = true
+				if bl.Lookup(d, at) {
+					a.detectedDom++
+				}
+			}
+			if bl.Lookup(d, at) {
+				anyListed = true
+			}
+		}
+		if anyListed {
+			a.detectedCmp++
+		}
+	}
+	var out []Table1Row
+	for _, cat := range AllSECategories {
+		a, ok := byCat[cat]
+		if !ok {
+			continue
+		}
+		row := Table1Row{
+			Category:      cat,
+			SEAttacks:     a.attacks,
+			AttackDomains: len(a.domains),
+			Campaigns:     a.campaigns,
+		}
+		if len(a.domains) > 0 {
+			row.GSBDomainPct = 100 * float64(a.detectedDom) / float64(len(a.domains))
+		}
+		if a.campaigns > 0 {
+			row.GSBCampaignPct = 100 * float64(a.detectedCmp) / float64(a.campaigns)
+		}
+		out = append(out, row)
+	}
+	// Any cluster categorised outside the six rows (unknown-se) is
+	// appended at the end for completeness.
+	for cat, a := range byCat {
+		known := false
+		for _, k := range AllSECategories {
+			if cat == k {
+				known = true
+			}
+		}
+		if !known {
+			out = append(out, Table1Row{Category: cat, SEAttacks: a.attacks,
+				AttackDomains: len(a.domains), Campaigns: a.campaigns})
+		}
+	}
+	return out
+}
+
+// Table2 returns the top-N categories of SEACMA-hosting publishers.
+func Table2(disc *DiscoveryResult, sessions []*crawler.Session, cats *webcat.Service, topN int) []webcat.CategoryCount {
+	hosts := map[string]bool{}
+	for _, c := range disc.Campaigns() {
+		for _, m := range c.Members {
+			for _, ref := range disc.Observations[m].Refs {
+				hosts[sessions[ref.Session].Publisher] = true
+			}
+		}
+	}
+	var list []string
+	for h := range hosts {
+		list = append(list, h)
+	}
+	sort.Strings(list)
+	rows := cats.Aggregate(list)
+	if topN > 0 && len(rows) > topN {
+		rows = rows[:topN]
+	}
+	return rows
+}
+
+// SEACMAPublisherCount returns how many distinct publishers hosted
+// SEACMA ads (the paper: 11,341 of 70,541 crawled).
+func SEACMAPublisherCount(disc *DiscoveryResult, sessions []*crawler.Session) int {
+	hosts := map[string]bool{}
+	for _, c := range disc.Campaigns() {
+		for _, m := range c.Members {
+			for _, ref := range disc.Observations[m].Refs {
+				hosts[sessions[ref.Session].Publisher] = true
+			}
+		}
+	}
+	return len(hosts)
+}
+
+// Table3Row is one row of Table 3 (per-network SE attack delivery).
+type Table3Row struct {
+	Network        string
+	NetworkDomains int
+	LandingPages   int
+	SEAttackPages  int
+	SERatePct      float64
+}
+
+// Table3 combines attribution rows with per-network domain counts
+// observed in the ad-loading chains.
+func Table3(attrs []Attribution, patterns *urlx.PatternSet, isSE func(ref LandingRef) bool) []Table3Row {
+	netRows := AggregateAttribution(attrs, isSE)
+	domains := map[string]map[string]bool{}
+	for _, a := range attrs {
+		for _, raw := range a.Chain {
+			u, err := urlx.Parse(raw)
+			if err != nil {
+				continue
+			}
+			if owner := patterns.MatchURL(u); owner != "" {
+				if domains[owner] == nil {
+					domains[owner] = map[string]bool{}
+				}
+				domains[owner][u.Host] = true
+			}
+		}
+	}
+	var out []Table3Row
+	for _, r := range netRows {
+		out = append(out, Table3Row{
+			Network:        r.Network,
+			NetworkDomains: len(domains[r.Network]),
+			LandingPages:   r.LandingPages,
+			SEAttackPages:  r.SEAttackPages,
+			SERatePct:      r.SERate,
+		})
+	}
+	return out
+}
+
+// Table4Row is one row of Table 4 (milking).
+type Table4Row struct {
+	Category    Category
+	Domains     int
+	GSBInitPct  float64
+	GSBFinalPct float64
+}
+
+// Table4 aggregates a milking run per category, plus the Total row last.
+func Table4(res *MilkingResult) []Table4Row {
+	type agg struct{ n, init, final int }
+	byCat := map[Category]*agg{}
+	for _, d := range res.Domains {
+		a, ok := byCat[d.Category]
+		if !ok {
+			a = &agg{}
+			byCat[d.Category] = a
+		}
+		a.n++
+		if d.GSBInit {
+			a.init++
+		}
+		if d.GSBFinal {
+			a.final++
+		}
+	}
+	var out []Table4Row
+	total := agg{}
+	for _, cat := range AllSECategories {
+		a, ok := byCat[cat]
+		if !ok {
+			continue
+		}
+		out = append(out, Table4Row{
+			Category: cat, Domains: a.n,
+			GSBInitPct:  pct(a.init, a.n),
+			GSBFinalPct: pct(a.final, a.n),
+		})
+		total.n += a.n
+		total.init += a.init
+		total.final += a.final
+	}
+	out = append(out, Table4Row{
+		Category: "total", Domains: total.n,
+		GSBInitPct:  pct(total.init, total.n),
+		GSBFinalPct: pct(total.final, total.n),
+	})
+	return out
+}
+
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}
+
+// FormatTable renders rows of cells as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatTable1 renders Table 1 in the paper's layout.
+func FormatTable1(rows []Table1Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Category.DisplayName(),
+			fmt.Sprintf("%d", r.SEAttacks),
+			fmt.Sprintf("%d", r.AttackDomains),
+			fmt.Sprintf("%d", r.Campaigns),
+			fmt.Sprintf("%.1f%%", r.GSBDomainPct),
+			fmt.Sprintf("%.1f%%", r.GSBCampaignPct),
+		})
+	}
+	return FormatTable([]string{"Category", "# SE Attacks", "# Attack Domains", "# SE Campaigns", "GSB% domains", "GSB% campaigns"}, cells)
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Network,
+			fmt.Sprintf("%d", r.NetworkDomains),
+			fmt.Sprintf("%d", r.LandingPages),
+			fmt.Sprintf("%d", r.SEAttackPages),
+			fmt.Sprintf("%.2f%%", r.SERatePct),
+		})
+	}
+	return FormatTable([]string{"Ad network", "# Network domains", "# Landing pages", "# SE attack pages", "% SE attack pages"}, cells)
+}
+
+// FormatTable4 renders Table 4.
+func FormatTable4(rows []Table4Row) string {
+	var cells [][]string
+	for _, r := range rows {
+		name := r.Category.DisplayName()
+		if r.Category == "total" {
+			name = "Total"
+		}
+		cells = append(cells, []string{
+			name,
+			fmt.Sprintf("%d", r.Domains),
+			fmt.Sprintf("%.2f%%", r.GSBInitPct),
+			fmt.Sprintf("%.2f%%", r.GSBFinalPct),
+		})
+	}
+	return FormatTable([]string{"Category", "# Domains", "GSB-init", "GSB-final"}, cells)
+}
+
+// AdvertiserCost implements the Section 6 ethics accounting: per
+// non-SE landing domain, the number of loads and the estimated advertiser
+// cost at the given CPM.
+type AdvertiserCost struct {
+	Domain  string
+	Loads   int
+	CostUSD float64
+}
+
+// EstimateAdvertiserCosts returns per-domain costs sorted by descending
+// loads, the worst case first. isSE filters out SE attack landings.
+func EstimateAdvertiserCosts(sessions []*crawler.Session, isSEDomain func(e2ld string) bool, cpmUSD float64) []AdvertiserCost {
+	loads := map[string]int{}
+	for _, s := range sessions {
+		if s == nil {
+			continue
+		}
+		for _, l := range s.Landings {
+			if l.E2LD == "" || isSEDomain(l.E2LD) {
+				continue
+			}
+			loads[l.E2LD]++
+		}
+	}
+	var out []AdvertiserCost
+	for d, n := range loads {
+		out = append(out, AdvertiserCost{Domain: d, Loads: n, CostUSD: float64(n) / 1000 * cpmUSD})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Loads != out[j].Loads {
+			return out[i].Loads > out[j].Loads
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return out
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/gsb"
+	"repro/internal/urlx"
+	"repro/internal/webcat"
+)
+
+// Report is the machine-readable record of one full experiment — every
+// table plus the headline scalars, in one document. It is what a
+// longitudinal deployment of the system would archive per run.
+type Report struct {
+	GeneratedAt time.Time   `json:"generated_at"`
+	Table1      []Table1Row `json:"table1"`
+	Table2      []Table2Row `json:"table2"`
+	Table3      []Table3Row `json:"table3"`
+	Table4      []Table4Row `json:"table4,omitempty"`
+	Scalars     Scalars     `json:"scalars"`
+}
+
+// Table2Row mirrors webcat.CategoryCount with JSON tags.
+type Table2Row struct {
+	Category string  `json:"category"`
+	Count    int     `json:"count"`
+	Percent  float64 `json:"percent"`
+}
+
+// Scalars are the non-tabular headline numbers of Sections 4.3-4.5.
+type Scalars struct {
+	PublishersCrawled int     `json:"publishers_crawled"`
+	CrawlSessions     int     `json:"crawl_sessions"`
+	Clusters          int     `json:"clusters"`
+	SECampaigns       int     `json:"se_campaigns"`
+	BenignClusters    int     `json:"benign_clusters"`
+	SEAttacks         int     `json:"se_attacks"`
+	SEACMAPublishers  int     `json:"seacma_publishers"`
+	MilkingSources    int     `json:"milking_sources,omitempty"`
+	MilkingSessions   int     `json:"milking_sessions,omitempty"`
+	MilkedDomains     int     `json:"milked_domains,omitempty"`
+	MilkedFiles       int     `json:"milked_files,omitempty"`
+	MeanGSBLagDays    float64 `json:"mean_gsb_lag_days,omitempty"`
+	ScamPhones        int     `json:"scam_phones,omitempty"`
+}
+
+// BuildReport assembles the Report for a pipeline run. bl/cats/at are
+// the blacklist, categoriser and lookup time used for Tables 1/2.
+func BuildReport(run *RunResult, patterns *urlx.PatternSet, bl *gsb.Blacklist, cats *webcat.Service, at time.Time) Report {
+	rep := Report{
+		GeneratedAt: at,
+		Table1:      Table1(run.Discovery, bl, at),
+		Table3:      Table3(run.Attributions, patterns, run.IsSE),
+	}
+	for _, r := range Table2(run.Discovery, run.Sessions, cats, 20) {
+		rep.Table2 = append(rep.Table2, Table2Row{Category: r.Category, Count: r.Count, Percent: r.Percent})
+	}
+	rep.Scalars = Scalars{
+		PublishersCrawled: len(run.PublisherHosts),
+		CrawlSessions:     len(run.Sessions),
+		Clusters:          len(run.Discovery.Clusters),
+		SECampaigns:       len(run.Discovery.Campaigns()),
+		BenignClusters:    len(run.Discovery.BenignClusters()),
+		SEAttacks:         run.SEAttackCount(),
+		SEACMAPublishers:  SEACMAPublisherCount(run.Discovery, run.Sessions),
+	}
+	if run.Milking != nil {
+		rep.Table4 = Table4(run.Milking)
+		rep.Scalars.MilkingSources = run.Milking.Sources
+		rep.Scalars.MilkingSessions = run.Milking.Sessions
+		rep.Scalars.MilkedDomains = len(run.Milking.Domains)
+		rep.Scalars.MilkedFiles = len(run.Milking.Files)
+		rep.Scalars.MeanGSBLagDays = run.Milking.MeanGSBLag().Hours() / 24
+		if run.Milking.Phones != nil {
+			rep.Scalars.ScamPhones = run.Milking.Phones.Len()
+		}
+	}
+	return rep
+}
+
+// WriteJSON encodes the report with indentation.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseReport decodes a report written by WriteJSON.
+func ParseReport(r io.Reader) (Report, error) {
+	var rep Report
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/urlx"
+	"repro/internal/websearch"
+)
+
+// ReverseSeeds runs the paper's step ② (Section 3.1): each seed
+// network's invariant snippet is queried against the source-code search
+// engine, producing the publisher pool and a host -> embedding-networks
+// mapping.
+func ReverseSeeds(engine *websearch.Engine, seeds []SeedNetwork) (hosts []string, byHost map[string][]string) {
+	byHost = map[string][]string{}
+	for _, s := range seeds {
+		for _, h := range engine.Search(s.SearchSnippet) {
+			byHost[h] = append(byHost[h], s.Name)
+		}
+	}
+	hosts = make([]string, 0, len(byHost))
+	for h := range byHost {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	return hosts, byHost
+}
+
+// PatternSetFromSeeds compiles the seed networks' invariants into the
+// attribution pattern set (Section 3.6).
+func PatternSetFromSeeds(seeds []SeedNetwork) *urlx.PatternSet {
+	ps := urlx.NewPatternSet()
+	for _, s := range seeds {
+		ps.Add(s.Name, s.Patterns...)
+	}
+	return ps
+}
+
+// TopRankCounts reports how many hosts sit within each popularity-rank
+// threshold (the paper: 52 publishers in the top 10,000; 4 in the top
+// 1,000).
+func TopRankCounts(engine *websearch.Engine, hosts []string, thresholds ...int) map[int]int {
+	out := map[int]int{}
+	for _, th := range thresholds {
+		out[th] = 0
+	}
+	for _, h := range hosts {
+		r := engine.Rank(h)
+		if r <= 0 {
+			continue
+		}
+		for _, th := range thresholds {
+			if r <= th {
+				out[th]++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,360 @@
+// Package crawler implements the paper's crawler farm (Section 3.2):
+// parallel workers drive stealth-automated browsers through publisher
+// websites, click the largest images/iframes (and transparent overlays)
+// to trigger pop-up/pop-under ads, record screenshots and perceptual
+// hashes of every third-party landing page, interact with landing pages
+// to collect file downloads, and keep the full instrumentation log for
+// ad-loading reconstruction.
+package crawler
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/devtools"
+	"repro/internal/dom"
+	"repro/internal/parking"
+	"repro/internal/phash"
+	"repro/internal/urlx"
+	"repro/internal/vclock"
+	"repro/internal/webtx"
+)
+
+// Config tunes the farm. Zero values get paper-flavoured defaults.
+type Config struct {
+	// UserAgents to rotate per publisher (default: the paper's four).
+	UserAgents []webtx.UserAgent
+	// Workers is the number of parallel crawler instances.
+	Workers int
+	// MaxClickTargets bounds how many candidate elements are clicked per
+	// session.
+	MaxClickTargets int
+	// RepeatClicks re-clicks a productive element to trigger stacked ads
+	// from co-installed networks.
+	RepeatClicks int
+	// MaxAdsPerSession stops a session once enough ads were exercised.
+	MaxAdsPerSession int
+	// FetchCost is the virtual time per fetch (paces the virtual crawl
+	// window; the paper spent ~2 minutes per session).
+	FetchCost time.Duration
+	// StealthPatch / DialogBypass are the anti-cloaking instrumentations;
+	// both default to on and exist as knobs for the ablation benches.
+	StealthPatch bool
+	DialogBypass bool
+	// DisableStealth / DisableDialogBypass turn the instrumentations off
+	// (needed because zero-value booleans default to on).
+	DisableStealth      bool
+	DisableDialogBypass bool
+	// DeviceEmulation applies mobile screen metrics for mobile UAs.
+	DeviceEmulation bool
+	// ViewportScale reduces screenshot resolution (1 = native).
+	ViewportScale int
+	// BlockFilter simulates an ad-blocker extension.
+	BlockFilter func(u urlx.URL) bool
+	// InteractWithLandings clicks once inside each landing page (file
+	// download collection). Default on.
+	DisableLandingInteraction bool
+}
+
+func (c *Config) fillDefaults() {
+	if len(c.UserAgents) == 0 {
+		c.UserAgents = webtx.AllUserAgents
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.MaxClickTargets <= 0 {
+		c.MaxClickTargets = 3
+	}
+	if c.RepeatClicks <= 0 {
+		c.RepeatClicks = 2
+	}
+	if c.MaxAdsPerSession <= 0 {
+		c.MaxAdsPerSession = 6
+	}
+	if c.FetchCost == 0 {
+		c.FetchCost = 2 * time.Second
+	}
+	if c.ViewportScale <= 0 {
+		c.ViewportScale = 4
+	}
+}
+
+// Task is one publisher to crawl, with the IP vantage point to use (the
+// paper crawled Propeller/Clickadu publishers from residential lines).
+type Task struct {
+	Host     string
+	ClientIP webtx.IPClass
+}
+
+// Landing is one third-party landing page reached by clicking an ad.
+type Landing struct {
+	URL    urlx.URL
+	E2LD   string
+	Status int
+	// Hash is the perceptual hash of the landing screenshot (zero when
+	// the page could not be captured).
+	Hash    phash.Hash
+	Hashed  bool
+	Mobile  bool
+	Blocked bool // page wedged the tab (no bypass)
+	// Title is the landing document title.
+	Title string
+	// ParkedScore is the parked-domain detector's score for the page
+	// (the automated filter the paper leaves to future work).
+	ParkedScore float64
+	// Downloads collected by interacting with the page.
+	Downloads []*webtx.Download
+	// Behaviour holds the page's observed SE signals, derived from the
+	// instrumentation log of the landing tab.
+	Behaviour Behaviour
+}
+
+// Behaviour summarises the SE-relevant signals a landing page exhibited —
+// the machine-readable form of the paper's triage inspection (Section
+// 4.3).
+type Behaviour struct {
+	// Alerts counts modal dialogs the page raised (bypassed or not).
+	Alerts int
+	// BeforeUnload reports an onbeforeunload page-lock handler.
+	BeforeUnload bool
+	// NotificationRequest reports a push-notification permission ask.
+	NotificationRequest bool
+	// OpenedSignup reports a popup to a third-party signup/registration
+	// page triggered by interaction.
+	OpenedSignup bool
+	// Downloaded reports a file download triggered by interaction.
+	Downloaded bool
+}
+
+// Session is the record of one (publisher, UA) crawl.
+type Session struct {
+	Publisher string
+	UserAgent webtx.UserAgent
+	ClientIP  webtx.IPClass
+	// PublisherOK reports whether the publisher page loaded.
+	PublisherOK bool
+	Landings    []Landing
+	// Events is the merged instrumentation log of every browser used in
+	// the session.
+	Events []browser.Event
+}
+
+// Crawler runs sessions against one internet.
+type Crawler struct {
+	internet *webtx.Internet
+	clock    *vclock.Clock
+	cfg      Config
+}
+
+// New builds a crawler farm front-end.
+func New(internet *webtx.Internet, clock *vclock.Clock, cfg Config) *Crawler {
+	cfg.fillDefaults()
+	return &Crawler{internet: internet, clock: clock, cfg: cfg}
+}
+
+// Config returns the effective configuration.
+func (c *Crawler) Config() Config { return c.cfg }
+
+// CrawlAll runs every (task, UA) session across the worker pool and
+// returns all session records, in deterministic (task, UA) order.
+func (c *Crawler) CrawlAll(tasks []Task) []*Session {
+	type job struct {
+		idx  int
+		task Task
+		ua   webtx.UserAgent
+	}
+	jobs := make(chan job)
+	out := make([]*Session, len(tasks)*len(c.cfg.UserAgents))
+	var wg sync.WaitGroup
+	for w := 0; w < c.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				out[j.idx] = c.RunSession(j.task, j.ua)
+			}
+		}()
+	}
+	i := 0
+	for _, t := range tasks {
+		for _, ua := range c.cfg.UserAgents {
+			jobs <- job{idx: i, task: t, ua: ua}
+			i++
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// RunSession crawls one publisher with one UA.
+func (c *Crawler) RunSession(task Task, ua webtx.UserAgent) *Session {
+	s := &Session{Publisher: task.Host, UserAgent: ua, ClientIP: task.ClientIP}
+	adsTriggered := 0
+	targetIdx := 0
+
+	for adsTriggered < c.cfg.MaxAdsPerSession {
+		client := c.newClient(task, ua)
+		tab, err := client.Navigate("http://" + task.Host + "/")
+		if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
+			s.Events = append(s.Events, client.Events()...)
+			return s
+		}
+		s.PublisherOK = true
+		clickables := tab.Doc.Clickables()
+		if targetIdx >= len(clickables) || targetIdx >= c.cfg.MaxClickTargets {
+			s.Events = append(s.Events, client.Events()...)
+			return s
+		}
+		el := clickables[targetIdx]
+		navigatedAway := false
+		for r := 0; r < c.cfg.RepeatClicks && adsTriggered < c.cfg.MaxAdsPerSession; r++ {
+			res, err := client.ClickElement(tab, el)
+			if err != nil {
+				break
+			}
+			for _, popup := range res.OpenedTabs {
+				if popup.URL.Host == task.Host {
+					continue // same-site popup is not an ad
+				}
+				s.Landings = append(s.Landings, c.recordLanding(client, popup, ua))
+				adsTriggered++
+			}
+			if res.Navigated {
+				// The tab itself left the publisher: record it, then
+				// restart the browser and move to the next target (the
+				// paper re-opens the browser and reloads the page).
+				if tab.URL.Host != task.Host {
+					s.Landings = append(s.Landings, c.recordLanding(client, tab, ua))
+					adsTriggered++
+				}
+				navigatedAway = true
+				break
+			}
+		}
+		s.Events = append(s.Events, client.Events()...)
+		targetIdx++
+		if !navigatedAway && targetIdx >= min(len(clickables), c.cfg.MaxClickTargets) {
+			return s
+		}
+	}
+	return s
+}
+
+func (c *Crawler) newClient(task Task, ua webtx.UserAgent) *devtools.Client {
+	return devtools.NewClient(c.internet, c.clock, devtools.ClientConfig{
+		UserAgent:       ua,
+		ClientIP:        task.ClientIP,
+		StealthPatch:    !c.cfg.DisableStealth,
+		DialogBypass:    !c.cfg.DisableDialogBypass,
+		DeviceEmulation: c.cfg.DeviceEmulation && ua.Mobile,
+		BlockFilter:     c.cfg.BlockFilter,
+		FetchCost:       c.cfg.FetchCost,
+		ViewportScale:   c.cfg.ViewportScale,
+	})
+}
+
+// recordLanding captures a landing page: screenshot hash, downloads from
+// one interaction, final URL.
+func (c *Crawler) recordLanding(client *devtools.Client, tab *browser.Tab, ua webtx.UserAgent) Landing {
+	l := Landing{
+		URL:    tab.URL,
+		E2LD:   urlx.E2LD(tab.URL.Host),
+		Status: tab.Status,
+		Mobile: ua.Mobile,
+	}
+	if tab.Blocked() {
+		l.Blocked = true
+		return l
+	}
+	if tab.Doc == nil {
+		l.Downloads = tab.Downloads
+		return l
+	}
+	l.Title = tab.Doc.Title
+	_, l.ParkedScore = parking.NewDetector().Classify(tab.Doc)
+	if img, err := client.CaptureScreenshot(tab); err == nil {
+		l.Hash = phash.DHash(img)
+		l.Hashed = true
+	}
+	if !c.cfg.DisableLandingInteraction {
+		c.interact(client, tab)
+	}
+	l.Downloads = tab.Downloads
+	l.Blocked = tab.Blocked()
+	l.Behaviour = behaviourFromEvents(client.Events(), tab)
+	return l
+}
+
+// behaviourFromEvents distils the landing tab's instrumentation log into
+// SE signals.
+func behaviourFromEvents(events []browser.Event, tab *browser.Tab) Behaviour {
+	var bh Behaviour
+	for _, e := range events {
+		if e.Tab != tab.ID {
+			continue
+		}
+		switch e.Kind {
+		case browser.EvDialogBypass:
+			if e.Detail == "alert" || e.Detail == "confirm" {
+				bh.Alerts++
+			}
+			if e.Detail == "onbeforeunload" {
+				bh.BeforeUnload = true
+			}
+		case browser.EvAPICall:
+			switch e.API.Name {
+			case "window.alert", "window.confirm":
+				bh.Alerts++
+			case "window.onbeforeunload":
+				bh.BeforeUnload = true
+			case "notification.request":
+				bh.NotificationRequest = true
+			case "window.open":
+				if len(e.API.Args) > 0 && strings.Contains(e.API.Args[0], "signup") {
+					bh.OpenedSignup = true
+				}
+			}
+		case browser.EvDownload:
+			bh.Downloaded = true
+		}
+	}
+	// Alerts are double-counted when both the API call and its bypass are
+	// logged; halve conservatively.
+	if bh.Alerts > 1 {
+		bh.Alerts = (bh.Alerts + 1) / 2
+	}
+	return bh
+}
+
+// interact performs the paper's "simple interactions" on an SE landing
+// page: click the most prominent button, falling back to the page
+// centre. This is what triggers fake-software downloads.
+func (c *Crawler) interact(client *devtools.Client, tab *browser.Tab) {
+	var target *dom.Element
+	best := -1
+	tab.Doc.Root.Walk(func(el *dom.Element) bool {
+		if el.Tag == "button" && el.Area() > best {
+			best = el.Area()
+			target = el
+		}
+		return true
+	})
+	if target != nil {
+		_, _ = client.ClickElement(tab, target)
+		return
+	}
+	if tab.Doc.Root.W > 0 {
+		_, _ = client.Click(tab, tab.Doc.Root.W/2, tab.Doc.Root.H/2)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,97 @@
+package devtools
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/vclock"
+	"repro/internal/webtx"
+)
+
+func simplePage() webtx.Handler {
+	return webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		root := dom.NewElement("body")
+		root.W, root.H = 1024, 768
+		btn := dom.NewElement("button").SetAttr("id", "go")
+		btn.X, btn.Y, btn.W, btn.H = 10, 10, 100, 30
+		root.Append(btn)
+		doc := &dom.Document{Root: root, Title: "x",
+			Scripts: []dom.ScriptRef{{Code: `document.listen("go", "click", function() { window.open("http://other.com/"); });`}}}
+		return webtx.DocumentPage(doc)
+	})
+}
+
+func TestClientNavigateAndClick(t *testing.T) {
+	internet := webtx.NewInternet()
+	internet.Register("a.com", simplePage())
+	internet.Register("other.com", webtx.HandlerFunc(func(*webtx.Request) *webtx.Response {
+		return webtx.DocumentPage(&dom.Document{Root: dom.NewElement("body")})
+	}))
+	c := NewClient(internet, vclock.New(), ClientConfig{
+		UserAgent: webtx.UAChromeMac, StealthPatch: true, DialogBypass: true,
+	})
+	tab, err := c.Navigate("http://a.com/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ClickElement(tab, tab.Doc.Root.Find("go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OpenedTabs) != 1 {
+		t.Fatalf("popups = %d", len(res.OpenedTabs))
+	}
+	front, err := c.FrontTab()
+	if err != nil || front.URL.Host != "other.com" {
+		t.Fatalf("front tab = %v %v", front, err)
+	}
+	if len(c.Tabs()) != 2 {
+		t.Fatalf("tabs = %d", len(c.Tabs()))
+	}
+	if len(c.Events()) == 0 {
+		t.Fatal("no events")
+	}
+	img, err := c.CaptureScreenshot(tab)
+	if err != nil || img == nil {
+		t.Fatalf("screenshot: %v", err)
+	}
+	if _, err := c.Click(tab, 60, 25); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWebdriverVisible(t *testing.T) {
+	internet := webtx.NewInternet()
+	stealthy := NewClient(internet, vclock.New(), ClientConfig{StealthPatch: true})
+	if stealthy.WebdriverVisible() {
+		t.Fatal("stealth client detectable")
+	}
+	stock := NewClient(internet, vclock.New(), ClientConfig{})
+	if !stock.WebdriverVisible() {
+		t.Fatal("stock client undetectable")
+	}
+}
+
+func TestFrontTabNoTab(t *testing.T) {
+	c := NewClient(webtx.NewInternet(), vclock.New(), ClientConfig{})
+	if _, err := c.FrontTab(); err != ErrNoTab {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStringDescribesProfile(t *testing.T) {
+	c := NewClient(webtx.NewInternet(), vclock.New(), ClientConfig{
+		UserAgent: webtx.UAChromeAndroid, ClientIP: webtx.IPResidential,
+		StealthPatch: true, DialogBypass: true,
+	})
+	s := c.String()
+	for _, want := range []string{"chrome65-android", "residential", "stealth=true"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	if c.Browser() == nil {
+		t.Fatal("Browser() nil")
+	}
+}

@@ -1,0 +1,271 @@
+// Package dom models the document trees the synthetic web serves and the
+// browser renders: elements with tags, attributes, box geometry, and
+// visual style. The crawler's click heuristics (paper Section 3.2: sort
+// images and iframes by rendered size, click the largest first) and the
+// screenshot renderer both consume this geometry.
+//
+// Layout is explicit rather than computed: page generators place boxes
+// directly, which is all the pipeline needs — it never inspects CSS, only
+// rendered geometry and page source.
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Element is a node in a document tree.
+type Element struct {
+	Tag      string
+	Attrs    map[string]string
+	Children []*Element
+	Text     string // inline text content (leaf convenience)
+
+	// Box geometry in page coordinates.
+	X, Y, W, H int
+
+	// Style captures the visual properties the renderer and click
+	// heuristics care about.
+	Style Style
+}
+
+// Style is the subset of visual style the simulator models.
+type Style struct {
+	// Background fill as 0xRRGGBB; -1 means transparent/no fill.
+	Background int
+	// Foreground ("ink") color for text blocks, 0xRRGGBB.
+	Ink int
+	// Transparent marks fully invisible overlay elements — the paper's
+	// "transparent ad" <div> covering the entire page (Section 2).
+	Transparent bool
+	// ZIndex orders overlapping elements; higher paints later and
+	// receives clicks first.
+	ZIndex int
+	// TextSeed makes text-block rendering deterministic per template.
+	TextSeed uint64
+}
+
+// NewElement builds an element with an attribute map ready for use.
+func NewElement(tag string) *Element {
+	return &Element{Tag: tag, Attrs: map[string]string{}, Style: Style{Background: -1}}
+}
+
+// Append adds children and returns the element for chaining.
+func (e *Element) Append(children ...*Element) *Element {
+	e.Children = append(e.Children, children...)
+	return e
+}
+
+// SetAttr sets an attribute and returns the element for chaining.
+func (e *Element) SetAttr(k, v string) *Element {
+	if e.Attrs == nil {
+		e.Attrs = map[string]string{}
+	}
+	e.Attrs[k] = v
+	return e
+}
+
+// Attr returns an attribute value ("" when absent).
+func (e *Element) Attr(k string) string { return e.Attrs[k] }
+
+// ID returns the element's id attribute.
+func (e *Element) ID() string { return e.Attrs["id"] }
+
+// Area returns the rendered area in square pixels.
+func (e *Element) Area() int { return e.W * e.H }
+
+// Contains reports whether the point (x, y) lies inside the element box.
+func (e *Element) Contains(x, y int) bool {
+	return x >= e.X && x < e.X+e.W && y >= e.Y && y < e.Y+e.H
+}
+
+// Center returns the box centre, where the crawler aims its clicks.
+func (e *Element) Center() (int, int) { return e.X + e.W/2, e.Y + e.H/2 }
+
+// Walk visits the element and all descendants in depth-first pre-order.
+// Returning false from visit prunes the subtree.
+func (e *Element) Walk(visit func(*Element) bool) {
+	if !visit(e) {
+		return
+	}
+	for _, c := range e.Children {
+		c.Walk(visit)
+	}
+}
+
+// Find returns the first descendant (or the element itself) with the
+// given id, or nil.
+func (e *Element) Find(id string) *Element {
+	var out *Element
+	e.Walk(func(el *Element) bool {
+		if out != nil {
+			return false
+		}
+		if el.ID() == id {
+			out = el
+			return false
+		}
+		return true
+	})
+	return out
+}
+
+// FindAll returns all descendants (and possibly the element itself) with
+// the given tag, in document order.
+func (e *Element) FindAll(tag string) []*Element {
+	var out []*Element
+	e.Walk(func(el *Element) bool {
+		if el.Tag == tag {
+			out = append(out, el)
+		}
+		return true
+	})
+	return out
+}
+
+// Document is a parsed page: the element tree plus the script references
+// and navigation hints the browser acts on.
+type Document struct {
+	URL   string // source URL (informational)
+	Title string
+	Root  *Element
+	// Scripts lists script sources in document order: external
+	// (Src != "") or inline (Code != "").
+	Scripts []ScriptRef
+	// MetaRefresh, when non-nil, instructs the browser to navigate after
+	// a delay (the paper lists Meta Refresh among the ad-load redirect
+	// mechanisms, Section 3.4).
+	MetaRefresh *MetaRefresh
+	// Links are plain anchor targets on the page.
+	Links []string
+}
+
+// ScriptRef points at script code to execute in the document's context.
+type ScriptRef struct {
+	Src  string // external script URL (fetched by the browser)
+	Code string // inline code
+}
+
+// MetaRefresh is an HTML meta-refresh directive.
+type MetaRefresh struct {
+	DelaySeconds int
+	Target       string
+}
+
+// Clickables returns the elements the crawler considers click candidates
+// — images and iframes plus explicit overlay divs — sorted by descending
+// rendered area (ties broken by document order), per the paper's
+// heuristic.
+func (d *Document) Clickables() []*Element {
+	type cand struct {
+		el    *Element
+		order int
+	}
+	var cands []cand
+	order := 0
+	d.Root.Walk(func(el *Element) bool {
+		switch el.Tag {
+		case "img", "iframe":
+			if el.Area() > 0 {
+				cands = append(cands, cand{el, order})
+			}
+		case "div":
+			if el.Style.Transparent && el.Area() > 0 {
+				cands = append(cands, cand{el, order})
+			}
+		}
+		order++
+		return true
+	})
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].el.Area() != cands[j].el.Area() {
+			return cands[i].el.Area() > cands[j].el.Area()
+		}
+		return cands[i].order < cands[j].order
+	})
+	out := make([]*Element, len(cands))
+	for i, c := range cands {
+		out[i] = c.el
+	}
+	return out
+}
+
+// HitTest returns the topmost element containing (x, y): among containing
+// elements the one with the highest ZIndex wins, with later document
+// order breaking ties. Returns nil when the point is outside every box.
+func (d *Document) HitTest(x, y int) *Element {
+	var best *Element
+	bestZ := 0
+	order, bestOrder := 0, -1
+	d.Root.Walk(func(el *Element) bool {
+		if el.Contains(x, y) {
+			if best == nil || el.Style.ZIndex > bestZ || (el.Style.ZIndex == bestZ && order > bestOrder) {
+				best, bestZ, bestOrder = el, el.Style.ZIndex, order
+			}
+		}
+		order++
+		return true
+	})
+	return best
+}
+
+// Serialize renders the document as HTML-ish source. The websearch index
+// and the attribution source patterns match against this text, so the
+// serialisation must include script code and attribute values verbatim.
+func (d *Document) Serialize() string {
+	var b strings.Builder
+	b.WriteString("<!doctype html><html><head><title>")
+	b.WriteString(d.Title)
+	b.WriteString("</title>")
+	if d.MetaRefresh != nil {
+		fmt.Fprintf(&b, `<meta http-equiv="refresh" content="%d;url=%s">`, d.MetaRefresh.DelaySeconds, d.MetaRefresh.Target)
+	}
+	b.WriteString("</head><body>")
+	serializeElement(&b, d.Root)
+	for _, s := range d.Scripts {
+		if s.Src != "" {
+			fmt.Fprintf(&b, `<script src="%s"></script>`, s.Src)
+		} else {
+			b.WriteString("<script>")
+			b.WriteString(s.Code)
+			b.WriteString("</script>")
+		}
+	}
+	for _, l := range d.Links {
+		fmt.Fprintf(&b, `<a href="%s"></a>`, l)
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func serializeElement(b *strings.Builder, e *Element) {
+	if e == nil {
+		return
+	}
+	b.WriteByte('<')
+	b.WriteString(e.Tag)
+	keys := make([]string, 0, len(e.Attrs))
+	for k := range e.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, ` %s="%s"`, k, e.Attrs[k])
+	}
+	b.WriteByte('>')
+	if e.Text != "" {
+		b.WriteString(e.Text)
+	}
+	for _, c := range e.Children {
+		serializeElement(b, c)
+	}
+	b.WriteString("</" + e.Tag + ">")
+}
+
+// CountElements returns the total number of elements in the document.
+func (d *Document) CountElements() int {
+	n := 0
+	d.Root.Walk(func(*Element) bool { n++; return true })
+	return n
+}

@@ -1,0 +1,108 @@
+package dom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// randomDoc builds an arbitrary document tree from a seed.
+func randomDoc(seed int64) *Document {
+	src := rng.New(seed)
+	root := NewElement("body")
+	root.W, root.H = 200+src.Intn(900), 200+src.Intn(700)
+	n := src.IntRange(1, 25)
+	parents := []*Element{root}
+	tags := []string{"div", "img", "iframe", "p", "button"}
+	for i := 0; i < n; i++ {
+		el := NewElement(rng.Pick(src, tags))
+		el.X = src.Intn(root.W)
+		el.Y = src.Intn(root.H)
+		el.W = src.Intn(root.W / 2)
+		el.H = src.Intn(root.H / 2)
+		el.Style.ZIndex = src.Intn(10)
+		el.Style.Transparent = src.Bool(0.1)
+		parent := rng.Pick(src, parents)
+		parent.Append(el)
+		parents = append(parents, el)
+	}
+	return &Document{Root: root, Title: "t"}
+}
+
+// Property: Clickables returns img/iframe/transparent-div elements with
+// positive area, in non-increasing area order.
+func TestClickablesProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDoc(seed)
+		cs := d.Clickables()
+		for i, el := range cs {
+			if el.Area() <= 0 {
+				return false
+			}
+			switch el.Tag {
+			case "img", "iframe":
+			case "div":
+				if !el.Style.Transparent {
+					return false
+				}
+			default:
+				return false
+			}
+			if i > 0 && cs[i-1].Area() < el.Area() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HitTest returns an element containing the point, and no
+// containing element has a strictly higher z-index.
+func TestHitTestProperties(t *testing.T) {
+	f := func(seed int64, px, py uint16) bool {
+		d := randomDoc(seed)
+		x := int(px) % d.Root.W
+		y := int(py) % d.Root.H
+		hit := d.HitTest(x, y)
+		maxZ := -1 << 30
+		found := false
+		d.Root.Walk(func(el *Element) bool {
+			if el.Contains(x, y) {
+				found = true
+				if el.Style.ZIndex > maxZ {
+					maxZ = el.Style.ZIndex
+				}
+			}
+			return true
+		})
+		if !found {
+			return hit == nil
+		}
+		return hit != nil && hit.Contains(x, y) && hit.Style.ZIndex == maxZ
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: serialization is deterministic and contains every element's
+// tag.
+func TestSerializeProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		d := randomDoc(seed)
+		a, b := d.Serialize(), d.Serialize()
+		if a != b {
+			return false
+		}
+		count := 0
+		d.Root.Walk(func(*Element) bool { count++; return true })
+		return d.CountElements() == count
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,193 @@
+package dom
+
+import (
+	"strings"
+	"testing"
+)
+
+func samplePage() *Document {
+	root := NewElement("body")
+	root.W, root.H = 1024, 768
+
+	banner := NewElement("img").SetAttr("id", "banner").SetAttr("src", "/banner.png")
+	banner.X, banner.Y, banner.W, banner.H = 100, 50, 728, 90
+
+	thumb := NewElement("img").SetAttr("id", "thumb")
+	thumb.X, thumb.Y, thumb.W, thumb.H = 10, 200, 120, 90
+
+	frame := NewElement("iframe").SetAttr("id", "adframe").SetAttr("src", "http://ads.com/f")
+	frame.X, frame.Y, frame.W, frame.H = 100, 400, 300, 250
+
+	overlay := NewElement("div").SetAttr("id", "overlay")
+	overlay.X, overlay.Y, overlay.W, overlay.H = 0, 0, 1024, 768
+	overlay.Style.Transparent = true
+	overlay.Style.ZIndex = 9999
+
+	content := NewElement("div").SetAttr("id", "content")
+	content.X, content.Y, content.W, content.H = 0, 0, 1024, 768
+
+	root.Append(content.Append(banner, thumb, frame), overlay)
+	return &Document{URL: "http://pub.com/", Title: "pub", Root: root}
+}
+
+func TestClickablesSortedByArea(t *testing.T) {
+	d := samplePage()
+	c := d.Clickables()
+	if len(c) != 4 {
+		t.Fatalf("clickables = %d", len(c))
+	}
+	// overlay (1024*768) > iframe (75000) > banner (65520) > thumb.
+	wantOrder := []string{"overlay", "adframe", "banner", "thumb"}
+	for i, want := range wantOrder {
+		if c[i].ID() != want {
+			t.Fatalf("clickables[%d] = %q, want %q", i, c[i].ID(), want)
+		}
+	}
+}
+
+func TestClickablesSkipZeroArea(t *testing.T) {
+	root := NewElement("body")
+	img := NewElement("img") // zero size
+	root.Append(img)
+	d := &Document{Root: root}
+	if got := d.Clickables(); len(got) != 0 {
+		t.Fatalf("clickables = %d", len(got))
+	}
+}
+
+func TestClickablesTieBreakDocumentOrder(t *testing.T) {
+	root := NewElement("body")
+	a := NewElement("img").SetAttr("id", "a")
+	a.W, a.H = 10, 10
+	b := NewElement("img").SetAttr("id", "b")
+	b.W, b.H = 10, 10
+	root.Append(a, b)
+	d := &Document{Root: root}
+	c := d.Clickables()
+	if c[0].ID() != "a" || c[1].ID() != "b" {
+		t.Fatal("tie not broken by document order")
+	}
+}
+
+func TestHitTestTopmostWins(t *testing.T) {
+	d := samplePage()
+	// The transparent overlay has the highest z-index and covers all.
+	el := d.HitTest(400, 450)
+	if el == nil || el.ID() != "overlay" {
+		t.Fatalf("HitTest = %v", el)
+	}
+}
+
+func TestHitTestOutside(t *testing.T) {
+	d := samplePage()
+	if el := d.HitTest(5000, 5000); el != nil {
+		t.Fatalf("HitTest outside = %v", el)
+	}
+}
+
+func TestHitTestLaterOrderWinsOnEqualZ(t *testing.T) {
+	root := NewElement("body")
+	root.W, root.H = 100, 100
+	a := NewElement("div").SetAttr("id", "a")
+	a.W, a.H = 100, 100
+	b := NewElement("div").SetAttr("id", "b")
+	b.W, b.H = 100, 100
+	root.Append(a, b)
+	d := &Document{Root: root}
+	if el := d.HitTest(50, 50); el.ID() != "b" {
+		t.Fatalf("HitTest = %q", el.ID())
+	}
+}
+
+func TestFindAndFindAll(t *testing.T) {
+	d := samplePage()
+	if el := d.Root.Find("adframe"); el == nil || el.Tag != "iframe" {
+		t.Fatalf("Find = %v", el)
+	}
+	if el := d.Root.Find("missing"); el != nil {
+		t.Fatal("Find returned non-nil for missing id")
+	}
+	imgs := d.Root.FindAll("img")
+	if len(imgs) != 2 {
+		t.Fatalf("FindAll(img) = %d", len(imgs))
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	e := NewElement("div")
+	e.X, e.Y, e.W, e.H = 10, 20, 30, 40
+	if e.Area() != 1200 {
+		t.Fatalf("Area = %d", e.Area())
+	}
+	if !e.Contains(10, 20) || !e.Contains(39, 59) || e.Contains(40, 20) || e.Contains(10, 60) {
+		t.Fatal("Contains boundary wrong")
+	}
+	cx, cy := e.Center()
+	if cx != 25 || cy != 40 {
+		t.Fatalf("Center = %d,%d", cx, cy)
+	}
+}
+
+func TestSerializeContainsEverything(t *testing.T) {
+	d := samplePage()
+	d.Scripts = []ScriptRef{
+		{Src: "http://adnet.com/v3/serve.js"},
+		{Code: "let zoneNative = 42;"},
+	}
+	d.MetaRefresh = &MetaRefresh{DelaySeconds: 3, Target: "http://next.com/"}
+	d.Links = []string{"http://friend.com/"}
+	s := d.Serialize()
+	for _, want := range []string{
+		"<title>pub</title>",
+		`src="http://adnet.com/v3/serve.js"`,
+		"let zoneNative = 42;",
+		`content="3;url=http://next.com/"`,
+		`href="http://friend.com/"`,
+		`id="banner"`,
+		`src="/banner.png"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("serialized page missing %q", want)
+		}
+	}
+}
+
+func TestSerializeDeterministicAttrOrder(t *testing.T) {
+	e := NewElement("img").SetAttr("z", "1").SetAttr("a", "2").SetAttr("m", "3")
+	d := &Document{Root: e}
+	s1, s2 := d.Serialize(), d.Serialize()
+	if s1 != s2 {
+		t.Fatal("serialization not deterministic")
+	}
+	if strings.Index(s1, `a="2"`) > strings.Index(s1, `z="1"`) {
+		t.Fatal("attributes not sorted")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	d := samplePage()
+	count := 0
+	d.Root.Walk(func(e *Element) bool {
+		count++
+		return e.ID() != "content" // prune content subtree
+	})
+	// body + content + overlay = 3 (children of content pruned).
+	if count != 3 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestCountElements(t *testing.T) {
+	d := samplePage()
+	if n := d.CountElements(); n != 6 {
+		t.Fatalf("CountElements = %d", n)
+	}
+}
+
+func TestSetAttrOnNilMap(t *testing.T) {
+	e := &Element{Tag: "div"}
+	e.SetAttr("k", "v")
+	if e.Attr("k") != "v" {
+		t.Fatal("SetAttr on nil map failed")
+	}
+}

@@ -1,0 +1,113 @@
+package enrich
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/gsb"
+	"repro/internal/rng"
+	"repro/internal/vclock"
+)
+
+func TestFeedPropagationDelay(t *testing.T) {
+	f := NewFeed(30 * time.Minute)
+	t0 := vclock.Epoch
+	f.Publish("atk.club", t0)
+	if f.Blocks("atk.club", t0.Add(29*time.Minute)) {
+		t.Fatal("blocked before propagation")
+	}
+	if !f.Blocks("atk.club", t0.Add(30*time.Minute)) {
+		t.Fatal("not blocked after propagation")
+	}
+	if f.Blocks("other.club", t0.Add(time.Hour)) {
+		t.Fatal("unpublished domain blocked")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("len = %d", f.Len())
+	}
+}
+
+func TestFeedKeepsEarliest(t *testing.T) {
+	f := NewFeed(0)
+	t0 := vclock.Epoch
+	f.Publish("a.club", t0.Add(time.Hour))
+	f.Publish("a.club", t0) // earlier sighting wins
+	if !f.Blocks("a.club", t0) {
+		t.Fatal("earlier publication ignored")
+	}
+}
+
+func TestReplayEnrichedBeatsGSB(t *testing.T) {
+	// GSB that never detects anything vs an instant feed.
+	bl := gsb.NewBlacklist(map[string]gsb.DetectionProfile{}, rng.New(1))
+	feed := NewFeed(15 * time.Minute)
+	t0 := vclock.Epoch
+	var windows []DomainWindow
+	for i := 0; i < 50; i++ {
+		d := rng.New(int64(i)).Token(10) + ".club"
+		bl.ObserveMaliciousDomain(d, "nocat", t0)
+		feed.Publish(d, t0)
+		windows = append(windows, DomainWindow{Domain: d, From: t0, To: t0.Add(12 * time.Hour)})
+	}
+	out := Replay(windows, bl, feed, TrafficModel{VisitsPerDomain: 20, Seed: 7})
+	if out.Visits == 0 {
+		t.Fatal("no traffic sampled")
+	}
+	if out.BlockedGSB != 0 {
+		t.Fatalf("GSB blocked %d with empty profiles", out.BlockedGSB)
+	}
+	if out.EnrichedRate() < 0.9 {
+		t.Fatalf("enriched rate %.2f, want ~ (12h-15m)/12h", out.EnrichedRate())
+	}
+	if out.FeedOnlySaves != out.BlockedEnrich {
+		t.Fatal("feed-only accounting wrong with silent GSB")
+	}
+}
+
+func TestReplayGSBSubsetOfEnriched(t *testing.T) {
+	bl := gsb.NewBlacklist(map[string]gsb.DetectionProfile{
+		"cat": {DetectProb: 1.0, LagMeanDays: 0.1, LagSigma: 0.2},
+	}, rng.New(2))
+	feed := NewFeed(time.Hour)
+	t0 := vclock.Epoch
+	var windows []DomainWindow
+	for i := 0; i < 30; i++ {
+		d := rng.New(int64(100+i)).Token(10) + ".xyz"
+		bl.ObserveMaliciousDomain(d, "cat", t0)
+		feed.Publish(d, t0)
+		windows = append(windows, DomainWindow{Domain: d, From: t0, To: t0.Add(24 * time.Hour)})
+	}
+	out := Replay(windows, bl, feed, TrafficModel{VisitsPerDomain: 30, Seed: 9})
+	if out.BlockedEnrich < out.BlockedGSB {
+		t.Fatal("enriched blocked fewer than GSB alone")
+	}
+	if out.GSBRate() > out.EnrichedRate() {
+		t.Fatal("rates inconsistent")
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	bl := gsb.NewBlacklist(map[string]gsb.DetectionProfile{}, rng.New(3))
+	feed := NewFeed(0)
+	t0 := vclock.Epoch
+	windows := []DomainWindow{{Domain: "a.club", From: t0, To: t0.Add(time.Hour)}}
+	feed.Publish("a.club", t0)
+	a := Replay(windows, bl, feed, TrafficModel{VisitsPerDomain: 10, Seed: 5})
+	b := Replay(windows, bl, feed, TrafficModel{VisitsPerDomain: 10, Seed: 5})
+	if a != b {
+		t.Fatalf("replays differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestReplayEmptyWindowSkipped(t *testing.T) {
+	bl := gsb.NewBlacklist(map[string]gsb.DetectionProfile{}, rng.New(4))
+	feed := NewFeed(0)
+	t0 := vclock.Epoch
+	out := Replay([]DomainWindow{{Domain: "a.club", From: t0, To: t0}}, bl, feed, TrafficModel{})
+	if out.Visits != 0 {
+		t.Fatalf("visits = %d for zero-length window", out.Visits)
+	}
+	if out.GSBRate() != 0 || out.EnrichedRate() != 0 {
+		t.Fatal("rates on empty outcome nonzero")
+	}
+}

@@ -1,0 +1,127 @@
+package gsb
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/vclock"
+)
+
+func TestUnknownDomainNotListed(t *testing.T) {
+	b := NewBlacklist(nil, rng.New(1))
+	if b.Lookup("benign.com", vclock.Epoch) {
+		t.Fatal("unknown domain blacklisted")
+	}
+}
+
+func TestZeroProbCategoriesNeverDetected(t *testing.T) {
+	b := NewBlacklist(nil, rng.New(2))
+	for i := 0; i < 500; i++ {
+		b.ObserveMaliciousDomain(
+			rng.New(int64(i)).Token(10)+".club", "registration", vclock.Epoch)
+	}
+	rate, total := b.EventualDetectionRate("registration")
+	if total != 500 || rate != 0 {
+		t.Fatalf("rate = %v over %d", rate, total)
+	}
+	// Even a year later nothing is listed.
+	later := vclock.Epoch.Add(365 * 24 * time.Hour)
+	for _, d := range b.ObservedDomains() {
+		if b.Lookup(d, later) {
+			t.Fatalf("registration domain %s listed", d)
+		}
+	}
+}
+
+func TestDetectionRateMatchesProfile(t *testing.T) {
+	b := NewBlacklist(nil, rng.New(3))
+	src := rng.New(99)
+	for i := 0; i < 2000; i++ {
+		b.ObserveMaliciousDomain(src.Token(12)+".xyz", "tech-support", vclock.Epoch)
+	}
+	rate, total := b.EventualDetectionRate("tech-support")
+	if total != 2000 {
+		t.Fatalf("total = %d", total)
+	}
+	want := DefaultProfiles["tech-support"].DetectProb
+	if rate < want-0.05 || rate > want+0.05 {
+		t.Fatalf("rate = %v, want ~%v", rate, want)
+	}
+}
+
+func TestDetectionLagExceedsSevenDays(t *testing.T) {
+	b := NewBlacklist(nil, rng.New(4))
+	src := rng.New(7)
+	var lags []time.Duration
+	for i := 0; i < 3000; i++ {
+		d := src.Token(12) + ".club"
+		b.ObserveMaliciousDomain(d, "fake-software", vclock.Epoch)
+		if lag, ok := b.DetectionLag(d); ok {
+			lags = append(lags, lag)
+		}
+	}
+	if len(lags) < 100 {
+		t.Fatalf("only %d detections", len(lags))
+	}
+	var sum time.Duration
+	for _, l := range lags {
+		sum += l
+	}
+	mean := sum / time.Duration(len(lags))
+	if mean < 7*24*time.Hour {
+		t.Fatalf("mean lag %v < 7 days — the paper's headline would not reproduce", mean)
+	}
+}
+
+func TestLookupTransitionsAtDetectionTime(t *testing.T) {
+	b := NewBlacklist(map[string]DetectionProfile{
+		"cat": {DetectProb: 1.0, LagMeanDays: 5, LagSigma: 0.3},
+	}, rng.New(5))
+	b.ObserveMaliciousDomain("x.club", "cat", vclock.Epoch)
+	lag, ok := b.DetectionLag("x.club")
+	if !ok {
+		t.Fatal("prob-1 domain not detected")
+	}
+	justBefore := vclock.Epoch.Add(lag - time.Second)
+	atTime := vclock.Epoch.Add(lag)
+	if b.Lookup("x.club", justBefore) {
+		t.Fatal("listed before detection time")
+	}
+	if !b.Lookup("x.club", atTime) {
+		t.Fatal("not listed at detection time")
+	}
+}
+
+func TestObserveIdempotent(t *testing.T) {
+	b := NewBlacklist(map[string]DetectionProfile{
+		"cat": {DetectProb: 1.0, LagMeanDays: 5, LagSigma: 0.3},
+	}, rng.New(6))
+	b.ObserveMaliciousDomain("x.club", "cat", vclock.Epoch)
+	lag1, _ := b.DetectionLag("x.club")
+	b.ObserveMaliciousDomain("x.club", "cat", vclock.Epoch.Add(time.Hour))
+	lag2, _ := b.DetectionLag("x.club")
+	if lag1 != lag2 {
+		t.Fatal("re-observation changed detection draw")
+	}
+	if len(b.ObservedDomains()) != 1 {
+		t.Fatal("duplicate entries")
+	}
+}
+
+func TestLookupCount(t *testing.T) {
+	b := NewBlacklist(nil, rng.New(8))
+	for i := 0; i < 5; i++ {
+		b.Lookup("a.com", vclock.Epoch)
+	}
+	if b.LookupCount() != 5 {
+		t.Fatalf("lookups = %d", b.LookupCount())
+	}
+}
+
+func TestDetectionLagUnknownDomain(t *testing.T) {
+	b := NewBlacklist(nil, rng.New(9))
+	if _, ok := b.DetectionLag("never-seen.com"); ok {
+		t.Fatal("lag for unknown domain")
+	}
+}

@@ -1,0 +1,233 @@
+// Package imaging provides the small raster toolkit used by the
+// screenshot renderer and the perceptual hasher: an RGBA image type,
+// drawing primitives (solid fills, borders, hatched "text" blocks,
+// deterministic noise), grayscale conversion and box-filter resizing.
+//
+// The pipeline hashes screenshots with a difference hash (see
+// internal/phash); all it needs from rendering is that pages built from
+// the same visual template produce near-identical pixel data while pages
+// from different templates differ strongly. The primitives here are
+// sufficient for that and keep the renderer dependency-free.
+package imaging
+
+import (
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+)
+
+// Image is a simple 8-bit RGBA raster.
+type Image struct {
+	W, H int
+	Pix  []byte // 4 bytes per pixel, row-major
+}
+
+// New returns a white image of the given size.
+func New(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: invalid size %dx%d", w, h))
+	}
+	img := &Image{W: w, H: h, Pix: make([]byte, w*h*4)}
+	img.Fill(RGB(255, 255, 255))
+	return img
+}
+
+// Color is an RGBA color.
+type Color struct{ R, G, B, A byte }
+
+// RGB builds an opaque Color.
+func RGB(r, g, b byte) Color { return Color{r, g, b, 255} }
+
+// Gray builds an opaque gray Color.
+func Gray(v byte) Color { return Color{v, v, v, 255} }
+
+func (im *Image) idx(x, y int) int { return (y*im.W + x) * 4 }
+
+// Set writes a pixel, ignoring out-of-bounds coordinates.
+func (im *Image) Set(x, y int, c Color) {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return
+	}
+	i := im.idx(x, y)
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3] = c.R, c.G, c.B, c.A
+}
+
+// At reads a pixel; out-of-bounds reads return black.
+func (im *Image) At(x, y int) Color {
+	if x < 0 || y < 0 || x >= im.W || y >= im.H {
+		return Color{}
+	}
+	i := im.idx(x, y)
+	return Color{im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3]}
+}
+
+// Fill paints the whole image.
+func (im *Image) Fill(c Color) {
+	im.FillRect(0, 0, im.W, im.H, c)
+}
+
+// FillRect paints the rectangle [x,x+w) x [y,y+h), clipped to the image.
+func (im *Image) FillRect(x, y, w, h int, c Color) {
+	x0, y0, x1, y1 := clip(x, y, w, h, im.W, im.H)
+	for yy := y0; yy < y1; yy++ {
+		i := im.idx(x0, yy)
+		for xx := x0; xx < x1; xx++ {
+			im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3] = c.R, c.G, c.B, c.A
+			i += 4
+		}
+	}
+}
+
+// Border draws a t-pixel border just inside the rectangle.
+func (im *Image) Border(x, y, w, h, t int, c Color) {
+	im.FillRect(x, y, w, t, c)
+	im.FillRect(x, y+h-t, w, t, c)
+	im.FillRect(x, y, t, h, c)
+	im.FillRect(x+w-t, y, t, h, c)
+}
+
+// TextBlock simulates a block of text: horizontal stripes of "ink" with a
+// line height and a ragged right edge derived from seed. The same seed
+// always produces the same raggedness, so identical text templates render
+// identically.
+func (im *Image) TextBlock(x, y, w, h int, ink Color, seed uint64) {
+	const lineH, gap = 3, 4
+	s := seed
+	for ty := y; ty+lineH <= y+h; ty += lineH + gap {
+		s = s*6364136223846793005 + 1442695040888963407
+		frac := 60 + int(s>>33)%41 // 60..100% of width
+		lw := w * frac / 100
+		im.FillRect(x, ty, lw, lineH, ink)
+	}
+}
+
+// Noise perturbs each pixel channel by at most amp, using a deterministic
+// per-seed pseudo-random stream. Small noise models capture artefacts
+// (timestamps, dynamic counters) that perceptual hashing must tolerate.
+func (im *Image) Noise(amp int, seed uint64) {
+	if amp <= 0 {
+		return
+	}
+	s := seed | 1
+	for i := 0; i < len(im.Pix); i++ {
+		if i%4 == 3 {
+			continue // leave alpha
+		}
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		d := int(s%uint64(2*amp+1)) - amp
+		v := int(im.Pix[i]) + d
+		if v < 0 {
+			v = 0
+		} else if v > 255 {
+			v = 255
+		}
+		im.Pix[i] = byte(v)
+	}
+}
+
+// Grayscale returns a luminance view of the image as a W*H byte slice
+// using the Rec.601 weights.
+func (im *Image) Grayscale() []byte {
+	out := make([]byte, im.W*im.H)
+	for p, i := 0, 0; p < len(out); p, i = p+1, i+4 {
+		r, g, b := int(im.Pix[i]), int(im.Pix[i+1]), int(im.Pix[i+2])
+		out[p] = byte((299*r + 587*g + 114*b) / 1000)
+	}
+	return out
+}
+
+// ResizeGray box-filters the image's grayscale view down (or up) to w x h.
+// It is the preprocessing step for perceptual hashing.
+func (im *Image) ResizeGray(w, h int) []byte {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: invalid resize %dx%d", w, h))
+	}
+	gray := im.Grayscale()
+	out := make([]byte, w*h)
+	for oy := 0; oy < h; oy++ {
+		y0, y1 := oy*im.H/h, (oy+1)*im.H/h
+		if y1 <= y0 {
+			y1 = y0 + 1
+		}
+		if y1 > im.H {
+			y1 = im.H
+		}
+		for ox := 0; ox < w; ox++ {
+			x0, x1 := ox*im.W/w, (ox+1)*im.W/w
+			if x1 <= x0 {
+				x1 = x0 + 1
+			}
+			if x1 > im.W {
+				x1 = im.W
+			}
+			var sum, n int
+			for yy := y0; yy < y1; yy++ {
+				row := yy * im.W
+				for xx := x0; xx < x1; xx++ {
+					sum += int(gray[row+xx])
+					n++
+				}
+			}
+			out[oy*w+ox] = byte(sum / n)
+		}
+	}
+	return out
+}
+
+// EncodePNG writes the image as PNG. Used by the figure benches and
+// example programs to emit the paper's screenshot figures.
+func (im *Image) EncodePNG(w io.Writer) error {
+	dst := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
+	copy(dst.Pix, im.Pix)
+	return png.Encode(w, dst)
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := &Image{W: im.W, H: im.H, Pix: make([]byte, len(im.Pix))}
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// MeanAbsDiff returns the mean absolute per-channel difference between two
+// same-sized images; a crude similarity metric used in tests.
+func MeanAbsDiff(a, b *Image) (float64, error) {
+	if a.W != b.W || a.H != b.H {
+		return 0, fmt.Errorf("imaging: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	var sum int64
+	for i := range a.Pix {
+		d := int64(a.Pix[i]) - int64(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(a.Pix)), nil
+}
+
+func clip(x, y, w, h, maxW, maxH int) (x0, y0, x1, y1 int) {
+	x0, y0, x1, y1 = x, y, x+w, y+h
+	if x0 < 0 {
+		x0 = 0
+	}
+	if y0 < 0 {
+		y0 = 0
+	}
+	if x1 > maxW {
+		x1 = maxW
+	}
+	if y1 > maxH {
+		y1 = maxH
+	}
+	if x1 < x0 {
+		x1 = x0
+	}
+	if y1 < y0 {
+		y1 = y0
+	}
+	return
+}

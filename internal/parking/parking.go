@@ -1,0 +1,142 @@
+// Package parking implements the automated parked-domain detection the
+// paper defers to future work (Section 4.3): 11 of its 22 benign
+// clusters were parked or placeholder domains that "could be
+// automatically filtered out using parking detection algorithms
+// [Vissers et al., NDSS 2015]".
+//
+// The detector scores a landing page on structural features that
+// separate registrar placeholders from both SE attacks and ordinary
+// content: sale/placeholder wording, skeletal DOM, absence of scripts
+// and interactive elements, and a dominant centred notice box. The
+// features are adapted from the cited work to the simulator's DOM model;
+// the decision surface is a transparent linear score, not a trained
+// model, so the classifier is auditable in tests.
+package parking
+
+import (
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// Signals are the raw features extracted from one page.
+type Signals struct {
+	// SaleWording: title or text advertises the domain itself.
+	SaleWording bool
+	// Skeletal: very few DOM elements.
+	Skeletal bool
+	// NoScripts: the page runs no code.
+	NoScripts bool
+	// NoInteraction: no buttons, forms or iframes.
+	NoInteraction bool
+	// CentredNotice: one dominant centred box in the upper half.
+	CentredNotice bool
+	// ElementCount is the raw DOM size.
+	ElementCount int
+}
+
+// saleTokens are the wordings registrar placeholders use.
+var saleTokens = []string{
+	"domain is for sale", "buy this domain", "domain may be for sale",
+	"parked", "this page is parked", "coming soon", "under construction",
+}
+
+// ExtractSignals computes the detector features for a page.
+func ExtractSignals(doc *dom.Document) Signals {
+	var sg Signals
+	if doc == nil || doc.Root == nil {
+		sg.Skeletal = true
+		sg.NoScripts = true
+		sg.NoInteraction = true
+		return sg
+	}
+	title := strings.ToLower(doc.Title)
+	for _, tok := range saleTokens {
+		if strings.Contains(title, tok) {
+			sg.SaleWording = true
+			break
+		}
+	}
+	sg.ElementCount = doc.CountElements()
+	sg.Skeletal = sg.ElementCount <= 25
+	sg.NoScripts = len(doc.Scripts) == 0
+
+	interactive := 0
+	var boxes []*dom.Element
+	doc.Root.Walk(func(el *dom.Element) bool {
+		switch el.Tag {
+		case "button", "form", "input", "iframe", "img":
+			interactive++
+		case "div":
+			if el.Area() > 0 {
+				boxes = append(boxes, el)
+			}
+		}
+		return true
+	})
+	sg.NoInteraction = interactive == 0
+
+	// Centred notice: a box whose centre sits near the page centre
+	// horizontally, in the upper two thirds, covering 10-60% of the page.
+	pw, ph := doc.Root.W, doc.Root.H
+	if pw > 0 && ph > 0 {
+		for _, b := range boxes {
+			cx, cy := b.Center()
+			frac := float64(b.Area()) / float64(pw*ph)
+			if frac >= 0.10 && frac <= 0.60 &&
+				abs(cx-pw/2) < pw/6 && cy < ph*2/3 {
+				sg.CentredNotice = true
+				break
+			}
+		}
+	}
+	return sg
+}
+
+// Score maps signals to [0, 1]; higher means more parked-like.
+func Score(sg Signals) float64 {
+	s := 0.0
+	if sg.SaleWording {
+		s += 0.45
+	}
+	if sg.Skeletal {
+		s += 0.15
+	}
+	if sg.NoScripts {
+		s += 0.15
+	}
+	if sg.NoInteraction {
+		s += 0.10
+	}
+	if sg.CentredNotice {
+		s += 0.15
+	}
+	return s
+}
+
+// Threshold is the default decision boundary.
+const Threshold = 0.6
+
+// IsParked classifies a page with the default threshold.
+func IsParked(doc *dom.Document) bool {
+	return Score(ExtractSignals(doc)) >= Threshold
+}
+
+// Detector carries a configurable threshold (for sweep experiments).
+type Detector struct{ Threshold float64 }
+
+// NewDetector returns a detector at the default threshold.
+func NewDetector() Detector { return Detector{Threshold: Threshold} }
+
+// Classify returns the verdict and the underlying score.
+func (d Detector) Classify(doc *dom.Document) (parked bool, score float64) {
+	score = Score(ExtractSignals(doc))
+	return score >= d.Threshold, score
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

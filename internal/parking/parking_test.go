@@ -1,0 +1,84 @@
+package parking
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/secamp"
+)
+
+func TestParkedFamilyDetected(t *testing.T) {
+	src := rng.New(1)
+	for i := 0; i < 6; i++ {
+		f := secamp.NewBenignFamily("p", secamp.BenignParked, 3, src.Split(string(rune('a'+i))))
+		doc := f.DocForTest(0)
+		if !IsParked(doc) {
+			sg := ExtractSignals(doc)
+			t.Errorf("parked family %d not detected: %+v score=%.2f", i, sg, Score(sg))
+		}
+	}
+}
+
+func TestSEAttackPagesNotParked(t *testing.T) {
+	src := rng.New(2)
+	for i, cat := range secamp.AllCategories {
+		tmpl := secamp.NewTemplate(cat, i, src)
+		doc := tmpl.BuildDoc("http://x.club/l", 7)
+		if IsParked(doc) {
+			sg := ExtractSignals(doc)
+			t.Errorf("SE page (%v) classified parked: %+v score=%.2f", cat, sg, Score(sg))
+		}
+	}
+}
+
+func TestAdvertiserPagesNotParked(t *testing.T) {
+	src := rng.New(3)
+	for i := 0; i < 10; i++ {
+		a := secamp.NewAdvertiser("a", src.Split(string(rune('a'+i))))
+		doc := a.DocForTest()
+		if IsParked(doc) {
+			sg := ExtractSignals(doc)
+			t.Errorf("advertiser %d classified parked: %+v score=%.2f", i, sg, Score(sg))
+		}
+	}
+}
+
+func TestNilDocSignals(t *testing.T) {
+	sg := ExtractSignals(nil)
+	if !sg.Skeletal || !sg.NoScripts || !sg.NoInteraction {
+		t.Fatalf("nil doc signals = %+v", sg)
+	}
+	if sg.SaleWording || sg.CentredNotice {
+		t.Fatalf("nil doc has positive content signals: %+v", sg)
+	}
+}
+
+func TestScoreMonotonic(t *testing.T) {
+	base := Signals{}
+	if Score(base) != 0 {
+		t.Fatal("empty signals score nonzero")
+	}
+	full := Signals{SaleWording: true, Skeletal: true, NoScripts: true, NoInteraction: true, CentredNotice: true}
+	if Score(full) != 1.0 {
+		t.Fatalf("full signals score %.2f", Score(full))
+	}
+	if Score(Signals{SaleWording: true}) <= Score(Signals{Skeletal: true}) {
+		t.Fatal("sale wording should dominate")
+	}
+}
+
+func TestDetectorThresholdSweep(t *testing.T) {
+	src := rng.New(4)
+	parked := secamp.NewBenignFamily("p", secamp.BenignParked, 3, src).DocForTest(0)
+	strict := Detector{Threshold: 0.99}
+	if got, _ := strict.Classify(parked); got {
+		t.Fatal("0.99 threshold should reject")
+	}
+	lax := Detector{Threshold: 0.1}
+	if got, _ := lax.Classify(parked); !got {
+		t.Fatal("0.1 threshold should accept")
+	}
+	if NewDetector().Threshold != Threshold {
+		t.Fatal("default threshold drifted")
+	}
+}

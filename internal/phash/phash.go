@@ -1,0 +1,104 @@
+// Package phash implements the 128-bit perceptual difference hash (dhash)
+// the paper uses to cluster SE-attack screenshots (Section 3.3):
+//
+//	"we compute a perceptual hash, specifically a 128 bit difference hash
+//	 (dhash), on all these screenshot images"
+//
+// The 128-bit variant combines the classic horizontal-gradient dhash
+// (9x8 grid, 64 bits) with its vertical counterpart (8x9 grid, 64 bits).
+// Similar images produce hashes at a small Hamming distance; the
+// clustering layer treats the normalised Hamming distance as its metric.
+package phash
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/imaging"
+)
+
+// Bits is the hash width.
+const Bits = 128
+
+// Hash is a 128-bit perceptual hash: Hi holds the horizontal-gradient
+// bits, Lo the vertical-gradient bits.
+type Hash struct {
+	Hi, Lo uint64
+}
+
+// DHash computes the 128-bit difference hash of an image.
+func DHash(im *imaging.Image) Hash {
+	// Horizontal gradients: 9 columns x 8 rows; bit set when left < right.
+	hg := im.ResizeGray(9, 8)
+	var hi uint64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			hi <<= 1
+			if hg[y*9+x] < hg[y*9+x+1] {
+				hi |= 1
+			}
+		}
+	}
+	// Vertical gradients: 8 columns x 9 rows; bit set when upper < lower.
+	vg := im.ResizeGray(8, 9)
+	var lo uint64
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			lo <<= 1
+			if vg[y*8+x] < vg[(y+1)*8+x] {
+				lo |= 1
+			}
+		}
+	}
+	return Hash{Hi: hi, Lo: lo}
+}
+
+// Distance returns the Hamming distance between two hashes, in [0, 128].
+func Distance(a, b Hash) int {
+	return bits.OnesCount64(a.Hi^b.Hi) + bits.OnesCount64(a.Lo^b.Lo)
+}
+
+// NormDistance returns the Hamming distance normalised to [0, 1]; this is
+// the distance function handed to DBSCAN (the paper's eps=0.1 therefore
+// means "at most 12 of 128 bits differ").
+func NormDistance(a, b Hash) float64 {
+	return float64(Distance(a, b)) / float64(Bits)
+}
+
+// String renders the hash as 32 hex digits.
+func (h Hash) String() string {
+	return fmt.Sprintf("%016x%016x", h.Hi, h.Lo)
+}
+
+// ParseHash parses the 32-hex-digit form produced by String.
+func ParseHash(s string) (Hash, error) {
+	if len(s) != 32 {
+		return Hash{}, fmt.Errorf("phash: want 32 hex digits, got %d", len(s))
+	}
+	var h Hash
+	if _, err := fmt.Sscanf(s[:16], "%016x", &h.Hi); err != nil {
+		return Hash{}, fmt.Errorf("phash: parse hi: %w", err)
+	}
+	if _, err := fmt.Sscanf(s[16:], "%016x", &h.Lo); err != nil {
+		return Hash{}, fmt.Errorf("phash: parse lo: %w", err)
+	}
+	return h, nil
+}
+
+// FlipBits returns a copy of h with n chosen bit positions flipped;
+// positions repeat modulo 128. Used by tests to construct hashes at an
+// exact distance.
+func (h Hash) FlipBits(positions ...int) Hash {
+	for _, p := range positions {
+		p %= Bits
+		if p < 0 {
+			p += Bits
+		}
+		if p < 64 {
+			h.Hi ^= 1 << uint(63-p)
+		} else {
+			h.Lo ^= 1 << uint(127-p)
+		}
+	}
+	return h
+}

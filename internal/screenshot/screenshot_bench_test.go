@@ -1,0 +1,28 @@
+package screenshot
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/secamp"
+)
+
+func BenchmarkRenderFullPage(b *testing.B) {
+	tmpl := secamp.NewTemplate(secamp.FakeSoftware, 0, rng.New(1))
+	doc := tmpl.BuildDoc("http://x.club/l", 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(doc, Options{})
+	}
+}
+
+func BenchmarkRenderQuarterScale(b *testing.B) {
+	tmpl := secamp.NewTemplate(secamp.TechSupport, 0, rng.New(2))
+	doc := tmpl.BuildDoc("http://x.club/l", 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Render(doc, Options{Width: 256, Height: 192, NoiseAmp: 2, NoiseSeed: uint64(i)})
+	}
+}

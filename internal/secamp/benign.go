@@ -1,0 +1,226 @@
+package secamp
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/rng"
+	"repro/internal/webtx"
+)
+
+// BenignKind enumerates the benign landing-page families the paper's
+// triage found among its 130 clusters (Section 4.3): 11 parked-domain
+// clusters, 6 stock-image adult clusters, 4 URL-shortener clusters and 1
+// spurious cluster, plus ordinary benign advertisers that never cluster
+// (too few domains for the θc filter).
+type BenignKind int
+
+const (
+	// BenignAdvertiser is a legitimate advertiser: one stable domain, its
+	// own page template.
+	BenignAdvertiser BenignKind = iota
+	// BenignParked is an expired/parked domain showing registrar
+	// placeholder content shared across many unrelated domains.
+	BenignParked
+	// BenignAdultStock is a page reusing stock imagery across domains,
+	// redirecting clicks to adult sites.
+	BenignAdultStock
+	// BenignShortener is an ad-based URL shortener interstitial shown on
+	// many alias domains (adf.ly / shorte.st style).
+	BenignShortener
+	// BenignSpurious is a blank/improperly loaded page family.
+	BenignSpurious
+)
+
+func (k BenignKind) String() string {
+	switch k {
+	case BenignAdvertiser:
+		return "advertiser"
+	case BenignParked:
+		return "parked"
+	case BenignAdultStock:
+		return "adult-stock"
+	case BenignShortener:
+		return "shortener"
+	case BenignSpurious:
+		return "spurious"
+	default:
+		return fmt.Sprintf("BenignKind(%d)", int(k))
+	}
+}
+
+// BenignFamily is a set of domains serving (near-)identical benign pages.
+// Families with >= θc domains survive the paper's domain filter and show
+// up as the 22 non-SEACMA clusters.
+type BenignFamily struct {
+	ID      string
+	Kind    BenignKind
+	Domains []string
+
+	template benignTemplate
+}
+
+type benignTemplate struct {
+	bg, accent int
+	layout     int
+	textSeed   uint64
+}
+
+// NewBenignFamily creates a family with n domains. Each family gets a
+// distinct template so families form distinct clusters.
+func NewBenignFamily(id string, kind BenignKind, n int, src *rng.Source) *BenignFamily {
+	fs := src.Split("benign/" + id)
+	f := &BenignFamily{
+		ID:   id,
+		Kind: kind,
+		template: benignTemplate{
+			bg:       0x606060 + fs.Intn(0x9f9f9f),
+			accent:   fs.Intn(0xffffff),
+			layout:   fs.Intn(5),
+			textSeed: uint64(fs.Int63()) | 1,
+		},
+	}
+	var tld string
+	switch kind {
+	case BenignParked:
+		tld = rng.Pick(fs, []string{"com", "net", "org", "info"})
+	case BenignAdultStock:
+		tld = rng.Pick(fs, []string{"com", "net"})
+	case BenignShortener:
+		tld = rng.Pick(fs, []string{"ly", "st", "cc"})
+	default:
+		tld = "com"
+	}
+	for i := 0; i < n; i++ {
+		f.Domains = append(f.Domains, fmt.Sprintf("%s%d.%s", fs.Token(7), fs.Intn(100), tld))
+	}
+	return f
+}
+
+// Install registers all family domains.
+func (f *BenignFamily) Install(internet *webtx.Internet) {
+	for _, d := range f.Domains {
+		d := d
+		internet.Register(d, webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+			return webtx.DocumentPage(f.buildDoc("http://" + d + req.URL.Path))
+		}))
+	}
+}
+
+// DocForTest builds the page served by the i-th domain, for offline
+// classification experiments (e.g. the parked-domain detector) and tests.
+func (f *BenignFamily) DocForTest(i int) *dom.Document {
+	return f.buildDoc(f.URLFor(i))
+}
+
+// URLFor returns the landing URL for the i-th domain (wrapping), used by
+// ad networks to route fills to this family.
+func (f *BenignFamily) URLFor(i int) string {
+	d := f.Domains[i%len(f.Domains)]
+	return "http://" + d + "/"
+}
+
+func (f *BenignFamily) buildDoc(url string) *dom.Document {
+	t := f.template
+	root := dom.NewElement("body")
+	root.W, root.H = 1024, 768
+	doc := &dom.Document{URL: url, Root: root}
+	switch f.Kind {
+	case BenignParked:
+		doc.Title = "This domain is for sale"
+		root.Style.Background = 0xf4f4f0
+		box := block("sale", 212+t.layout*20, 200, 600, 260, 0xffffff)
+		msg := textBlock("msg", 240+t.layout*20, 230, 540, 160, t.textSeed)
+		root.Append(box, msg)
+	case BenignAdultStock:
+		doc.Title = "Hot singles gallery"
+		root.Style.Background = 0x201018
+		for i := 0; i < 3; i++ {
+			img := dom.NewElement("img").SetAttr("id", fmt.Sprintf("stock%d", i)).
+				SetAttr("src", fmt.Sprintf("/stock%d.jpg", i))
+			img.X, img.Y, img.W, img.H = 40+i*330, 180+t.layout*15, 300, 400
+			img.Style.Background = t.accent - i*0x101010
+			root.Append(img)
+		}
+	case BenignShortener:
+		doc.Title = "Please wait..."
+		root.Style.Background = 0xe8eef4
+		frame := dom.NewElement("iframe").SetAttr("id", "adframe").SetAttr("src", "/framed-ad")
+		frame.X, frame.Y, frame.W, frame.H = 112, 120, 800, 440
+		frame.Style.Background = t.accent
+		skip := button("skip", 824, 80, 120, 32, 0x3080d0)
+		root.Append(frame, skip)
+		doc.MetaRefresh = &dom.MetaRefresh{DelaySeconds: 5, Target: "http://example-target.com/"}
+	case BenignSpurious:
+		doc.Title = ""
+		root.Style.Background = 0xffffff
+		bar := block("bar", 0, 0, 1024, 8+t.layout, 0xdddddd)
+		root.Append(bar)
+	default: // BenignAdvertiser
+		doc.Title = "Great product offer"
+		root.Style.Background = t.bg
+		// Advertiser landing pages are individually designed: derive a
+		// multi-box layout from the family seed so no two advertisers
+		// render alike.
+		s := t.textSeed
+		nBoxes := 3 + int(s%4)
+		for i := 0; i < nBoxes; i++ {
+			s = s*6364136223846793005 + 1442695040888963407
+			bx := int(s>>33) % 700
+			s = s*6364136223846793005 + 1442695040888963407
+			by := int(s>>33) % 500
+			s = s*6364136223846793005 + 1442695040888963407
+			bw := 150 + int(s>>33)%400
+			s = s*6364136223846793005 + 1442695040888963407
+			bh := 80 + int(s>>33)%260
+			s = s*6364136223846793005 + 1442695040888963407
+			col := int(s>>23) & 0xffffff
+			root.Append(block(fmt.Sprintf("box%d", i), 80+bx, 60+by, bw, bh, col))
+		}
+		text := textBlock("pitch", 120, 580, 700, 120, t.textSeed)
+		buy := button("buy", 400, 710, 220, 40, t.accent)
+		root.Append(text, buy)
+	}
+	AddSignatureStrips(root, t.textSeed, t.accent, t.bg)
+	return doc
+}
+
+// Advertiser is a single legitimate advertiser with one stable landing
+// domain.
+type Advertiser struct {
+	Host   string
+	family *BenignFamily
+}
+
+// NewAdvertiser creates a one-domain advertiser with its own template.
+func NewAdvertiser(id string, src *rng.Source) *Advertiser {
+	f := NewBenignFamily(id, BenignAdvertiser, 1, src)
+	return &Advertiser{Host: f.Domains[0], family: f}
+}
+
+// Install registers the advertiser's domain.
+func (a *Advertiser) Install(internet *webtx.Internet) { a.family.Install(internet) }
+
+// URL returns the advertiser's landing URL.
+func (a *Advertiser) URL() string { return a.family.URLFor(0) }
+
+// DocForTest builds the advertiser's page, for offline classification
+// experiments and tests.
+func (a *Advertiser) DocForTest() *dom.Document { return a.family.DocForTest(0) }
+
+// InstallCustomerSite registers the Registration-campaign customer site
+// host with a trivial signup page; idempotent across campaigns sharing a
+// brand.
+func InstallCustomerSite(internet *webtx.Internet, host string) {
+	if host == "" || internet.Registered(host) {
+		return
+	}
+	internet.Register(host, webtx.HandlerFunc(func(req *webtx.Request) *webtx.Response {
+		root := dom.NewElement("body")
+		root.W, root.H = 1024, 768
+		root.Style.Background = 0xfafafa
+		form := block("form", 312, 180, 400, 360, 0xffffff)
+		root.Append(form)
+		return webtx.DocumentPage(&dom.Document{URL: "http://" + host + "/signup", Title: "Sign up", Root: root})
+	}))
+}

@@ -1,0 +1,111 @@
+// Package secamp simulates the SE attack campaigns the pipeline is built
+// to discover and track, plus the benign look-alike page families the
+// paper's cluster triage separates out (Section 4.3).
+//
+// A campaign in the paper's terms is a set of SEACMA ads that point to
+// the same SE attack content (Definition 2): visually near-identical
+// landing pages hosted on frequently rotating throw-away domains behind a
+// longer-lived upstream "milkable" URL (Section 3.5). This package
+// implements those dynamics: per-campaign visual templates, lazy
+// time-driven attack-domain rotation with expiry, traffic-distribution
+// (TDS) upstream hosts, page-locking scripts, notification lures, and
+// polymorphic file payloads.
+package secamp
+
+import "fmt"
+
+// Category is one of the six SE-attack categories the paper reports in
+// Tables 1 and 4.
+type Category int
+
+const (
+	// FakeSoftware advertises fake Flash/Java updates and media players.
+	FakeSoftware Category = iota
+	// Scareware frightens the user into installing a "cleaner".
+	Scareware
+	// TechSupport shows fake system-lock pages with a scam phone number.
+	TechSupport
+	// Lottery promises prizes in exchange for personal details
+	// (mobile-only in the paper's observations).
+	Lottery
+	// Notifications lures the user into granting browser push-notification
+	// permission.
+	Notifications
+	// Registration drives sign-ups on scam media/streaming/dating sites
+	// via fake video players.
+	Registration
+
+	numCategories
+)
+
+// Key returns the stable lowercase identifier used across the repository
+// (GSB profiles, report rows).
+func (c Category) Key() string {
+	switch c {
+	case FakeSoftware:
+		return "fake-software"
+	case Scareware:
+		return "scareware"
+	case TechSupport:
+		return "tech-support"
+	case Lottery:
+		return "lottery"
+	case Notifications:
+		return "chrome-notifications"
+	case Registration:
+		return "registration"
+	default:
+		return fmt.Sprintf("category-%d", int(c))
+	}
+}
+
+// DisplayName returns the Table 1 row label.
+func (c Category) DisplayName() string {
+	switch c {
+	case FakeSoftware:
+		return "Fake Software"
+	case Scareware:
+		return "Scareware"
+	case TechSupport:
+		return "Technical Support"
+	case Lottery:
+		return "Lottery/Gift"
+	case Notifications:
+		return "Chrome Notifications"
+	case Registration:
+		return "Registration"
+	default:
+		return c.Key()
+	}
+}
+
+// AllCategories lists the six categories in Table 1 row order.
+var AllCategories = []Category{FakeSoftware, Registration, Lottery, Notifications, Scareware, TechSupport}
+
+// PaperCampaignCounts is the number of campaigns per category the paper
+// discovered (Table 1, "# SE Campaigns"); the default world generates
+// exactly these.
+var PaperCampaignCounts = map[Category]int{
+	FakeSoftware:  52,
+	Registration:  36,
+	Lottery:       9,
+	Notifications: 3,
+	Scareware:     5,
+	TechSupport:   3,
+}
+
+// OffersDownload reports whether landing pages of this category serve
+// file downloads when interacted with (Section 4.5: downloads come from
+// Fake Software and Scareware).
+func (c Category) OffersDownload() bool {
+	return c == FakeSoftware || c == Scareware
+}
+
+// MobileOnly reports whether this category targets only mobile UAs (the
+// paper observed Lottery attacks exclusively on mobile).
+func (c Category) MobileOnly() bool { return c == Lottery }
+
+// DesktopOnly reports whether this category targets only desktop UAs.
+func (c Category) DesktopOnly() bool {
+	return c == FakeSoftware || c == Scareware || c == TechSupport
+}

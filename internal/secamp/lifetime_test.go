@@ -1,0 +1,71 @@
+package secamp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/vclock"
+	"repro/internal/webtx"
+)
+
+func TestCampaignLifetimeRetiresTDS(t *testing.T) {
+	clock := vclock.New()
+	internet := webtx.NewInternet()
+	cfg := Config{
+		RotationPeriod: time.Hour, Slots: 1, TTLFactor: 3, TDSCount: 1,
+		Lifetime: 48 * time.Hour,
+	}
+	c := New("ephemeral", FakeSoftware, 0, cfg, clock, rng.New(9), nil)
+	c.Install(internet)
+
+	resp := get(t, internet, c.EntryURL(), webtx.UAChromeMac, clock.Now())
+	if !resp.Redirect() {
+		t.Fatal("live campaign does not redirect")
+	}
+	clock.Advance(47 * time.Hour)
+	resp = get(t, internet, c.EntryURL(), webtx.UAChromeMac, clock.Now())
+	if !resp.Redirect() {
+		t.Fatal("campaign retired early")
+	}
+	clock.Advance(2 * time.Hour)
+	resp = get(t, internet, c.EntryURL(), webtx.UAChromeMac, clock.Now())
+	if resp.Status != webtx.StatusGone {
+		t.Fatalf("retired TDS status = %d", resp.Status)
+	}
+}
+
+func TestZeroLifetimeIsImmortal(t *testing.T) {
+	clock := vclock.New()
+	internet := webtx.NewInternet()
+	c := New("forever", FakeSoftware, 0,
+		Config{RotationPeriod: time.Hour, Slots: 1, TTLFactor: 3, TDSCount: 1},
+		clock, rng.New(10), nil)
+	c.Install(internet)
+	clock.Advance(365 * 24 * time.Hour)
+	resp := get(t, internet, c.EntryURL(), webtx.UAChromeMac, clock.Now())
+	if !resp.Redirect() {
+		t.Fatal("immortal campaign died")
+	}
+}
+
+func TestRecorderGetsNominalBirth(t *testing.T) {
+	clock := vclock.New()
+	internet := webtx.NewInternet()
+	rec := &testRecorder{}
+	c := New("birth", FakeSoftware, 0,
+		Config{RotationPeriod: time.Hour, Slots: 1, TTLFactor: 3, TDSCount: 1},
+		clock, rng.New(11), rec)
+	c.Install(internet)
+	// Jump into epoch 5 and visit: the domain's recorded birth is the
+	// epoch boundary, not the request time.
+	clock.Advance(5*time.Hour + 30*time.Minute)
+	get(t, internet, c.EntryURL(), webtx.UAChromeMac, clock.Now())
+	if len(rec.domains) != 1 {
+		t.Fatalf("recorded %d domains", len(rec.domains))
+	}
+	wantBirth := vclock.Epoch.Add(5 * time.Hour)
+	if !rec.domains[0].born.Equal(wantBirth) {
+		t.Fatalf("born = %v, want %v", rec.domains[0].born, wantBirth)
+	}
+}

@@ -1,0 +1,299 @@
+package secamp
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/rng"
+)
+
+// Template captures a campaign's visual identity: the layout skeleton of
+// its category plus campaign-specific palette and geometry jitter. Pages
+// built from the same Template render to near-identical screenshots
+// (small dhash distance); distinct campaigns — even of the same category
+// — render far apart, which is what lets DBSCAN recover one cluster per
+// campaign.
+type Template struct {
+	Category Category
+	// Palette (0xRRGGBB).
+	BaseBG, Accent, Panel int
+	// Layout jitter applied to the category skeleton.
+	DX, DY int
+	// PanelW/PanelH size the main dialog/panel box.
+	PanelW, PanelH int
+	// TextSeed drives deterministic text raggedness.
+	TextSeed uint64
+	// PhoneNumber is shown by TechSupport pages (the paper notes its
+	// system can harvest these for blacklists).
+	PhoneNumber string
+	// Brand is the fake product name in FakeSoftware/Scareware pages.
+	Brand string
+}
+
+// palettes per category: campaigns pick one base hue family and jitter
+// channels, keeping categories visually coherent but campaigns distinct.
+var categoryHues = map[Category][]int{
+	FakeSoftware:  {0xb02020, 0x2050b0, 0x20a040, 0x806020, 0x602080, 0xc06010},
+	Scareware:     {0xc02020, 0xd06000, 0x903030, 0xa01060, 0x702020, 0xb04010},
+	TechSupport:   {0x0040a0, 0x003c78, 0x204080, 0x103060, 0x0a4aa0, 0x2a3a90},
+	Lottery:       {0xf0c030, 0xe06090, 0x40b0d0, 0x80c040, 0xe08030, 0xc040c0},
+	Notifications: {0x404040, 0x303848, 0x383030, 0x2f3f2f, 0x44303c, 0x2b2b3b},
+	Registration:  {0x101418, 0x18232b, 0x201a26, 0x0e1e16, 0x26180e, 0x121212},
+}
+
+// NewTemplate derives a campaign's template from its category and a
+// per-campaign random stream. The index spreads same-category campaigns
+// across the hue table and the geometry grid so their dhashes land far
+// apart.
+func NewTemplate(cat Category, index int, src *rng.Source) Template {
+	hues := categoryHues[cat]
+	t := Template{
+		Category: cat,
+		BaseBG:   jitterColor(hues[index%len(hues)], src, 24),
+		Accent:   jitterColor(hues[(index+3)%len(hues)], src, 40),
+		Panel:    jitterColor(0xe8e8e8, src, 30),
+		// Strong per-campaign geometry: position grid cells are far
+		// enough apart to move dhash gradients decisively.
+		DX:       (index % 5) * 70,
+		DY:       ((index / 5) % 4) * 60,
+		PanelW:   400 + (index%4)*90,
+		PanelH:   220 + ((index+1)%3)*70,
+		TextSeed: uint64(src.Int63()) | 1,
+		Brand:    pickBrand(cat, src),
+	}
+	if cat == TechSupport {
+		t.PhoneNumber = fmt.Sprintf("+1-8%02d-555-%04d", src.Intn(100), src.Intn(10000))
+	}
+	return t
+}
+
+func jitterColor(c int, src *rng.Source, amp int) int {
+	j := func(v int) int {
+		v += src.IntRange(-amp, amp)
+		if v < 0 {
+			v = 0
+		}
+		if v > 255 {
+			v = 255
+		}
+		return v
+	}
+	return j(c>>16&0xff)<<16 | j(c>>8&0xff)<<8 | j(c&0xff)
+}
+
+func pickBrand(cat Category, src *rng.Source) string {
+	switch cat {
+	case FakeSoftware:
+		return rng.Pick(src, []string{"Flash Player", "Java Runtime", "MediaPlayerHD", "VideoCodecPro", "PlayerUpdate"})
+	case Scareware:
+		return rng.Pick(src, []string{"PC Defender", "MacCleaner Pro", "SpeedupMyPC", "AntivirusPlus", "SystemGuard"})
+	case Registration:
+		return rng.Pick(src, []string{"StreamVault", "MovieNest", "PlayPerks", "FunWraith", "GnomicFun"})
+	default:
+		return ""
+	}
+}
+
+// BuildDoc renders the campaign's landing page DOM. pageSalt varies
+// incidental content per attack domain (a dynamic token box) without
+// moving the template's perceptual hash outside the cluster radius.
+func (t Template) BuildDoc(pageURL string, pageSalt uint64) *dom.Document {
+	root := dom.NewElement("body")
+	root.W, root.H = 1024, 768
+	root.Style.Background = t.BaseBG
+	doc := &dom.Document{URL: pageURL, Root: root}
+
+	panel := dom.NewElement("div").SetAttr("id", "panel")
+	panel.X, panel.Y = 100+t.DX, 120+t.DY
+	panel.W, panel.H = t.PanelW, t.PanelH
+	panel.Style.Background = t.Panel
+	panel.Style.ZIndex = 1
+
+	switch t.Category {
+	case FakeSoftware:
+		doc.Title = t.Brand + " Update Required"
+		header := block("header", 0, 0, 1024, 70, t.Accent)
+		body := textBlock("msg", panel.X+20, panel.Y+30, panel.W-40, panel.H-120, t.TextSeed)
+		install := button("install", panel.X+panel.W/2-90, panel.Y+panel.H-60, 180, 40, 0x30a030)
+		root.Append(header, panel, body, install)
+	case Scareware:
+		doc.Title = "WARNING: Your computer is infected"
+		alarm := block("alarm", 0, 0, 1024, 110, t.Accent)
+		body := textBlock("threats", panel.X+20, panel.Y+20, panel.W-40, panel.H-110, t.TextSeed)
+		clean := button("install", panel.X+panel.W/2-110, panel.Y+panel.H-55, 220, 38, 0xc03020)
+		root.Append(alarm, panel, body, clean)
+	case TechSupport:
+		doc.Title = "Microsoft Support Alert " + t.PhoneNumber
+		banner := block("banner", 0, 0, 1024, 90, t.Accent)
+		warn := textBlock("warn", 60+t.DX, 170+t.DY, 700, 280, t.TextSeed)
+		warn.Style.Ink = 0xffffff
+		phone := dom.NewElement("p").SetAttr("id", "phone")
+		phone.Text = "CALL NOW " + t.PhoneNumber
+		phone.X, phone.Y, phone.W, phone.H = 60+t.DX, 480+t.DY, 500, 50
+		phone.Style.Ink = 0xffff80
+		root.Append(banner, warn, phone, panel)
+	case Lottery:
+		doc.Title = "Congratulations! You won"
+		wheel := block("wheel", 300+t.DX/2, 150+t.DY/2, 380, 380, t.Accent)
+		claim := button("claim", 380+t.DX/2, 560+t.DY/2, 240, 50, 0xd03060)
+		msg := textBlock("prize", 60, 40, 880, 80, t.TextSeed)
+		root.Append(msg, wheel, claim, panel)
+	case Notifications:
+		doc.Title = "Click Allow to continue"
+		prompt := dom.NewElement("div").SetAttr("id", "notifprompt")
+		prompt.X, prompt.Y = 40+t.DX/2, 40+t.DY/2
+		prompt.W, prompt.H = 420, 140
+		prompt.Style.Background = 0xf8f8f8
+		prompt.Style.ZIndex = 5
+		ptext := textBlock("ask", prompt.X+16, prompt.Y+16, prompt.W-32, 60, t.TextSeed)
+		allow := button("allow", prompt.X+prompt.W-180, prompt.Y+prompt.H-44, 80, 30, 0x3070e0)
+		deny := button("deny", prompt.X+prompt.W-90, prompt.Y+prompt.H-44, 70, 30, 0xb0b0b0)
+		lure := textBlock("lure", 120+t.DX, 320+t.DY, 760, 300, t.TextSeed*3)
+		lure.Style.Ink = 0xc0c0c0
+		root.Append(lure, prompt, ptext, allow, deny)
+	case Registration:
+		doc.Title = t.Brand + " - Watch Free"
+		player := block("player", 112+t.DX/2, 80+t.DY/2, 800, 450, 0x000000)
+		playBtn := button("play", 472+t.DX/2, 270+t.DY/2, 80, 80, t.Accent)
+		signup := button("signup", 350+t.DX/2, 560+t.DY/2, 320, 48, t.Accent)
+		caption := textBlock("caption", 112, 550+t.DY/2+70, 800, 60, t.TextSeed)
+		caption.Style.Ink = 0xe0e0e0
+		root.Append(player, playBtn, signup, caption)
+	}
+
+	// Template signature strips: a low-fidelity renderer cannot express
+	// the myriad small visual details that distinguish real page
+	// templates, so each template carries a seeded "barcode" band whose
+	// cell pattern is stable within the template and far apart between
+	// templates — keeping same-campaign pages within the clustering
+	// radius while separating campaigns.
+	AddSignatureStrips(root, t.TextSeed, t.Accent, t.BaseBG)
+
+	// Dynamic per-domain token box: small enough not to disturb the hash.
+	tok := dom.NewElement("div").SetAttr("id", "dyn")
+	tok.X, tok.Y, tok.W, tok.H = 960, 700, 30, 16
+	tok.Style.Background = int(pageSalt % 0xffffff)
+	tok.Style.ZIndex = 20
+	root.Append(tok)
+	return doc
+}
+
+// AddSignatureStrips appends the template barcode bands (bottom and left)
+// to a page root. Exported for the benign-page generators, which need the
+// same per-template visual identity.
+//
+// The bands are sized to the dhash sampling grid (9x8 / 8x9 cells over
+// the page) with high-contrast cells, so each template pins its bottom
+// and left gradient bits to a deterministic function of the seed: pages
+// of the same template always agree on those bits, while two independent
+// templates disagree on about half of them — far outside the clustering
+// radius even when their palettes and layouts happen to be similar.
+func AddSignatureStrips(root *dom.Element, seed uint64, on, off int) {
+	w, h := root.W, root.H
+	if w <= 0 || h <= 0 {
+		w, h = 1024, 768
+	}
+	bright := brighten(on)
+	dark := darkTone(off)
+	s := seed
+	bit := func() bool {
+		s = s*6364136223846793005 + 1442695040888963407
+		return s>>40&1 == 1
+	}
+	// Bottom band: 9 cells matching the 9 horizontal-gradient columns.
+	const cols = 9
+	for i := 0; i < cols; i++ {
+		c := dom.NewElement("div")
+		c.X = i * w / cols
+		c.W = (i+1)*w/cols - c.X
+		c.Y, c.H = h-h/8, h/8
+		c.Style.ZIndex = 15
+		if bit() {
+			c.Style.Background = bright
+		} else {
+			c.Style.Background = dark
+		}
+		root.Append(c)
+	}
+	// Left band: 9 cells matching the 9 vertical-gradient rows.
+	const rows = 9
+	for i := 0; i < rows; i++ {
+		c := dom.NewElement("div")
+		c.Y = i * h / rows
+		c.H = (i+1)*h/rows - c.Y
+		c.X, c.W = 0, w/9
+		c.Style.ZIndex = 14
+		if bit() {
+			c.Style.Background = bright
+		} else {
+			c.Style.Background = dark
+		}
+		root.Append(c)
+	}
+	// Right band.
+	for i := 0; i < rows; i++ {
+		c := dom.NewElement("div")
+		c.Y = i * h / rows
+		c.H = (i+1)*h/rows - c.Y
+		c.X = w - w/9
+		c.W = w / 9
+		c.Style.ZIndex = 13
+		if bit() {
+			c.Style.Background = bright
+		} else {
+			c.Style.Background = dark
+		}
+		root.Append(c)
+	}
+	// Top band.
+	for i := 0; i < cols; i++ {
+		c := dom.NewElement("div")
+		c.X = i * w / cols
+		c.W = (i+1)*w/cols - c.X
+		c.Y, c.H = 0, h/9
+		c.Style.ZIndex = 12
+		if bit() {
+			c.Style.Background = bright
+		} else {
+			c.Style.Background = dark
+		}
+		root.Append(c)
+	}
+}
+
+// brighten lifts a color toward white, keeping its hue recognisable.
+func brighten(c int) int {
+	r, g, b := (c>>16)&0xff, (c>>8)&0xff, c&0xff
+	f := func(v int) int { return 190 + v/4 }
+	return f(r)<<16 | f(g)<<8 | f(b)
+}
+
+// darkTone drops a color to a near-black tint.
+func darkTone(c int) int {
+	r, g, b := (c>>16)&0xff, (c>>8)&0xff, c&0xff
+	return (r/6)<<16 | (g/6)<<8 | b/6
+}
+
+func block(id string, x, y, w, h, color int) *dom.Element {
+	e := dom.NewElement("div").SetAttr("id", id)
+	e.X, e.Y, e.W, e.H = x, y, w, h
+	e.Style.Background = color
+	return e
+}
+
+func button(id string, x, y, w, h, color int) *dom.Element {
+	e := dom.NewElement("button").SetAttr("id", id)
+	e.X, e.Y, e.W, e.H = x, y, w, h
+	e.Style.Background = color
+	e.Style.ZIndex = 10
+	return e
+}
+
+func textBlock(id string, x, y, w, h int, seed uint64) *dom.Element {
+	e := dom.NewElement("p").SetAttr("id", id)
+	e.X, e.Y, e.W, e.H = x, y, w, h
+	e.Style.Background = -1
+	e.Style.Ink = 0x282828
+	e.Style.TextSeed = seed
+	return e
+}

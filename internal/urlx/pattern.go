@@ -1,0 +1,196 @@
+package urlx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pattern is an invariant URL/code feature of the kind the paper derives
+// per ad network (Section 3.1): "a specific URL path name, URL structure,
+// or JS variable names that are reused across different versions of JS
+// code snippets belonging to the same ad network".
+//
+// A pattern matches either a URL (host/path/query structure) or a source
+// body (substring token), depending on Kind.
+type Pattern struct {
+	// Name identifies the pattern, conventionally "<network>/<n>".
+	Name string
+	// Kind selects what the pattern inspects.
+	Kind PatternKind
+	// HostSuffix, when non-empty, requires the URL host to equal the
+	// suffix or end with "." + suffix.
+	HostSuffix string
+	// PathPrefix, when non-empty, requires the URL path to begin with it.
+	PathPrefix string
+	// PathGlob, when non-empty, matches the path against a glob where '*'
+	// matches any run of non-'/' characters and "**" matches anything.
+	PathGlob string
+	// QueryKey, when non-empty, requires the raw query to contain the key
+	// (as "key=" at a parameter boundary).
+	QueryKey string
+	// BodyToken, for KindSource, is a substring that must appear in the
+	// page or script source (a JS variable name or structural artefact).
+	BodyToken string
+}
+
+// PatternKind discriminates URL-matching from source-matching patterns.
+type PatternKind int
+
+const (
+	// KindURL patterns inspect URL structure.
+	KindURL PatternKind = iota
+	// KindSource patterns inspect page/script bodies.
+	KindSource
+)
+
+func (k PatternKind) String() string {
+	switch k {
+	case KindURL:
+		return "url"
+	case KindSource:
+		return "source"
+	default:
+		return fmt.Sprintf("PatternKind(%d)", int(k))
+	}
+}
+
+// MatchURL reports whether the pattern matches the URL. Source-kind
+// patterns never match URLs.
+func (p Pattern) MatchURL(u URL) bool {
+	if p.Kind != KindURL {
+		return false
+	}
+	if p.HostSuffix != "" && !hostHasSuffix(u.Host, p.HostSuffix) {
+		return false
+	}
+	if p.PathPrefix != "" && !strings.HasPrefix(u.Path, p.PathPrefix) {
+		return false
+	}
+	if p.PathGlob != "" && !GlobMatch(p.PathGlob, u.Path) {
+		return false
+	}
+	if p.QueryKey != "" && !queryHasKey(u.Query, p.QueryKey) {
+		return false
+	}
+	// An all-empty URL pattern matches nothing rather than everything.
+	return p.HostSuffix != "" || p.PathPrefix != "" || p.PathGlob != "" || p.QueryKey != ""
+}
+
+// MatchSource reports whether the pattern matches a source body.
+func (p Pattern) MatchSource(body string) bool {
+	return p.Kind == KindSource && p.BodyToken != "" && strings.Contains(body, p.BodyToken)
+}
+
+func hostHasSuffix(host, suffix string) bool {
+	return host == suffix || strings.HasSuffix(host, "."+suffix)
+}
+
+func queryHasKey(query, key string) bool {
+	for query != "" {
+		var part string
+		part, query, _ = strings.Cut(query, "&")
+		k, _, _ := strings.Cut(part, "=")
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// GlobMatch matches path against pattern where '*' matches any run of
+// non-'/' characters and "**" matches any run of any characters.
+func GlobMatch(pattern, path string) bool {
+	return globMatch(pattern, path)
+}
+
+func globMatch(pat, s string) bool {
+	for len(pat) > 0 {
+		switch {
+		case strings.HasPrefix(pat, "**"):
+			rest := pat[2:]
+			for i := len(s); i >= 0; i-- {
+				if globMatch(rest, s[i:]) {
+					return true
+				}
+			}
+			return false
+		case pat[0] == '*':
+			rest := pat[1:]
+			limit := strings.IndexByte(s, '/')
+			if limit < 0 {
+				limit = len(s)
+			}
+			for i := limit; i >= 0; i-- {
+				if globMatch(rest, s[i:]) {
+					return true
+				}
+			}
+			return false
+		default:
+			if len(s) == 0 || s[0] != pat[0] {
+				return false
+			}
+			pat, s = pat[1:], s[1:]
+		}
+	}
+	return len(s) == 0
+}
+
+// PatternSet holds named patterns grouped by owner (ad network name) and
+// answers "which owner does this URL / source belong to?".
+type PatternSet struct {
+	byOwner map[string][]Pattern
+	order   []string
+}
+
+// NewPatternSet returns an empty set.
+func NewPatternSet() *PatternSet {
+	return &PatternSet{byOwner: map[string][]Pattern{}}
+}
+
+// Add registers patterns under an owner. Owners keep insertion order for
+// deterministic attribution.
+func (ps *PatternSet) Add(owner string, patterns ...Pattern) {
+	if _, ok := ps.byOwner[owner]; !ok {
+		ps.order = append(ps.order, owner)
+	}
+	ps.byOwner[owner] = append(ps.byOwner[owner], patterns...)
+}
+
+// Owners returns the owner names in insertion order.
+func (ps *PatternSet) Owners() []string {
+	out := make([]string, len(ps.order))
+	copy(out, ps.order)
+	return out
+}
+
+// Patterns returns the patterns registered for owner.
+func (ps *PatternSet) Patterns(owner string) []Pattern {
+	return ps.byOwner[owner]
+}
+
+// MatchURL returns the first owner (in insertion order) with a pattern
+// matching the URL, or "" if none match.
+func (ps *PatternSet) MatchURL(u URL) string {
+	for _, owner := range ps.order {
+		for _, p := range ps.byOwner[owner] {
+			if p.MatchURL(u) {
+				return owner
+			}
+		}
+	}
+	return ""
+}
+
+// MatchSource returns the first owner with a source pattern matching body,
+// or "".
+func (ps *PatternSet) MatchSource(body string) string {
+	for _, owner := range ps.order {
+		for _, p := range ps.byOwner[owner] {
+			if p.MatchSource(body) {
+				return owner
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,153 @@
+package urlx
+
+import "strings"
+
+// The embedded public-suffix rule set. This is a curated subset of
+// Mozilla's Public Suffix List sufficient for every TLD the simulator
+// mints plus the multi-label and wildcard rules exercised by tests. The
+// matching semantics follow publicsuffix.org/list: the longest matching
+// rule wins, exception rules ("!") beat wildcard rules ("*").
+var pslRules = []string{
+	// Generic TLDs used by the synthetic web.
+	"com", "net", "org", "info", "biz", "club", "online", "site", "xyz",
+	"top", "live", "icu", "pro", "win", "bid", "stream", "download",
+	"loan", "men", "work", "date", "racing", "party", "trade", "review",
+	"accountant", "faith", "cricket", "science", "gdn", "mom", "lol",
+	"io", "co", "me", "tv", "cc", "ws", "to", "li", "ly", "st", "app",
+	"dev", "page", "cloud", "fun", "space", "website", "tech", "store",
+	"press", "host", "pw", "link", "email",
+	// Country TLDs with second-level registration structure.
+	"uk", "co.uk", "org.uk", "gov.uk", "ac.uk", "net.uk",
+	"jp", "co.jp", "ne.jp", "or.jp", "ac.jp",
+	"au", "com.au", "net.au", "org.au", "edu.au",
+	"br", "com.br", "net.br", "org.br",
+	"in", "co.in", "net.in", "org.in", "firm.in",
+	"ru", "com.ru", "net.ru", "org.ru",
+	"cn", "com.cn", "net.cn", "org.cn",
+	"nz", "co.nz", "net.nz", "org.nz",
+	"za", "co.za", "net.za", "org.za",
+	"es", "com.es", "org.es",
+	"fr", "de", "it", "nl", "pl", "se", "no", "fi", "gr", "pt", "tr",
+	"mx", "com.mx", "ar", "com.ar", "cl", "pe", "ve", "com.ve",
+	"us", "ca", "eu",
+	// Wildcard rules (every label directly under these is a suffix).
+	"*.ck", "!www.ck",
+	"*.bd",
+	// Private-domain style suffixes: dynamic-DNS providers the paper's
+	// Table 2 category "Dynamic DNS Host" relies on.
+	"duckdns.org", "ddns.net", "dyndns.org", "no-ip.org", "hopto.org",
+	"webhostapp.com", "000webhostapp.com", "blogspot.com", "github.io",
+	"herokuapp.com", "netlify.app", "web.app",
+}
+
+type pslNode struct {
+	children  map[string]*pslNode
+	isRule    bool
+	wildcard  bool // rule "*.<this>"
+	exception bool // rule "!<child>.<this>" lives on the child with exception=true
+}
+
+var pslRoot = buildPSL(pslRules)
+
+func buildPSL(rules []string) *pslNode {
+	root := &pslNode{children: map[string]*pslNode{}}
+	for _, rule := range rules {
+		exception := strings.HasPrefix(rule, "!")
+		rule = strings.TrimPrefix(rule, "!")
+		labels := strings.Split(rule, ".")
+		node := root
+		// Insert labels right-to-left (TLD first).
+		for i := len(labels) - 1; i >= 0; i-- {
+			l := labels[i]
+			if l == "*" {
+				node.wildcard = true
+				continue
+			}
+			child, ok := node.children[l]
+			if !ok {
+				child = &pslNode{children: map[string]*pslNode{}}
+				node.children[l] = child
+			}
+			node = child
+		}
+		if exception {
+			node.exception = true
+		} else {
+			node.isRule = true
+		}
+	}
+	return root
+}
+
+// PublicSuffix returns the public suffix of host according to the embedded
+// rule set. Hosts that match no rule use the default rule "*": the last
+// label is the suffix. IP-literal hosts return themselves.
+func PublicSuffix(host string) string {
+	host = strings.Trim(strings.ToLower(host), ".")
+	if host == "" || isIPLiteral(host) {
+		return host
+	}
+	labels := strings.Split(host, ".")
+	// Walk right-to-left collecting the longest match.
+	node := pslRoot
+	matched := 0 // number of labels in the matched suffix
+	for i := len(labels) - 1; i >= 0; i-- {
+		l := labels[i]
+		child, ok := node.children[l]
+		if ok {
+			if child.exception {
+				// Exception rule: suffix is one label shorter.
+				matched = len(labels) - 1 - i
+				break
+			}
+			if child.isRule {
+				matched = len(labels) - i
+			}
+			node = child
+			continue
+		}
+		if node.wildcard {
+			matched = len(labels) - i
+		}
+		break
+	}
+	if matched == 0 {
+		matched = 1 // default rule "*"
+	}
+	if matched >= len(labels) {
+		matched = len(labels)
+	}
+	return strings.Join(labels[len(labels)-matched:], ".")
+}
+
+// E2LD returns the effective second-level domain of host: the public
+// suffix plus one label. If the host IS a public suffix (or an IP
+// literal), the host itself is returned.
+func E2LD(host string) string {
+	host = strings.Trim(strings.ToLower(host), ".")
+	if host == "" || isIPLiteral(host) {
+		return host
+	}
+	suffix := PublicSuffix(host)
+	if host == suffix {
+		return host
+	}
+	rest := strings.TrimSuffix(host, "."+suffix)
+	if i := strings.LastIndexByte(rest, '.'); i >= 0 {
+		rest = rest[i+1:]
+	}
+	return rest + "." + suffix
+}
+
+func isIPLiteral(host string) bool {
+	if host == "" {
+		return false
+	}
+	for i := 0; i < len(host); i++ {
+		c := host[i]
+		if (c < '0' || c > '9') && c != '.' && c != ':' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+// Package urlx provides the URL model used throughout the SEACMA pipeline:
+// parsing, canonicalisation, effective second-level domain (e2LD)
+// extraction against an embedded public-suffix list, and the invariant
+// pattern matching used for ad-network attribution.
+//
+// The paper extracts the e2LD of every screenshot's page URL using
+// Mozilla's Public Suffix List (Section 3.3, footnote 4) and matches
+// ad-network "invariant features, such as a specific URL path name, URL
+// structure, or JS variable names" (Section 3.1) for attribution
+// (Section 3.6).
+package urlx
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// URL is a parsed absolute URL. It is immutable by convention: helpers
+// return new values.
+type URL struct {
+	Scheme string // "http" or "https"
+	Host   string // lowercase hostname, no port
+	Port   string // "" when default
+	Path   string // always begins with "/"
+	Query  string // raw query without "?"
+}
+
+// Parse parses an absolute http(s) URL. It rejects relative references,
+// other schemes, and empty hosts.
+func Parse(raw string) (URL, error) {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return URL{}, fmt.Errorf("urlx: parse %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return URL{}, fmt.Errorf("urlx: unsupported scheme %q in %q", u.Scheme, raw)
+	}
+	host := strings.ToLower(u.Hostname())
+	if host == "" {
+		return URL{}, fmt.Errorf("urlx: empty host in %q", raw)
+	}
+	path := u.EscapedPath()
+	if path == "" {
+		path = "/"
+	}
+	return URL{
+		Scheme: u.Scheme,
+		Host:   host,
+		Port:   u.Port(),
+		Path:   path,
+		Query:  u.RawQuery,
+	}, nil
+}
+
+// MustParse is Parse that panics on error; for literals in tests and
+// generators.
+func MustParse(raw string) URL {
+	u, err := Parse(raw)
+	if err != nil {
+		panic(err)
+	}
+	return u
+}
+
+// String reassembles the URL.
+func (u URL) String() string {
+	var b strings.Builder
+	b.WriteString(u.Scheme)
+	b.WriteString("://")
+	b.WriteString(u.Host)
+	if u.Port != "" {
+		b.WriteByte(':')
+		b.WriteString(u.Port)
+	}
+	b.WriteString(u.Path)
+	if u.Query != "" {
+		b.WriteByte('?')
+		b.WriteString(u.Query)
+	}
+	return b.String()
+}
+
+// IsZero reports whether u is the zero URL.
+func (u URL) IsZero() bool { return u.Host == "" }
+
+// WithPath returns a copy of u with the given path (and no query).
+func (u URL) WithPath(path string) URL {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	u.Path = path
+	u.Query = ""
+	return u
+}
+
+// WithQuery returns a copy of u with the given raw query.
+func (u URL) WithQuery(query string) URL {
+	u.Query = query
+	return u
+}
+
+// Resolve resolves a reference against u. Absolute references are parsed
+// as-is; references beginning with "/" replace the path; anything else is
+// joined to the directory of u's path.
+func (u URL) Resolve(ref string) (URL, error) {
+	if strings.Contains(ref, "://") {
+		return Parse(ref)
+	}
+	if ref == "" {
+		return u, nil
+	}
+	out := u
+	out.Query = ""
+	if i := strings.IndexByte(ref, '?'); i >= 0 {
+		out.Query = ref[i+1:]
+		ref = ref[:i]
+	}
+	switch {
+	case ref == "":
+		out.Path = u.Path
+	case strings.HasPrefix(ref, "/"):
+		out.Path = ref
+	default:
+		dir := u.Path[:strings.LastIndexByte(u.Path, '/')+1]
+		out.Path = dir + ref
+	}
+	return out, nil
+}
+
+// SameHost reports whether two URLs share a hostname.
+func SameHost(a, b URL) bool { return a.Host == b.Host }
+
+// SameE2LD reports whether two URLs share an effective second-level
+// domain.
+func SameE2LD(a, b URL) bool { return E2LD(a.Host) == E2LD(b.Host) }

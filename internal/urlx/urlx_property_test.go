@@ -1,0 +1,64 @@
+package urlx
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: resolving any relative path against a parsed base yields a
+// URL that re-parses to itself (round-trip stability), keeps the base
+// host for non-absolute references, and always has a rooted path.
+func TestResolveProperties(t *testing.T) {
+	bases := []URL{
+		MustParse("http://pub.com/dir/page"),
+		MustParse("https://a.b.example.co.uk/x/y/z?q=1"),
+		MustParse("http://host.club/"),
+	}
+	segs := []string{"a", "b9", "go.js", "serve", "x-y"}
+	f := func(bi, s1, s2 uint8, absolute, withQuery bool) bool {
+		base := bases[int(bi)%len(bases)]
+		ref := segs[int(s1)%len(segs)] + "/" + segs[int(s2)%len(segs)]
+		if absolute {
+			ref = "/" + ref
+		}
+		if withQuery {
+			ref += "?k=v"
+		}
+		got, err := base.Resolve(ref)
+		if err != nil {
+			return false
+		}
+		if got.Host != base.Host || got.Scheme != base.Scheme {
+			return false
+		}
+		if len(got.Path) == 0 || got.Path[0] != '/' {
+			return false
+		}
+		back, err := Parse(got.String())
+		return err == nil && back == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: String() of a parsed URL re-parses to an identical value.
+func TestParseStringRoundTripProperty(t *testing.T) {
+	hosts := []string{"a.com", "sub.b.co.uk", "x9.club"}
+	f := func(hi uint8, p1, p2 uint8, q bool) bool {
+		raw := "http://" + hosts[int(hi)%len(hosts)] + "/" +
+			string(rune('a'+p1%26)) + "/" + string(rune('a'+p2%26))
+		if q {
+			raw += "?z=1&y=2"
+		}
+		u, err := Parse(raw)
+		if err != nil {
+			return false
+		}
+		u2, err := Parse(u.String())
+		return err == nil && u == u2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+package urlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasics(t *testing.T) {
+	u, err := Parse("http://Example.COM/path/a?x=1&y=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Scheme != "http" || u.Host != "example.com" || u.Path != "/path/a" || u.Query != "x=1&y=2" {
+		t.Fatalf("parsed %+v", u)
+	}
+}
+
+func TestParseDefaultsPath(t *testing.T) {
+	u, err := Parse("https://foo.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Path != "/" {
+		t.Fatalf("path = %q", u.Path)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, raw := range []string{"ftp://x.com/", "/relative", "http://", "not a url at all://"} {
+		if _, err := Parse(raw); err == nil {
+			t.Errorf("Parse(%q) succeeded", raw)
+		}
+	}
+}
+
+func TestParsePort(t *testing.T) {
+	u, err := Parse("http://host.com:8080/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Port != "8080" {
+		t.Fatalf("port = %q", u.Port)
+	}
+	if got := u.String(); got != "http://host.com:8080/x" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, raw := range []string{
+		"http://a.com/",
+		"https://sub.b.co.uk/p/q?k=v",
+		"http://c.net/x.js?cb=123&ref=z",
+	} {
+		u, err := Parse(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u2, err := Parse(u.String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != u2 {
+			t.Fatalf("round trip changed %v -> %v", u, u2)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	base := MustParse("http://pub.com/dir/page")
+	cases := []struct{ ref, want string }{
+		{"http://other.com/x", "http://other.com/x"},
+		{"/abs", "http://pub.com/abs"},
+		{"rel", "http://pub.com/dir/rel"},
+		{"rel?a=1", "http://pub.com/dir/rel?a=1"},
+		{"", "http://pub.com/dir/page"},
+		{"/abs?q=2", "http://pub.com/abs?q=2"},
+	}
+	for _, c := range cases {
+		got, err := base.Resolve(c.ref)
+		if err != nil {
+			t.Fatalf("Resolve(%q): %v", c.ref, err)
+		}
+		if got.String() != c.want {
+			t.Errorf("Resolve(%q) = %q, want %q", c.ref, got.String(), c.want)
+		}
+	}
+}
+
+func TestWithPathAndQuery(t *testing.T) {
+	u := MustParse("http://x.com/a?q=1")
+	if got := u.WithPath("b/c").String(); got != "http://x.com/b/c" {
+		t.Fatalf("WithPath = %q", got)
+	}
+	if got := u.WithQuery("z=9").String(); got != "http://x.com/a?z=9" {
+		t.Fatalf("WithQuery = %q", got)
+	}
+}
+
+func TestSameHostSameE2LD(t *testing.T) {
+	a := MustParse("http://ads.foo.com/x")
+	b := MustParse("http://cdn.foo.com/y")
+	if SameHost(a, b) {
+		t.Fatal("different hosts reported same")
+	}
+	if !SameE2LD(a, b) {
+		t.Fatal("same e2LD not detected")
+	}
+}
+
+func TestPublicSuffix(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"example.com", "com"},
+		{"a.b.example.co.uk", "co.uk"},
+		{"foo.blogspot.com", "blogspot.com"},
+		{"x.duckdns.org", "duckdns.org"},
+		{"weird.unknowntld", "unknowntld"},
+		{"b.anything.ck", "anything.ck"}, // wildcard *.ck
+		{"www.ck", "ck"},                 // exception !www.ck
+		{"com", "com"},
+		{"192.168.1.1", "192.168.1.1"},
+	}
+	for _, c := range cases {
+		if got := PublicSuffix(c.host); got != c.want {
+			t.Errorf("PublicSuffix(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+func TestE2LD(t *testing.T) {
+	cases := []struct{ host, want string }{
+		{"example.com", "example.com"},
+		{"www.example.com", "example.com"},
+		{"a.b.c.example.co.uk", "example.co.uk"},
+		{"myblog.blogspot.com", "myblog.blogspot.com"},
+		{"host.duckdns.org", "host.duckdns.org"},
+		{"com", "com"},
+		{"single", "single"},
+		{"x.single", "x.single"},
+		{"deep.sub.anything.ck", "sub.anything.ck"},
+		{"www.ck", "www.ck"},
+		{"EXAMPLE.COM.", "example.com"},
+		{"10.0.0.1", "10.0.0.1"},
+	}
+	for _, c := range cases {
+		if got := E2LD(c.host); got != c.want {
+			t.Errorf("E2LD(%q) = %q, want %q", c.host, got, c.want)
+		}
+	}
+}
+
+// Property: E2LD is idempotent and always a suffix of the input host.
+func TestE2LDProperties(t *testing.T) {
+	labels := []string{"www", "ads", "x9", "foo", "bar", "cdn", "a"}
+	tlds := []string{"com", "net", "co.uk", "club", "info", "xyz", "unknowntld"}
+	f := func(l1, l2, ti uint8) bool {
+		host := labels[int(l1)%len(labels)] + "." + labels[int(l2)%len(labels)] + "." + tlds[int(ti)%len(tlds)]
+		e := E2LD(host)
+		if E2LD(e) != e {
+			return false
+		}
+		return host == e || strings.HasSuffix(host, "."+e)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"/watch/*", "/watch/abc", true},
+		{"/watch/*", "/watch/a/b", false},
+		{"/watch/**", "/watch/a/b", true},
+		{"/*/go.js", "/v3/go.js", true},
+		{"/*/go.js", "/v3/x/go.js", false},
+		{"/**/go.js", "/v3/x/go.js", true},
+		{"/exact", "/exact", true},
+		{"/exact", "/exactly", false},
+		{"**", "/anything/at/all", true},
+		{"/a*b", "/ab", true},
+		{"/a*b", "/axxxb", true},
+	}
+	for _, c := range cases {
+		if got := GlobMatch(c.pat, c.s); got != c.want {
+			t.Errorf("GlobMatch(%q, %q) = %v, want %v", c.pat, c.s, got, c.want)
+		}
+	}
+}
+
+func TestPatternMatchURL(t *testing.T) {
+	p := Pattern{Name: "net/1", Kind: KindURL, PathPrefix: "/jsx/", QueryKey: "zid"}
+	if !p.MatchURL(MustParse("http://abc.com/jsx/loader.js?zid=77&t=1")) {
+		t.Fatal("expected match")
+	}
+	if p.MatchURL(MustParse("http://abc.com/jsx/loader.js?azid=77")) {
+		t.Fatal("matched on wrong query key")
+	}
+	if p.MatchURL(MustParse("http://abc.com/other/loader.js?zid=77")) {
+		t.Fatal("matched on wrong path")
+	}
+}
+
+func TestPatternHostSuffix(t *testing.T) {
+	p := Pattern{Kind: KindURL, HostSuffix: "popcash.net"}
+	if !p.MatchURL(MustParse("http://cdn.popcash.net/pop.js")) {
+		t.Fatal("subdomain should match")
+	}
+	if !p.MatchURL(MustParse("http://popcash.net/pop.js")) {
+		t.Fatal("exact host should match")
+	}
+	if p.MatchURL(MustParse("http://notpopcash.net/pop.js")) {
+		t.Fatal("suffix must respect label boundary")
+	}
+}
+
+func TestEmptyURLPatternMatchesNothing(t *testing.T) {
+	p := Pattern{Kind: KindURL}
+	if p.MatchURL(MustParse("http://any.com/")) {
+		t.Fatal("empty pattern matched")
+	}
+}
+
+func TestPatternMatchSource(t *testing.T) {
+	p := Pattern{Kind: KindSource, BodyToken: "var zoneNative ="}
+	if !p.MatchSource("xx var zoneNative = 9; yy") {
+		t.Fatal("expected source match")
+	}
+	if p.MatchSource("nothing here") {
+		t.Fatal("unexpected source match")
+	}
+	if p.MatchURL(MustParse("http://a.com/")) {
+		t.Fatal("source pattern matched URL")
+	}
+}
+
+func TestPatternSetAttribution(t *testing.T) {
+	ps := NewPatternSet()
+	ps.Add("popads", Pattern{Kind: KindURL, PathGlob: "/*/show.js"})
+	ps.Add("adsterra", Pattern{Kind: KindSource, BodyToken: "atAsyncContainers"})
+	if got := ps.MatchURL(MustParse("http://r4nd0m.club/v2/show.js")); got != "popads" {
+		t.Fatalf("MatchURL = %q", got)
+	}
+	if got := ps.MatchSource("window.atAsyncContainers=[]"); got != "adsterra" {
+		t.Fatalf("MatchSource = %q", got)
+	}
+	if got := ps.MatchURL(MustParse("http://benign.com/index.html")); got != "" {
+		t.Fatalf("unattributed URL matched %q", got)
+	}
+	owners := ps.Owners()
+	if len(owners) != 2 || owners[0] != "popads" || owners[1] != "adsterra" {
+		t.Fatalf("Owners = %v", owners)
+	}
+	if n := len(ps.Patterns("popads")); n != 1 {
+		t.Fatalf("popads has %d patterns", n)
+	}
+}

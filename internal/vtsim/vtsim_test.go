@@ -1,0 +1,133 @@
+package vtsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/vclock"
+)
+
+func TestPreviouslyKnownFraction(t *testing.T) {
+	s := NewService(Profile{}, rng.New(1))
+	src := rng.New(2)
+	n, known := 5000, 0
+	for i := 0; i < n; i++ {
+		r := s.Submit(src.HexToken(64), "c1", vclock.Epoch)
+		if r.PreviouslyKnown {
+			known++
+		}
+	}
+	frac := float64(known) / float64(n)
+	if frac < 0.10 || frac > 0.16 {
+		t.Fatalf("previously-known fraction = %.3f, want ~0.127", frac)
+	}
+}
+
+func TestRescanCatchUp(t *testing.T) {
+	s := NewService(Profile{}, rng.New(3))
+	src := rng.New(4)
+	n := 4000
+	hashes := make([]string, n)
+	initMal, finalMal, strong := 0, 0, 0
+	for i := 0; i < n; i++ {
+		hashes[i] = src.HexToken(64)
+		r := s.Submit(hashes[i], "c", vclock.Epoch)
+		if r.Positives >= 15 {
+			initMal++
+		}
+	}
+	threeMonths := vclock.Epoch.Add(90 * 24 * time.Hour)
+	for _, h := range hashes {
+		r, err := s.Rescan(h, threeMonths)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Malicious() {
+			finalMal++
+		}
+		if r.Positives >= 15 {
+			strong++
+		}
+	}
+	// Paper shape: >95% malicious after rescan, >40% flagged by >=15 AVs,
+	// and the initial scan is much weaker than the final one.
+	if f := float64(finalMal) / float64(n); f < 0.9 {
+		t.Fatalf("final malicious fraction = %.3f", f)
+	}
+	if f := float64(strong) / float64(n); f < 0.40 {
+		t.Fatalf(">=15-AV fraction = %.3f", f)
+	}
+	if initMal >= strong {
+		t.Fatalf("no signature catch-up: init strong %d vs final strong %d", initMal, strong)
+	}
+}
+
+func TestRescanUnknownHash(t *testing.T) {
+	s := NewService(Profile{}, rng.New(5))
+	if _, err := s.Rescan("deadbeef", vclock.Epoch); err == nil {
+		t.Fatal("rescan of unknown hash succeeded")
+	}
+}
+
+func TestKnownOnlyForPreviouslyKnown(t *testing.T) {
+	s := NewService(Profile{PrevKnownProb: 1.0, MaliciousProb: 1, CatchupDays: 10}, rng.New(6))
+	r := s.Submit("h1", "c", vclock.Epoch)
+	if !r.PreviouslyKnown || !s.Known("h1") {
+		t.Fatal("prob-1 prevKnown not honoured")
+	}
+	s2 := NewService(Profile{PrevKnownProb: 0.0000001, MaliciousProb: 1, CatchupDays: 10}, rng.New(7))
+	s2.Submit("h2", "c", vclock.Epoch)
+	if s2.Known("h2") {
+		t.Fatal("fresh sample reported known")
+	}
+	if s2.Known("never-submitted") {
+		t.Fatal("unsubmitted hash known")
+	}
+}
+
+func TestLabelsArePlausible(t *testing.T) {
+	s := NewService(Profile{PrevKnownProb: 0, MaliciousProb: 1, CatchupDays: 1}, rng.New(8))
+	counts := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		r := s.Submit(fmt.Sprintf("%064d", i), "c", vclock.Epoch)
+		if r.Label != "" {
+			counts[r.Label]++
+		}
+	}
+	if counts["Trojan"] == 0 || counts["Adware"] == 0 || counts["PUP"] == 0 {
+		t.Fatalf("label counts = %v", counts)
+	}
+	if counts["Trojan"] < counts["Riskware"] {
+		t.Fatalf("label skew wrong: %v", counts)
+	}
+}
+
+func TestScanAndSampleCounts(t *testing.T) {
+	s := NewService(Profile{}, rng.New(9))
+	s.Submit("a", "c", vclock.Epoch)
+	s.Submit("a", "c", vclock.Epoch.Add(time.Hour)) // resubmit = rescan
+	s.Submit("b", "c", vclock.Epoch)
+	if s.ScanCount() != 3 {
+		t.Fatalf("scans = %d", s.ScanCount())
+	}
+	if s.SampleCount() != 2 {
+		t.Fatalf("samples = %d", s.SampleCount())
+	}
+	h := s.Hashes()
+	if len(h) != 2 || h[0] != "a" || h[1] != "b" {
+		t.Fatalf("hashes = %v", h)
+	}
+}
+
+func TestReportFields(t *testing.T) {
+	s := NewService(Profile{PrevKnownProb: 0, MaliciousProb: 1, CatchupDays: 30}, rng.New(10))
+	r := s.Submit("x", "campaign-7", vclock.Epoch)
+	if r.SHA256 != "x" || r.Total != FleetSize || !r.LastScan.Equal(vclock.Epoch) {
+		t.Fatalf("report = %+v", r)
+	}
+	if !r.Malicious() || r.Positives < 1 {
+		t.Fatalf("fresh malicious sample has %d positives", r.Positives)
+	}
+}

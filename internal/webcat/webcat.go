@@ -1,0 +1,118 @@
+// Package webcat simulates the website categorisation service (Symantec
+// WebPulse in the paper) used to characterise the publisher sites that
+// host SEACMA ads — Table 2 of the paper is a group-by over these
+// categories.
+package webcat
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/rng"
+)
+
+// Categories, with Table 2's relative frequencies among SEACMA-hosting
+// publishers. The generator assigns publisher categories from this
+// distribution so the reproduced table keeps the paper's ordering.
+var Categories = []struct {
+	Name   string
+	Weight float64
+}{
+	{"Suspicious", 15.81},
+	{"Pornography", 13.52},
+	{"Web Hosting", 8.85},
+	{"Entertainment", 6.57},
+	{"Personal Sites", 6.46},
+	{"Malicious Sources/Malnets", 6.25},
+	{"Dynamic DNS Host", 4.60},
+	{"Technology/Internet", 4.02},
+	{"Piracy/Copyright Concerns", 3.91},
+	{"Games", 3.11},
+	{"TV/Video Streams", 2.73},
+	{"Phishing", 2.46},
+	{"Business/Economy", 1.80},
+	{"Adult/Mature Content", 1.72},
+	{"Sports/Recreation", 1.52},
+	{"Education", 1.49},
+	{"Social Networking", 1.08},
+	{"Placeholders", 1.05},
+	{"Health", 1.01},
+	{"Society/Daily Living", 0.98},
+}
+
+// Service is the category lookup API. The world generator registers each
+// publisher's category at creation; the pipeline only calls Lookup.
+type Service struct {
+	mu     sync.RWMutex
+	byHost map[string]string
+	src    *rng.Source
+}
+
+// NewService returns an empty categoriser drawing assignment randomness
+// from src.
+func NewService(src *rng.Source) *Service {
+	return &Service{byHost: map[string]string{}, src: src.Split("webcat")}
+}
+
+// AssignRandom draws a category from the Table 2 distribution, registers
+// it for host, and returns it.
+func (s *Service) AssignRandom(host string) string {
+	weights := make([]float64, len(Categories))
+	for i, c := range Categories {
+		weights[i] = c.Weight
+	}
+	cat := Categories[s.src.Weighted(weights)].Name
+	s.Assign(host, cat)
+	return cat
+}
+
+// Assign registers an explicit category for host.
+func (s *Service) Assign(host, category string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byHost[host] = category
+}
+
+// Lookup returns the category for host; unknown hosts report
+// "Uncategorized", as the real service does.
+func (s *Service) Lookup(host string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if c, ok := s.byHost[host]; ok {
+		return c
+	}
+	return "Uncategorized"
+}
+
+// CategoryCount is one row of a Table 2-style aggregation.
+type CategoryCount struct {
+	Category string
+	Count    int
+	Percent  float64
+}
+
+// Aggregate groups hosts by category and returns rows sorted by
+// descending count (ties alphabetical), exactly the shape of Table 2.
+func (s *Service) Aggregate(hosts []string) []CategoryCount {
+	counts := map[string]int{}
+	for _, h := range hosts {
+		counts[s.Lookup(h)]++
+	}
+	out := make([]CategoryCount, 0, len(counts))
+	for c, n := range counts {
+		out = append(out, CategoryCount{Category: c, Count: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Category < out[j].Category
+	})
+	total := len(hosts)
+	if total > 0 {
+		for i := range out {
+			out[i].Percent = 100 * float64(out[i].Count) / float64(total)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package webcat
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLookupUnknown(t *testing.T) {
+	s := NewService(rng.New(1))
+	if got := s.Lookup("x.com"); got != "Uncategorized" {
+		t.Fatalf("Lookup = %q", got)
+	}
+}
+
+func TestAssignAndLookup(t *testing.T) {
+	s := NewService(rng.New(2))
+	s.Assign("pirate.to", "Piracy/Copyright Concerns")
+	if got := s.Lookup("pirate.to"); got != "Piracy/Copyright Concerns" {
+		t.Fatalf("Lookup = %q", got)
+	}
+}
+
+func TestAssignRandomFollowsDistribution(t *testing.T) {
+	s := NewService(rng.New(3))
+	counts := map[string]int{}
+	n := 20000
+	for i := 0; i < n; i++ {
+		counts[s.AssignRandom(fmt.Sprintf("h%d.com", i))]++
+	}
+	// Every Table 2 category should appear, and Suspicious should be the
+	// most common (15.81% weight).
+	for _, c := range Categories {
+		if counts[c.Name] == 0 {
+			t.Errorf("category %q never assigned", c.Name)
+		}
+	}
+	max := ""
+	for name, c := range counts {
+		if max == "" || c > counts[max] {
+			max = name
+		}
+	}
+	if max != "Suspicious" {
+		t.Fatalf("most common = %q", max)
+	}
+}
+
+func TestAggregateOrderingAndPercent(t *testing.T) {
+	s := NewService(rng.New(4))
+	hosts := []string{"a.com", "b.com", "c.com", "d.com"}
+	s.Assign("a.com", "Games")
+	s.Assign("b.com", "Games")
+	s.Assign("c.com", "Health")
+	// d.com stays Uncategorized.
+	rows := s.Aggregate(hosts)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Category != "Games" || rows[0].Count != 2 || rows[0].Percent != 50 {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	// Tie between Health and Uncategorized broken alphabetically.
+	if rows[1].Category != "Health" || rows[2].Category != "Uncategorized" {
+		t.Fatalf("tie order: %+v", rows[1:])
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	s := NewService(rng.New(5))
+	if rows := s.Aggregate(nil); len(rows) != 0 {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestTableTwoHasTwentyCategories(t *testing.T) {
+	if len(Categories) != 20 {
+		t.Fatalf("Categories = %d, Table 2 lists 20", len(Categories))
+	}
+	// Weights should be descending as in the paper's table.
+	for i := 1; i < len(Categories); i++ {
+		if Categories[i].Weight > Categories[i-1].Weight {
+			t.Fatalf("weights not descending at %d", i)
+		}
+	}
+}

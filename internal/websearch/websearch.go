@@ -1,0 +1,115 @@
+// Package websearch simulates the source-code search engine
+// (publicwww.com in the paper) used to "reverse" ad-network invariant
+// features into lists of publisher websites (Section 3.1), and again to
+// expand coverage after new ad networks are discovered (Section 4.4).
+//
+// The index maps each host to the source text of its front page plus a
+// popularity rank, mirroring the two things the paper obtains from
+// PublicWWW: the publisher list for a code snippet query, and popularity
+// rankings ("52 publisher websites were ranked among the top 10,000").
+package websearch
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Engine is the searchable source-code index.
+type Engine struct {
+	mu    sync.RWMutex
+	pages map[string]string // host -> page source
+	rank  map[string]int    // host -> popularity rank (1 = most popular)
+}
+
+// NewEngine returns an empty index.
+func NewEngine() *Engine {
+	return &Engine{pages: map[string]string{}, rank: map[string]int{}}
+}
+
+// Index stores (or replaces) the source text for a host with its
+// popularity rank (0 = unranked).
+func (e *Engine) Index(host, source string, rank int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.pages[host] = source
+	if rank > 0 {
+		e.rank[host] = rank
+	}
+}
+
+// Source returns the indexed source text for a host ("" when absent) —
+// the cached copy an analyst inspects when deriving new invariants.
+func (e *Engine) Source(host string) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.pages[host]
+}
+
+// Size returns the number of indexed hosts.
+func (e *Engine) Size() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.pages)
+}
+
+// Search returns all hosts whose indexed source contains the exact
+// snippet, sorted by popularity rank then name — the PublicWWW query the
+// paper issues per invariant feature.
+func (e *Engine) Search(snippet string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []string
+	for host, src := range e.pages {
+		if strings.Contains(src, snippet) {
+			out = append(out, host)
+		}
+	}
+	e.sortByRankLocked(out)
+	return out
+}
+
+// SearchAny returns hosts matching at least one of the snippets, deduped.
+func (e *Engine) SearchAny(snippets []string) []string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	seen := map[string]bool{}
+	var out []string
+	for host, src := range e.pages {
+		for _, sn := range snippets {
+			if strings.Contains(src, sn) {
+				if !seen[host] {
+					seen[host] = true
+					out = append(out, host)
+				}
+				break
+			}
+		}
+	}
+	e.sortByRankLocked(out)
+	return out
+}
+
+// Rank returns the popularity rank for a host (0 when unranked).
+func (e *Engine) Rank(host string) int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.rank[host]
+}
+
+func (e *Engine) sortByRankLocked(hosts []string) {
+	sort.Slice(hosts, func(i, j int) bool {
+		ri, rj := e.rank[hosts[i]], e.rank[hosts[j]]
+		switch {
+		case ri == 0 && rj == 0:
+			return hosts[i] < hosts[j]
+		case ri == 0:
+			return false
+		case rj == 0:
+			return true
+		case ri != rj:
+			return ri < rj
+		}
+		return hosts[i] < hosts[j]
+	})
+}

@@ -1,0 +1,82 @@
+package websearch
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSearchFindsSnippet(t *testing.T) {
+	e := NewEngine()
+	e.Index("a.com", `<script>let _pcWidget = {z:1};</script>`, 0)
+	e.Index("b.com", `<script>let other = 1;</script>`, 0)
+	e.Index("c.com", `something let _pcWidget = {z:9}; more`, 0)
+	got := e.Search("let _pcWidget =")
+	if len(got) != 2 || got[0] != "a.com" || got[1] != "c.com" {
+		t.Fatalf("Search = %v", got)
+	}
+}
+
+func TestSearchEmptyIndex(t *testing.T) {
+	e := NewEngine()
+	if got := e.Search("anything"); len(got) != 0 {
+		t.Fatalf("Search = %v", got)
+	}
+}
+
+func TestSearchAnyDedupes(t *testing.T) {
+	e := NewEngine()
+	e.Index("a.com", "tokenA tokenB", 0)
+	e.Index("b.com", "tokenB", 0)
+	got := e.SearchAny([]string{"tokenA", "tokenB"})
+	if len(got) != 2 {
+		t.Fatalf("SearchAny = %v", got)
+	}
+}
+
+func TestRankOrdering(t *testing.T) {
+	e := NewEngine()
+	e.Index("popular.com", "snippet", 500)
+	e.Index("mid.com", "snippet", 9000)
+	e.Index("unranked.com", "snippet", 0)
+	e.Index("top.com", "snippet", 3)
+	got := e.Search("snippet")
+	want := []string{"top.com", "popular.com", "mid.com", "unranked.com"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+	if e.Rank("top.com") != 3 || e.Rank("unranked.com") != 0 {
+		t.Fatal("Rank lookup wrong")
+	}
+}
+
+func TestIndexReplace(t *testing.T) {
+	e := NewEngine()
+	e.Index("a.com", "old-token", 0)
+	e.Index("a.com", "new-token", 0)
+	if got := e.Search("old-token"); len(got) != 0 {
+		t.Fatalf("stale source still indexed: %v", got)
+	}
+	if got := e.Search("new-token"); len(got) != 1 {
+		t.Fatalf("new source missing: %v", got)
+	}
+	if e.Size() != 1 {
+		t.Fatalf("Size = %d", e.Size())
+	}
+}
+
+func TestLargeIndex(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5000; i++ {
+		src := "filler"
+		if i%10 == 0 {
+			src = "needle-token filler"
+		}
+		e.Index(fmt.Sprintf("h%05d.com", i), src, 0)
+	}
+	got := e.Search("needle-token")
+	if len(got) != 500 {
+		t.Fatalf("found %d", len(got))
+	}
+}

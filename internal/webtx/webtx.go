@@ -1,0 +1,294 @@
+// Package webtx implements the synthetic internet the SEACMA pipeline
+// crawls: a registry of named hosts serving content to requests, with
+// HTTP-like redirect semantics, referrer propagation rules, client IP
+// classes, and a global request log.
+//
+// The real system crawls the live web; this substrate preserves the
+// properties the pipeline depends on — URL-addressed resources, 3xx
+// redirect chains, referrer suppression, IP-dependent cloaking (the paper
+// found Propeller and Clickadu only serve SE ads to residential IP space),
+// and user-agent-dependent content — without any real network traffic.
+package webtx
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dom"
+	"repro/internal/urlx"
+)
+
+// IPClass models where a client request originates from. Low-tier ad
+// networks cloak on this (Section 3.2 "Implementation Challenges").
+type IPClass int
+
+const (
+	// IPResidential is a home broadband address.
+	IPResidential IPClass = iota
+	// IPInstitutional is a university or enterprise address.
+	IPInstitutional
+	// IPDatacenter covers cloud ranges such as AWS.
+	IPDatacenter
+	// IPTorExit is a Tor exit node.
+	IPTorExit
+)
+
+var ipClassNames = map[IPClass]string{
+	IPResidential:   "residential",
+	IPInstitutional: "institutional",
+	IPDatacenter:    "datacenter",
+	IPTorExit:       "tor-exit",
+}
+
+func (c IPClass) String() string {
+	if s, ok := ipClassNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("IPClass(%d)", int(c))
+}
+
+// UserAgent describes the browser/OS combination a crawler masquerades
+// as. The paper simulates four combinations (Section 3.2).
+type UserAgent struct {
+	Name    string // short identifier, e.g. "chrome-mac"
+	Browser string // "chrome", "ie", "edge"
+	OS      string // "macos", "android", "windows"
+	Mobile  bool
+	Header  string // full User-Agent string sent with requests
+	ScreenW int
+	ScreenH int
+}
+
+// The four browser/OS combinations from Section 3.2.
+var (
+	UAChromeMac = UserAgent{
+		Name: "chrome66-macos", Browser: "chrome", OS: "macos",
+		Header:  "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_13_4) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/66.0.3359.117 Safari/537.36",
+		ScreenW: 1440, ScreenH: 900,
+	}
+	UAChromeAndroid = UserAgent{
+		Name: "chrome65-android", Browser: "chrome", OS: "android", Mobile: true,
+		Header:  "Mozilla/5.0 (Linux; Android 8.0.0; Pixel 2) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/65.0.3325.109 Mobile Safari/537.36",
+		ScreenW: 411, ScreenH: 731,
+	}
+	UAIE10Win = UserAgent{
+		Name: "ie10-windows", Browser: "ie", OS: "windows",
+		Header:  "Mozilla/5.0 (compatible; MSIE 10.0; Windows NT 6.2; Trident/6.0)",
+		ScreenW: 1366, ScreenH: 768,
+	}
+	UAEdge12Win = UserAgent{
+		Name: "edge12-windows", Browser: "edge", OS: "windows",
+		Header:  "Mozilla/5.0 (Windows NT 10.0) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/42.0.2311.135 Safari/537.36 Edge/12.10240",
+		ScreenW: 1366, ScreenH: 768,
+	}
+)
+
+// AllUserAgents lists the crawl UA rotation in the order the paper
+// enumerates them.
+var AllUserAgents = []UserAgent{UAChromeMac, UAChromeAndroid, UAIE10Win, UAEdge12Win}
+
+// Request is one resource fetch.
+type Request struct {
+	URL       urlx.URL
+	Referrer  string // empty when suppressed or absent
+	UserAgent UserAgent
+	ClientIP  IPClass
+	Time      time.Time
+}
+
+// Status codes used by the simulator.
+const (
+	StatusOK              = 200
+	StatusMovedPermanent  = 301
+	StatusFound           = 302
+	StatusSeeOther        = 303
+	StatusTempRedirect    = 307
+	StatusNotFound        = 404
+	StatusGone            = 410
+	StatusServiceUnavail  = 503
+	ContentTypeHTML       = "text/html"
+	ContentTypeJavaScript = "application/javascript"
+	ContentTypeBinary     = "application/octet-stream"
+)
+
+// Response is the server's answer to a Request.
+type Response struct {
+	Status      int
+	ContentType string
+	// Location is the redirect target for 3xx responses.
+	Location string
+	// Body is the response payload: an HTML document source, a script
+	// source, or (for downloads) opaque bytes rendered as a string.
+	Body string
+	// Doc is the structured form of an HTML body. The browser renders and
+	// executes Doc; Body carries the serialized source that search
+	// indexing and invariant-pattern matching operate on.
+	Doc *dom.Document
+	// Download, when non-nil, marks the response as a file download.
+	Download *Download
+	// ReferrerPolicy, when "no-referrer", instructs the browser to
+	// suppress the Referer header on subsequent navigations from this
+	// document (used by ad networks to hide their role, Section 3.4).
+	ReferrerPolicy string
+}
+
+// Download describes a served file (the SE campaigns' polymorphic
+// binaries, Section 4.5).
+type Download struct {
+	Filename string
+	SHA256   string // content hash minted by the campaign generator
+	Size     int
+	Format   string // "pe", "dmg", "apk", "crx"
+	// CampaignID ties the file back to the generating campaign (ground
+	// truth; never consumed by the pipeline itself).
+	CampaignID string
+}
+
+// Redirect reports whether the response is a redirect.
+func (r *Response) Redirect() bool {
+	return r.Status >= 300 && r.Status < 400 && r.Location != ""
+}
+
+// Handler serves requests for one or more hosts.
+type Handler interface {
+	Serve(req *Request) *Response
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req *Request) *Response
+
+// Serve implements Handler.
+func (f HandlerFunc) Serve(req *Request) *Response { return f(req) }
+
+// NotFound is a canned 404 response.
+func NotFound() *Response {
+	return &Response{Status: StatusNotFound, ContentType: ContentTypeHTML, Body: "<html>not found</html>"}
+}
+
+// Gone is a canned 410 response, used by expired throw-away domains.
+func Gone() *Response {
+	return &Response{Status: StatusGone, ContentType: ContentTypeHTML, Body: "<html>gone</html>"}
+}
+
+// RedirectTo builds a 302 response.
+func RedirectTo(target string) *Response {
+	return &Response{Status: StatusFound, Location: target}
+}
+
+// HTMLPage builds a 200 text/html response.
+func HTMLPage(body string) *Response {
+	return &Response{Status: StatusOK, ContentType: ContentTypeHTML, Body: body}
+}
+
+// DocumentPage builds a 200 text/html response from a structured
+// document, serializing it for the source-matching consumers.
+func DocumentPage(doc *dom.Document) *Response {
+	return &Response{Status: StatusOK, ContentType: ContentTypeHTML, Doc: doc, Body: doc.Serialize()}
+}
+
+// Script builds a 200 JavaScript response.
+func Script(body string) *Response {
+	return &Response{Status: StatusOK, ContentType: ContentTypeJavaScript, Body: body}
+}
+
+// ErrNXDomain is returned when no host matches a request URL.
+type ErrNXDomain struct{ Host string }
+
+func (e ErrNXDomain) Error() string { return "webtx: NXDOMAIN " + e.Host }
+
+// LogEntry records one completed exchange, for the ethics cost accounting
+// (Section 6) and debugging.
+type LogEntry struct {
+	Request  Request
+	Status   int
+	Redirect string
+}
+
+// Internet is the synthetic network: a host registry plus a request log.
+// It is safe for concurrent use by the crawler farm's workers.
+type Internet struct {
+	mu      sync.RWMutex
+	hosts   map[string]Handler
+	log     []LogEntry
+	logging bool
+}
+
+// NewInternet returns an empty internet with request logging enabled.
+func NewInternet() *Internet {
+	return &Internet{hosts: map[string]Handler{}, logging: true}
+}
+
+// Register binds a handler to a hostname, replacing any previous binding.
+func (in *Internet) Register(host string, h Handler) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hosts[host] = h
+}
+
+// Unregister removes a hostname (domain expired / taken down).
+func (in *Internet) Unregister(host string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	delete(in.hosts, host)
+}
+
+// Registered reports whether a hostname resolves.
+func (in *Internet) Registered(host string) bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	_, ok := in.hosts[host]
+	return ok
+}
+
+// HostCount returns the number of registered hosts.
+func (in *Internet) HostCount() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.hosts)
+}
+
+// SetLogging toggles the request log (large experiments disable it and
+// rely on component-level accounting).
+func (in *Internet) SetLogging(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.logging = on
+}
+
+// RoundTrip resolves and serves a single request. It does not follow
+// redirects; the browser does, so each hop is observable.
+func (in *Internet) RoundTrip(req *Request) (*Response, error) {
+	in.mu.RLock()
+	h, ok := in.hosts[req.URL.Host]
+	in.mu.RUnlock()
+	if !ok {
+		return nil, ErrNXDomain{Host: req.URL.Host}
+	}
+	resp := h.Serve(req)
+	if resp == nil {
+		resp = NotFound()
+	}
+	in.mu.Lock()
+	if in.logging {
+		in.log = append(in.log, LogEntry{Request: *req, Status: resp.Status, Redirect: resp.Location})
+	}
+	in.mu.Unlock()
+	return resp, nil
+}
+
+// Log returns a copy of the request log.
+func (in *Internet) Log() []LogEntry {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]LogEntry, len(in.log))
+	copy(out, in.log)
+	return out
+}
+
+// ResetLog clears the request log.
+func (in *Internet) ResetLog() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.log = nil
+}

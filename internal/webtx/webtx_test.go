@@ -1,0 +1,155 @@
+package webtx
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/urlx"
+	"repro/internal/vclock"
+)
+
+func req(raw string) *Request {
+	return &Request{URL: urlx.MustParse(raw), UserAgent: UAChromeMac, ClientIP: IPInstitutional, Time: vclock.Epoch}
+}
+
+func TestRoundTripNXDomain(t *testing.T) {
+	in := NewInternet()
+	_, err := in.RoundTrip(req("http://nosuch.com/"))
+	var nx ErrNXDomain
+	if !errors.As(err, &nx) || nx.Host != "nosuch.com" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegisterServeUnregister(t *testing.T) {
+	in := NewInternet()
+	in.Register("a.com", HandlerFunc(func(r *Request) *Response {
+		return HTMLPage("<html>hi " + r.URL.Path + "</html>")
+	}))
+	if !in.Registered("a.com") || in.HostCount() != 1 {
+		t.Fatal("registration not visible")
+	}
+	resp, err := in.RoundTrip(req("http://a.com/page"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusOK || resp.Body != "<html>hi /page</html>" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	in.Unregister("a.com")
+	if _, err := in.RoundTrip(req("http://a.com/")); err == nil {
+		t.Fatal("unregistered host still resolves")
+	}
+}
+
+func TestNilResponseBecomes404(t *testing.T) {
+	in := NewInternet()
+	in.Register("a.com", HandlerFunc(func(*Request) *Response { return nil }))
+	resp, err := in.RoundTrip(req("http://a.com/"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != StatusNotFound {
+		t.Fatalf("status = %d", resp.Status)
+	}
+}
+
+func TestRedirectHelpers(t *testing.T) {
+	r := RedirectTo("http://b.com/x")
+	if !r.Redirect() || r.Location != "http://b.com/x" {
+		t.Fatalf("redirect = %+v", r)
+	}
+	if HTMLPage("x").Redirect() {
+		t.Fatal("200 reported as redirect")
+	}
+	if Gone().Status != StatusGone {
+		t.Fatal("Gone status wrong")
+	}
+	if Script("s").ContentType != ContentTypeJavaScript {
+		t.Fatal("Script content type wrong")
+	}
+}
+
+func TestRequestLog(t *testing.T) {
+	in := NewInternet()
+	in.Register("a.com", HandlerFunc(func(*Request) *Response { return HTMLPage("x") }))
+	in.Register("b.com", HandlerFunc(func(*Request) *Response { return RedirectTo("http://a.com/") }))
+	if _, err := in.RoundTrip(req("http://a.com/1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RoundTrip(req("http://b.com/2")); err != nil {
+		t.Fatal(err)
+	}
+	log := in.Log()
+	if len(log) != 2 {
+		t.Fatalf("log has %d entries", len(log))
+	}
+	if log[1].Redirect != "http://a.com/" || log[1].Status != StatusFound {
+		t.Fatalf("log[1] = %+v", log[1])
+	}
+	in.ResetLog()
+	if len(in.Log()) != 0 {
+		t.Fatal("ResetLog did not clear")
+	}
+	in.SetLogging(false)
+	if _, err := in.RoundTrip(req("http://a.com/3")); err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Log()) != 0 {
+		t.Fatal("logging still on after SetLogging(false)")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	in := NewInternet()
+	in.Register("a.com", HandlerFunc(func(*Request) *Response { return HTMLPage("x") }))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := in.RoundTrip(req("http://a.com/")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(in.Log()); got != 1600 {
+		t.Fatalf("log entries = %d", got)
+	}
+}
+
+func TestIPClassString(t *testing.T) {
+	if IPResidential.String() != "residential" || IPTorExit.String() != "tor-exit" {
+		t.Fatal("IPClass names wrong")
+	}
+	if IPClass(99).String() == "" {
+		t.Fatal("unknown class has empty name")
+	}
+}
+
+func TestUserAgentsDistinct(t *testing.T) {
+	if len(AllUserAgents) != 4 {
+		t.Fatalf("want the paper's 4 UAs, got %d", len(AllUserAgents))
+	}
+	seen := map[string]bool{}
+	for _, ua := range AllUserAgents {
+		if ua.Name == "" || ua.Header == "" || ua.ScreenW == 0 {
+			t.Fatalf("incomplete UA %+v", ua)
+		}
+		if seen[ua.Name] {
+			t.Fatalf("duplicate UA %q", ua.Name)
+		}
+		seen[ua.Name] = true
+	}
+	if !UAChromeAndroid.Mobile {
+		t.Fatal("android UA not mobile")
+	}
+	if UAChromeMac.Mobile {
+		t.Fatal("mac UA marked mobile")
+	}
+}

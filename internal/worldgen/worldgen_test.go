@@ -1,0 +1,239 @@
+package worldgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/adnet"
+	"repro/internal/secamp"
+	"repro/internal/urlx"
+	"repro/internal/vclock"
+	"repro/internal/webtx"
+)
+
+func buildTiny(t *testing.T) *World {
+	t.Helper()
+	return Build(TinyConfig())
+}
+
+func TestBuildAssemblesEverything(t *testing.T) {
+	w := buildTiny(t)
+	if len(w.Networks) != 14 {
+		t.Fatalf("networks = %d", len(w.Networks))
+	}
+	if len(w.Campaigns) != 15 {
+		t.Fatalf("campaigns = %d", len(w.Campaigns))
+	}
+	if len(w.Publishers) != 132 {
+		t.Fatalf("publishers = %d", len(w.Publishers))
+	}
+	if len(w.Families) != 22 {
+		t.Fatalf("benign families = %d (paper triaged 22 benign clusters)", len(w.Families))
+	}
+	if w.Internet.HostCount() == 0 || w.Search.Size() != len(w.Publishers) {
+		t.Fatal("hosts or index missing")
+	}
+}
+
+func TestPublisherPagesServeSnippets(t *testing.T) {
+	w := buildTiny(t)
+	p := w.Publishers[0]
+	resp, err := w.Internet.RoundTrip(&webtx.Request{
+		URL: urlx.MustParse("http://" + p.Host + "/"), UserAgent: webtx.UAChromeMac, Time: vclock.Epoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Doc == nil || len(resp.Doc.Scripts) != len(p.Networks) {
+		t.Fatalf("publisher page scripts = %d, networks = %d", len(resp.Doc.Scripts), len(p.Networks))
+	}
+	// The page source carries each network's invariant.
+	for _, name := range p.Networks {
+		n := w.NetworkByName(name)
+		if n == nil {
+			t.Fatalf("unknown network %q", name)
+		}
+		if !strings.Contains(resp.Body, n.SearchSnippet()) {
+			t.Fatalf("page lacks %s invariant", name)
+		}
+	}
+}
+
+func TestSearchReversesInvariants(t *testing.T) {
+	// The paper's "reversing" step: searching a network's invariant
+	// returns exactly the publishers embedding it.
+	w := buildTiny(t)
+	for _, n := range w.Networks {
+		hosts := w.Search.Search(n.SearchSnippet())
+		want := map[string]bool{}
+		for _, p := range w.Publishers {
+			for _, name := range p.Networks {
+				if name == n.Name() {
+					want[p.Host] = true
+				}
+			}
+		}
+		if len(hosts) != len(want) {
+			t.Fatalf("%s: search found %d, truth %d", n.Name(), len(hosts), len(want))
+		}
+		for _, h := range hosts {
+			if !want[h] {
+				t.Fatalf("%s: false positive %s", n.Name(), h)
+			}
+		}
+	}
+}
+
+func TestSeedPublisherHosts(t *testing.T) {
+	w := buildTiny(t)
+	seeds := w.SeedPublisherHosts()
+	if len(seeds) != w.Cfg.SeedPublishers {
+		t.Fatalf("seed hosts = %d, want %d", len(seeds), w.Cfg.SeedPublishers)
+	}
+}
+
+func TestTruthRecordsAttackDomains(t *testing.T) {
+	w := buildTiny(t)
+	camp := w.Campaigns[0]
+	resp, err := w.Internet.RoundTrip(&webtx.Request{
+		URL: urlx.MustParse(camp.EntryURL()), UserAgent: uaFor(camp), ClientIP: webtx.IPResidential, Time: w.Clock.Now(),
+	})
+	if err != nil || !resp.Redirect() {
+		t.Fatalf("TDS: %v %v", resp, err)
+	}
+	host := urlx.MustParse(resp.Location).Host
+	if got := w.Truth.CampaignOfAttackDomain(host); got != camp.ID {
+		t.Fatalf("truth campaign = %q", got)
+	}
+	if _, ok := w.Truth.BornAt(host); !ok {
+		t.Fatal("no birth time")
+	}
+	if w.Truth.AttackDomainCount() == 0 {
+		t.Fatal("no attack domains counted")
+	}
+	cat, ok := w.Truth.CategoryOfCampaign(camp.ID)
+	if !ok || cat != camp.Category {
+		t.Fatalf("category = %v %v", cat, ok)
+	}
+	// GSB observed the domain (lookup must not panic; listing may or may
+	// not happen eventually).
+	w.GSB.Lookup(host, w.Clock.Now())
+}
+
+func uaFor(c *secamp.Campaign) webtx.UserAgent {
+	if c.Category.MobileOnly() {
+		return webtx.UAChromeAndroid
+	}
+	return webtx.UAChromeMac
+}
+
+func TestTruthNetworkDomains(t *testing.T) {
+	w := buildTiny(t)
+	for _, n := range w.Networks {
+		for _, d := range n.AllDomains() {
+			if got := w.Truth.NetworkOfDomain(d); got != n.Name() {
+				t.Fatalf("domain %s attributed to %q, want %s", d, got, n.Name())
+			}
+		}
+	}
+	if w.Truth.NetworkOfDomain("random.com") != "" {
+		t.Fatal("unknown domain attributed")
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a, b := Build(TinyConfig()), Build(TinyConfig())
+	if len(a.Publishers) != len(b.Publishers) {
+		t.Fatal("publisher counts differ")
+	}
+	for i := range a.Publishers {
+		if a.Publishers[i].Host != b.Publishers[i].Host {
+			t.Fatalf("publisher %d differs: %s vs %s", i, a.Publishers[i].Host, b.Publishers[i].Host)
+		}
+	}
+	for i := range a.Campaigns {
+		if a.Campaigns[i].EntryURL() != b.Campaigns[i].EntryURL() {
+			t.Fatal("campaign TDS URLs differ")
+		}
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	w := buildTiny(t)
+	if w.NetworkByName("PopCash") == nil || w.NetworkByName("NoSuch") != nil {
+		t.Fatal("NetworkByName wrong")
+	}
+	c := w.Campaigns[0]
+	if w.CampaignByID(c.ID) != c || w.CampaignByID("nope") != nil {
+		t.Fatal("CampaignByID wrong")
+	}
+	p := w.Publishers[0]
+	if w.PublisherByHost(p.Host) != p || w.PublisherByHost("nope") != nil {
+		t.Fatal("PublisherByHost wrong")
+	}
+}
+
+func TestPublisherCategoriesAssigned(t *testing.T) {
+	w := buildTiny(t)
+	for _, p := range w.Publishers {
+		if p.Category == "" || p.Category == "Uncategorized" {
+			t.Fatalf("publisher %s category %q", p.Host, p.Category)
+		}
+		if w.Webcat.Lookup(p.Host) != p.Category {
+			t.Fatal("categoriser out of sync")
+		}
+		if p.Rank <= 0 {
+			t.Fatalf("publisher %s rank %d", p.Host, p.Rank)
+		}
+	}
+}
+
+func TestNewNetPublishersCarryOnlyDiscoveredNetworks(t *testing.T) {
+	w := buildTiny(t)
+	count := 0
+	for _, p := range w.Publishers[w.Cfg.SeedPublishers:] {
+		count++
+		if len(p.Networks) != 1 {
+			t.Fatalf("new-net publisher has %d networks", len(p.Networks))
+		}
+		if isSeedName(p.Networks[0]) {
+			t.Fatalf("new-net publisher carries seed network %s", p.Networks[0])
+		}
+	}
+	if count != w.Cfg.NewNetPublishers {
+		t.Fatalf("new-net publishers = %d", count)
+	}
+}
+
+func TestOverlapPublishersExist(t *testing.T) {
+	w := buildTiny(t)
+	overlap := 0
+	for _, p := range w.Publishers[:w.Cfg.SeedPublishers] {
+		hasSeed, hasNew := false, false
+		for _, n := range p.Networks {
+			if isSeedName(n) {
+				hasSeed = true
+			} else {
+				hasNew = true
+			}
+		}
+		if !hasSeed {
+			t.Fatalf("seed publisher %s has no seed network", p.Host)
+		}
+		if hasNew {
+			overlap++
+		}
+	}
+	if overlap == 0 {
+		t.Fatal("no overlap publishers — unknown attribution cannot occur")
+	}
+}
+
+func TestDefaultConfigCampaignCountsArePaper(t *testing.T) {
+	w := Build(Config{Seed: 5, SeedPublishers: 5, NewNetPublishers: 1, Advertisers: 5,
+		ParkedFamilies: 1, AdultFamilies: 1, ShortenerFamilies: 1, SpuriousFamilies: 1, FamilyDomains: 5})
+	if len(w.Campaigns) != 108 {
+		t.Fatalf("campaigns = %d, want the paper's 108", len(w.Campaigns))
+	}
+	_ = adnet.Specs
+}
