@@ -1,0 +1,30 @@
+# Tier-1 developer flow. `make check` is what CI runs: build + vet +
+# full test suite, then the race detector over the packages with real
+# concurrency (the obs hot path, the crawler farm, the core pipeline).
+
+GO ?= go
+
+.PHONY: all build vet test test-race check bench-obs
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The concurrency-bearing packages: internal/obs (lock-free counters,
+# span list), internal/crawler (worker farm), internal/core (pipeline +
+# milker). Documented as tier-1 alongside `go build && go test`.
+test-race:
+	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/...
+
+check: build vet test test-race
+
+# Overhead guard: the uninstrumented (nil-registry) hot path.
+bench-obs:
+	$(GO) test -bench 'BenchmarkObs_' -run XXX ./internal/obs/

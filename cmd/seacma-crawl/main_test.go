@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	cc, err := parseFlags([]string{"-tiny", "-seed", "7", "-max", "40", "-json", "-metrics", "m.json"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.exp.SkipMilking {
+		t.Fatal("crawl config must skip milking")
+	}
+	if cc.exp.World.Seed != 7 {
+		t.Fatalf("seed = %d", cc.exp.World.Seed)
+	}
+	if cc.exp.MaxPublishers != 40 {
+		t.Fatalf("max = %d", cc.exp.MaxPublishers)
+	}
+	if !cc.asJSON {
+		t.Fatal("json flag not mapped")
+	}
+	if cc.metrics != "m.json" || cc.exp.Obs == nil {
+		t.Fatal("metrics flag must allocate a registry")
+	}
+	// Without -metrics the run stays uninstrumented.
+	cc2, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc2.exp.Obs != nil {
+		t.Fatal("registry allocated without -metrics")
+	}
+	if cc2.exp.World.Seed != 1 {
+		t.Fatalf("default seed = %d", cc2.exp.World.Seed)
+	}
+	if _, err := parseFlags([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestPublisherOverride(t *testing.T) {
+	cc, err := parseFlags([]string{"-publishers", "120"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc.exp.World.SeedPublishers != 120 || cc.exp.World.NewNetPublishers != 12 {
+		t.Fatalf("publisher override: %d/%d", cc.exp.World.SeedPublishers, cc.exp.World.NewNetPublishers)
+	}
+}
+
+// Smoke: a tiny end-to-end crawl emits the campaign JSON and a metrics
+// snapshot with the discovery-half spans and non-zero crawler counters.
+func TestRunTinySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny pipeline run")
+	}
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.json")
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-tiny", "-max", "60", "-json", "-metrics", metrics}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	var campaigns []map[string]any
+	if err := json.Unmarshal(stdout.Bytes(), &campaigns); err != nil {
+		t.Fatalf("campaign JSON: %v\n%s", err, stdout.String())
+	}
+	if len(campaigns) == 0 {
+		t.Fatal("no campaigns discovered")
+	}
+
+	raw, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+		Spans    []struct {
+			Name   string `json:"name"`
+			WallNS int64  `json:"wall_ns"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	stages := map[string]bool{}
+	for _, sp := range snap.Spans {
+		stages[sp.Name] = true
+	}
+	for _, want := range []string{"reverse", "crawl", "discover", "attribute"} {
+		if !stages[want] {
+			t.Errorf("missing %q span; have %v", want, stages)
+		}
+	}
+	var crawlerTotal int64
+	for k, v := range snap.Counters {
+		if len(k) >= 8 && k[:8] == "crawler_" {
+			crawlerTotal += v
+		}
+	}
+	if crawlerTotal == 0 {
+		t.Fatalf("no crawler counters in snapshot: %v", snap.Counters)
+	}
+}

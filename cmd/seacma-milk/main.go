@@ -2,29 +2,50 @@
 // (milking) experiment and reports Table 4, the GSB lag, and the
 // VirusTotal statistics of the milked binaries.
 //
-//	seacma-milk [-seed N] [-days N] [-sources N] [-interval MIN]
+//	seacma-milk [-seed N] [-days N] [-sources N] [-interval MIN] [-tiny] [-metrics out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// milkConfig is the assembled run configuration; split from flag
+// parsing so tests can cover the -flag → config mapping.
+type milkConfig struct {
+	exp     seacma.ExperimentConfig
+	days    int
+	metrics string
+}
+
+// parseFlags maps the command line onto a milkConfig.
+func parseFlags(args []string) (*milkConfig, error) {
+	fs := flag.NewFlagSet("seacma-milk", flag.ContinueOnError)
 	var (
-		seed     = flag.Int64("seed", 1, "world seed")
-		days     = flag.Int("days", 14, "milking horizon in virtual days (paper: 14)")
-		sources  = flag.Int("sources", 300, "max milking sources (0 = unbounded; paper: 505)")
-		interval = flag.Int("interval", 15, "milking interval in virtual minutes (paper: 15)")
-		tiny     = flag.Bool("tiny", false, "use the tiny smoke-test world")
+		seed     = fs.Int64("seed", 1, "world seed")
+		days     = fs.Int("days", 14, "milking horizon in virtual days (paper: 14)")
+		sources  = fs.Int("sources", 300, "max milking sources (0 = unbounded; paper: 505)")
+		interval = fs.Int("interval", 15, "milking interval in virtual minutes (paper: 15)")
+		tiny     = fs.Bool("tiny", false, "use the tiny smoke-test world")
+		metrics  = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	cfg := seacma.DefaultExperimentConfig()
 	if *tiny {
@@ -34,28 +55,43 @@ func main() {
 	cfg.Milker.Duration = time.Duration(*days) * 24 * time.Hour
 	cfg.Milker.MilkInterval = time.Duration(*interval) * time.Minute
 	cfg.Milker.MaxSources = *sources
+	if *metrics != "" {
+		cfg.Obs = obs.New()
+	}
+	return &milkConfig{exp: cfg, days: *days, metrics: *metrics}, nil
+}
 
-	exp := seacma.NewExperiment(cfg)
-	fmt.Fprintf(os.Stderr, "world: %d publishers, %d campaigns; running full pipeline...\n",
+func run(args []string, stdout, stderr io.Writer) error {
+	mc, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	exp := seacma.NewExperiment(mc.exp)
+	fmt.Fprintf(stderr, "world: %d publishers, %d campaigns; running full pipeline...\n",
 		len(exp.World.Publishers), len(exp.World.Campaigns))
 	start := time.Now()
 	res, err := exp.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	m := res.Milking
 
-	fmt.Printf("milking: %d sources x %d virtual days -> %d sessions (wall %v)\n",
-		m.Sources, *days, m.Sessions, time.Since(start).Round(time.Second))
-	fmt.Printf("fresh attack domains harvested: %d\n", len(m.Domains))
-	fmt.Printf("binaries collected: %d (previously known to the scan service: %d)\n",
+	if err := writeMetrics(mc.exp.Obs, mc.metrics, stderr); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "milking: %d sources x %d virtual days -> %d sessions (wall %v)\n",
+		m.Sources, mc.days, m.Sessions, time.Since(start).Round(time.Second))
+	fmt.Fprintf(stdout, "fresh attack domains harvested: %d\n", len(m.Domains))
+	fmt.Fprintf(stdout, "binaries collected: %d (previously known to the scan service: %d)\n",
 		len(m.Files), countKnown(m))
 	if lag := m.MeanGSBLag(); lag > 0 {
-		fmt.Printf("mean GSB listing lag behind milking: %v (%.1f days; paper: >7 days)\n",
+		fmt.Fprintf(stdout, "mean GSB listing lag behind milking: %v (%.1f days; paper: >7 days)\n",
 			lag.Round(time.Hour), lag.Hours()/24)
 	}
-	fmt.Println()
-	fmt.Print(seacma.FormatTable4(res.Table4()))
+	fmt.Fprintln(stdout)
+	fmt.Fprint(stdout, seacma.FormatTable4(res.Table4()))
 
 	mal, strong := 0, 0
 	for _, f := range m.Files {
@@ -67,9 +103,31 @@ func main() {
 		}
 	}
 	if len(m.Files) > 0 {
-		fmt.Printf("\nafter the 3-month rescan: %d/%d malicious (%.0f%%), %d flagged by >=15 AVs (%.0f%%)\n",
+		fmt.Fprintf(stdout, "\nafter the 3-month rescan: %d/%d malicious (%.0f%%), %d flagged by >=15 AVs (%.0f%%)\n",
 			mal, len(m.Files), pct(mal, len(m.Files)), strong, pct(strong, len(m.Files)))
 	}
+	return nil
+}
+
+// writeMetrics dumps the registry snapshot to path (no-op when either
+// is unset).
+func writeMetrics(reg *obs.Registry, path string, stderr io.Writer) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote metrics snapshot to %s\n", path)
+	return nil
 }
 
 func countKnown(m *seacma.MilkingResult) int {

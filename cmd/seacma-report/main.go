@@ -1,7 +1,7 @@
 // Command seacma-report regenerates every table of the paper's
 // evaluation from one pipeline run, plus the headline scalars.
 //
-//	seacma-report [-seed N] [-table N] [-tiny]
+//	seacma-report [-seed N] [-table N] [-tiny] [-json report.json] [-metrics out.json]
 //
 // -table selects a single table (1-4); by default all four are printed
 // together with the Section 4.3/4.4/4.5 scalars.
@@ -10,23 +10,46 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
 	"repro"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// reportConfig is the assembled run configuration; split from flag
+// parsing so tests can cover the -flag → config mapping.
+type reportConfig struct {
+	exp      seacma.ExperimentConfig
+	table    int
+	jsonFile string
+	metrics  string
+	seed     int64
+}
+
+// parseFlags maps the command line onto a reportConfig.
+func parseFlags(args []string) (*reportConfig, error) {
+	fs := flag.NewFlagSet("seacma-report", flag.ContinueOnError)
 	var (
-		seed     = flag.Int64("seed", 1, "world seed")
-		table    = flag.Int("table", 0, "print only this table (1-4); 0 = everything")
-		tiny     = flag.Bool("tiny", false, "use the tiny smoke-test world")
-		jsonFile = flag.String("json", "", "also write the full machine-readable report to this file")
+		seed     = fs.Int64("seed", 1, "world seed")
+		table    = fs.Int("table", 0, "print only this table (1-4); 0 = everything")
+		tiny     = fs.Bool("tiny", false, "use the tiny smoke-test world")
+		jsonFile = fs.String("json", "", "also write the full machine-readable report to this file")
+		metrics  = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
 
 	cfg := seacma.DefaultExperimentConfig()
 	if *tiny {
@@ -37,82 +60,121 @@ func main() {
 	if *table >= 1 && *table <= 3 {
 		cfg.SkipMilking = true
 	}
+	if *metrics != "" {
+		cfg.Obs = obs.New()
+	}
+	return &reportConfig{exp: cfg, table: *table, jsonFile: *jsonFile, metrics: *metrics, seed: *seed}, nil
+}
 
-	exp := seacma.NewExperiment(cfg)
-	fmt.Fprintf(os.Stderr, "running pipeline on seed %d...\n", *seed)
+func run(args []string, stdout, stderr io.Writer) error {
+	rc, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+
+	exp := seacma.NewExperiment(rc.exp)
+	fmt.Fprintf(stderr, "running pipeline on seed %d...\n", rc.seed)
 	start := time.Now()
 	res, err := exp.Run()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Second))
+	fmt.Fprintf(stderr, "done in %v\n\n", time.Since(start).Round(time.Second))
 
-	if *jsonFile != "" {
+	if rc.jsonFile != "" {
+		reportSpan := rc.exp.Obs.StartSpan("report")
 		patterns := core.PatternSetFromSeeds(exp.Pipeline.Cfg.Seeds)
 		rep := core.BuildReport(res.RunResult, patterns, exp.World.GSB, exp.World.Webcat, exp.World.Clock.Now())
-		f, err := os.Create(*jsonFile)
+		reportSpan.End()
+		f, err := os.Create(rc.jsonFile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := rep.WriteJSON(f); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote machine-readable report to %s\n", *jsonFile)
+		fmt.Fprintf(stderr, "wrote machine-readable report to %s\n", rc.jsonFile)
 	}
 
-	show := func(n int) bool { return *table == 0 || *table == n }
+	if err := writeMetrics(rc.exp.Obs, rc.metrics, stderr); err != nil {
+		return err
+	}
+
+	show := func(n int) bool { return rc.table == 0 || rc.table == n }
 
 	if show(1) {
-		fmt.Println("Table 1: SE ad campaign statistics")
-		fmt.Print(seacma.FormatTable1(res.Table1()))
-		fmt.Println()
+		fmt.Fprintln(stdout, "Table 1: SE ad campaign statistics")
+		fmt.Fprint(stdout, seacma.FormatTable1(res.Table1()))
+		fmt.Fprintln(stdout)
 	}
 	if show(2) {
-		fmt.Println("Table 2: top 20 categories of SEACMA ad publisher sites")
+		fmt.Fprintln(stdout, "Table 2: top 20 categories of SEACMA ad publisher sites")
 		rows := res.Table2(20)
 		cells := make([][]string, 0, len(rows))
 		for _, r := range rows {
 			cells = append(cells, []string{r.Category, fmt.Sprintf("%d", r.Count), fmt.Sprintf("%.2f", r.Percent)})
 		}
-		fmt.Print(formatSimple([]string{"Category", "# Publisher Domains", "% of Total"}, cells))
-		fmt.Println()
+		fmt.Fprint(stdout, formatSimple([]string{"Category", "# Publisher Domains", "% of Total"}, cells))
+		fmt.Fprintln(stdout)
 	}
 	if show(3) {
-		fmt.Println("Table 3: SE attacks from each ad network")
-		fmt.Print(seacma.FormatTable3(res.Table3()))
-		fmt.Println()
+		fmt.Fprintln(stdout, "Table 3: SE attacks from each ad network")
+		fmt.Fprint(stdout, seacma.FormatTable3(res.Table3()))
+		fmt.Fprintln(stdout)
 	}
 	if show(4) && res.Milking != nil {
-		fmt.Println("Table 4: tracking SEACMA campaigns (milking)")
-		fmt.Print(seacma.FormatTable4(res.Table4()))
-		fmt.Println()
+		fmt.Fprintln(stdout, "Table 4: tracking SEACMA campaigns (milking)")
+		fmt.Fprint(stdout, seacma.FormatTable4(res.Table4()))
+		fmt.Fprintln(stdout)
 	}
 
-	if *table == 0 {
-		fmt.Println("Scalars:")
-		fmt.Printf("  publishers crawled:        %d\n", len(res.PublisherHosts))
-		fmt.Printf("  crawl sessions:            %d\n", len(res.Sessions))
-		fmt.Printf("  clusters found:            %d\n", len(res.Discovery.Clusters))
-		fmt.Printf("  SE campaigns:              %d\n", len(res.Discovery.Campaigns()))
-		fmt.Printf("  benign clusters:           %d\n", len(res.Discovery.BenignClusters()))
-		fmt.Printf("  SE attack instances:       %d\n", res.SEAttackCount())
+	if rc.table == 0 {
+		fmt.Fprintln(stdout, "Scalars:")
+		fmt.Fprintf(stdout, "  publishers crawled:        %d\n", len(res.PublisherHosts))
+		fmt.Fprintf(stdout, "  crawl sessions:            %d\n", len(res.Sessions))
+		fmt.Fprintf(stdout, "  clusters found:            %d\n", len(res.Discovery.Clusters))
+		fmt.Fprintf(stdout, "  SE campaigns:              %d\n", len(res.Discovery.Campaigns()))
+		fmt.Fprintf(stdout, "  benign clusters:           %d\n", len(res.Discovery.BenignClusters()))
+		fmt.Fprintf(stdout, "  SE attack instances:       %d\n", res.SEAttackCount())
 		if res.Milking != nil {
-			fmt.Printf("  milking sources:           %d\n", res.Milking.Sources)
-			fmt.Printf("  milking sessions:          %d\n", res.Milking.Sessions)
-			fmt.Printf("  fresh domains milked:      %d\n", len(res.Milking.Domains))
-			fmt.Printf("  binaries milked:           %d\n", len(res.Milking.Files))
+			fmt.Fprintf(stdout, "  milking sources:           %d\n", res.Milking.Sources)
+			fmt.Fprintf(stdout, "  milking sessions:          %d\n", res.Milking.Sessions)
+			fmt.Fprintf(stdout, "  fresh domains milked:      %d\n", len(res.Milking.Domains))
+			fmt.Fprintf(stdout, "  binaries milked:           %d\n", len(res.Milking.Files))
 			if lag := res.Milking.MeanGSBLag(); lag > 0 {
-				fmt.Printf("  mean GSB lag:              %.1f days\n", lag.Hours()/24)
+				fmt.Fprintf(stdout, "  mean GSB lag:              %.1f days\n", lag.Hours()/24)
 			}
 		}
-		fmt.Println("  discovered ad networks:")
+		fmt.Fprintln(stdout, "  discovered ad networks:")
 		for _, d := range res.DiscoverNewNetworks(5) {
-			fmt.Printf("    %-8s snippet var %-16q +%d publishers\n", d.PathToken, d.SnippetVar, len(d.Publishers))
+			fmt.Fprintf(stdout, "    %-8s snippet var %-16q +%d publishers\n", d.PathToken, d.SnippetVar, len(d.Publishers))
 		}
 	}
+	return nil
+}
+
+// writeMetrics dumps the registry snapshot to path (no-op when either
+// is unset).
+func writeMetrics(reg *obs.Registry, path string, stderr io.Writer) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote metrics snapshot to %s\n", path)
+	return nil
 }
 
 func formatSimple(header []string, rows [][]string) string {

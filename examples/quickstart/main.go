@@ -9,9 +9,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -19,6 +21,7 @@ func main() {
 	start := time.Now()
 
 	cfg := seacma.QuickExperimentConfig()
+	cfg.Obs = obs.New() // instrument the run: per-stage spans + counters
 	exp := seacma.NewExperiment(cfg)
 
 	fmt.Printf("synthetic web: %d publishers, %d ad networks, %d SE campaigns\n",
@@ -53,5 +56,16 @@ func main() {
 	for _, d := range res.DiscoverNewNetworks(3) {
 		fmt.Printf("  URL token %q, snippet var %q, support %d, +%d new publishers\n",
 			d.PathToken, d.SnippetVar, d.Support, len(d.Publishers))
+	}
+
+	// The metrics snapshot: where the run spent its time (wall and
+	// virtual) and what each stage did. The per-virtual-hour milking
+	// series is elided here; seacma-milk -metrics exports it in full.
+	fmt.Println("\n=== Observability: pipeline metrics snapshot ===")
+	for _, line := range strings.Split(cfg.Obs.Text(), "\n") {
+		if strings.Contains(line, "_hourly{") {
+			continue
+		}
+		fmt.Println(line)
 	}
 }

@@ -49,6 +49,9 @@ type Result struct {
 	Labels []int
 	// NumClusters is the number of clusters found (ids are 0..NumClusters-1).
 	NumClusters int
+	// DistanceCalls counts the pairwise distance computations performed —
+	// the clustering cost driver the observability layer reports.
+	DistanceCalls int64
 }
 
 // Members returns the point indices of cluster id, in ascending order.
@@ -97,9 +100,11 @@ func DBSCAN[P any](points []P, dist DistanceFunc[P], params Params) (Result, err
 	for i := range labels {
 		labels[i] = -2 // unvisited
 	}
+	var distCalls int64
 	neighbours := func(i int) []int {
 		var out []int
 		for j := 0; j < n; j++ {
+			distCalls++
 			if dist(points[i], points[j]) <= params.Eps {
 				out = append(out, j)
 			}
@@ -135,7 +140,7 @@ func DBSCAN[P any](points []P, dist DistanceFunc[P], params Params) (Result, err
 			}
 		}
 	}
-	return Result{Labels: labels, NumClusters: next}, nil
+	return Result{Labels: labels, NumClusters: next, DistanceCalls: distCalls}, nil
 }
 
 // DBSCANIndexed is DBSCAN with a caller-provided neighbourhood index. The

@@ -10,11 +10,12 @@ import (
 // exact hash and answers neighbourhood queries with one distance
 // computation per distinct hash instead of per point.
 type HashNeighbourIndex struct {
-	hashes   []phash.Hash
-	distinct []phash.Hash
-	members  [][]int // members[d] = point indices with distinct hash d
-	ofPoint  []int   // ofPoint[i] = index into distinct for point i
-	maxBits  int     // eps expressed in raw bits
+	hashes    []phash.Hash
+	distinct  []phash.Hash
+	members   [][]int // members[d] = point indices with distinct hash d
+	ofPoint   []int   // ofPoint[i] = index into distinct for point i
+	maxBits   int     // eps expressed in raw bits
+	distCalls int64   // Hamming distance computations performed
 }
 
 // NewHashNeighbourIndex builds an index for the given hashes and a
@@ -44,6 +45,7 @@ func NewHashNeighbourIndex(hashes []phash.Hash, eps float64) *HashNeighbourIndex
 func (idx *HashNeighbourIndex) Neighbours(i int) []int {
 	h := idx.distinct[idx.ofPoint[i]]
 	var out []int
+	idx.distCalls += int64(len(idx.distinct))
 	for d, other := range idx.distinct {
 		if phash.Distance(h, other) <= idx.maxBits {
 			out = append(out, idx.members[d]...)
@@ -55,9 +57,15 @@ func (idx *HashNeighbourIndex) Neighbours(i int) []int {
 // DistinctCount reports the number of distinct hashes in the corpus.
 func (idx *HashNeighbourIndex) DistinctCount() int { return len(idx.distinct) }
 
+// DistanceCalls reports the Hamming distance computations performed so
+// far (one per distinct hash per neighbourhood query).
+func (idx *HashNeighbourIndex) DistanceCalls() int64 { return idx.distCalls }
+
 // DBSCANHashes clusters perceptual hashes with the paper's metric
 // (normalised Hamming distance) using the duplicate-collapsing index.
 func DBSCANHashes(hashes []phash.Hash, params Params) (Result, error) {
 	idx := NewHashNeighbourIndex(hashes, params.Eps)
-	return DBSCANIndexed(len(hashes), idx.Neighbours, params)
+	res, err := DBSCANIndexed(len(hashes), idx.Neighbours, params)
+	res.DistanceCalls = idx.DistanceCalls()
+	return res, err
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/crawler"
+	"repro/internal/obs"
 	"repro/internal/parking"
 	"repro/internal/phash"
 	"repro/internal/phonebl"
@@ -19,6 +20,9 @@ type DiscoveryParams struct {
 	// MinDomains is θc: clusters spanning fewer distinct e2LDs are
 	// discarded (the paper sets 5).
 	MinDomains int
+	// Obs receives discovery metrics (observations, DBSCAN distance
+	// calls, cluster and θc-filter counts). Nil = no-op.
+	Obs *obs.Registry
 }
 
 // PaperDiscoveryParams are the published values.
@@ -144,6 +148,10 @@ func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryRe
 		return nil, Errorf("clustering: %v", err)
 	}
 	out := &DiscoveryResult{Observations: obs, NoiseCount: len(res.NoisePoints())}
+	params.Obs.Counter("discovery_observations_total").Add(int64(len(obs)))
+	params.Obs.Counter("discovery_distance_calls_total").Add(res.DistanceCalls)
+	params.Obs.Counter("discovery_noise_points_total").Add(int64(out.NoiseCount))
+	params.Obs.Counter("discovery_clusters_raw_total").Add(int64(res.NumClusters))
 	for id, members := range res.Clusters() {
 		domains := map[string]bool{}
 		for _, m := range members {
@@ -170,6 +178,9 @@ func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryRe
 		}
 		return out.Clusters[i].ID < out.Clusters[j].ID
 	})
+	params.Obs.Counter("discovery_clusters_filtered_total").Add(int64(out.FilteredClusters))
+	params.Obs.Counter("discovery_clusters_kept_total").Add(int64(len(out.Clusters)))
+	params.Obs.Counter("discovery_campaigns_se_total").Add(int64(len(out.Campaigns())))
 	return out, nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/devtools"
 	"repro/internal/gsb"
+	"repro/internal/obs"
 	"repro/internal/phash"
 	"repro/internal/phonebl"
 	"repro/internal/urlx"
@@ -107,6 +109,10 @@ type MilkerConfig struct {
 	ViewportScale int
 	// MaxSources bounds the number of sources (0 = no bound).
 	MaxSources int
+	// Obs receives milking metrics (milk requests, new domains, GSB
+	// polls, VT submissions — totals plus per-virtual-hour series).
+	// Nil = no-op.
+	Obs *obs.Registry
 }
 
 // PaperMilkerConfig is the published setup.
@@ -219,12 +225,46 @@ type Milker struct {
 	gsb      *gsb.Blacklist
 	vt       *vtsim.Service
 	cfg      MilkerConfig
+	met      milkMetrics
+	// start anchors the per-virtual-hour metric series; set by Run.
+	start time.Time
+}
+
+// milkMetrics are the milker's pre-resolved handles; all nil when
+// cfg.Obs is nil.
+type milkMetrics struct {
+	milks      *obs.Counter // milker_milks_total: milk requests issued
+	newDomains *obs.Counter // milker_new_domains_total
+	gsbPolls   *obs.Counter // milker_gsb_polls_total: blacklist lookups
+	vtSubmits  *obs.Counter // milker_vt_submissions_total
+	verified   *obs.Counter // milker_verified_match_total
 }
 
 // NewMilker builds a Milker.
 func NewMilker(internet *webtx.Internet, clock *vclock.Clock, bl *gsb.Blacklist, vt *vtsim.Service, cfg MilkerConfig) *Milker {
 	cfg.fillDefaults()
-	return &Milker{internet: internet, clock: clock, gsb: bl, vt: vt, cfg: cfg}
+	return &Milker{internet: internet, clock: clock, gsb: bl, vt: vt, cfg: cfg, met: milkMetrics{
+		milks:      cfg.Obs.Counter("milker_milks_total"),
+		newDomains: cfg.Obs.Counter("milker_new_domains_total"),
+		gsbPolls:   cfg.Obs.Counter("milker_gsb_polls_total"),
+		vtSubmits:  cfg.Obs.Counter("milker_vt_submissions_total"),
+		verified:   cfg.Obs.Counter("milker_verified_match_total"),
+	}}
+}
+
+// hourly returns the per-virtual-hour series counter for name: the same
+// metric labeled with the whole virtual hours elapsed since milking
+// began, so a 14-day run exports its throughput evolution. Returns nil
+// (no-op) when observability is off.
+func (m *Milker) hourly(name string, now time.Time) *obs.Counter {
+	if m.cfg.Obs == nil {
+		return nil
+	}
+	vh := int(now.Sub(m.start) / time.Hour)
+	if vh < 0 {
+		vh = 0
+	}
+	return m.cfg.Obs.Counter(name, fmt.Sprintf("vhour=%03d", vh))
 }
 
 // VerifySources runs the pilot check of Section 4.2: each candidate is
@@ -232,10 +272,12 @@ func NewMilker(internet *webtx.Internet, clock *vclock.Clock, bl *gsb.Blacklist,
 // matches its campaign.
 func (m *Milker) VerifySources(cands []MilkSource) []MilkSource {
 	var out []MilkSource
+	verifyVisits := m.cfg.Obs.Counter("milker_verify_visits_total")
 	for _, src := range cands {
 		if m.cfg.MaxSources > 0 && len(out) >= m.cfg.MaxSources {
 			break
 		}
+		verifyVisits.Inc()
 		if _, h, ok := m.visit(src); ok && phash.Distance(h, src.RepHash) <= m.cfg.VerifyBits {
 			out = append(out, src)
 		}
@@ -270,6 +312,8 @@ func (m *Milker) visit(src MilkSource) (host string, h phash.Hash, ok bool) {
 // milkOnce performs one milking session, returning any newly discovered
 // domain and the downloads it produced.
 func (m *Milker) milkOnce(src MilkSource, res *MilkingResult, seenHosts map[string]bool, mu *sync.Mutex) {
+	m.met.milks.Inc()
+	m.hourly("milker_milks_hourly", m.clock.Now()).Inc()
 	client := devtools.NewClient(m.internet, m.clock, devtools.ClientConfig{
 		UserAgent: src.UA, ClientIP: src.ClientIP,
 		StealthPatch: true, DialogBypass: true,
@@ -310,6 +354,9 @@ func (m *Milker) milkOnce(src MilkSource, res *MilkingResult, seenHosts map[stri
 		return
 	}
 	now := m.clock.Now()
+	m.met.newDomains.Inc()
+	m.hourly("milker_new_domains_hourly", now).Inc()
+	m.met.gsbPolls.Inc()
 	d := MilkedDomain{
 		Host: host, Category: src.Category, CampaignID: src.CampaignID,
 		FirstSeen: now,
@@ -333,10 +380,13 @@ func (m *Milker) milkOnce(src MilkSource, res *MilkingResult, seenHosts map[stri
 			Known: m.vt.Known(dl.SHA256),
 		}
 		f.Initial = m.vt.Submit(dl.SHA256, dl.CampaignID, now)
+		m.met.vtSubmits.Inc()
+		m.hourly("milker_vt_submissions_hourly", now).Inc()
 		files = append(files, f)
 	}
 
 	mu.Lock()
+	m.met.verified.Inc()
 	res.VerifiedMatch++
 	res.Domains = append(res.Domains, d)
 	res.Files = append(res.Files, files...)
@@ -360,7 +410,8 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	if m.cfg.MaxSources > 0 && len(sources) > m.cfg.MaxSources {
 		sources = sources[:m.cfg.MaxSources]
 	}
-	res := &MilkingResult{Sources: len(sources), Start: m.clock.Now(), Phones: phonebl.NewBlacklist()}
+	m.start = m.clock.Now()
+	res := &MilkingResult{Sources: len(sources), Start: m.start, Phones: phonebl.NewBlacklist()}
 	if len(sources) == 0 {
 		return res, Errorf("milker: no sources")
 	}
@@ -383,11 +434,14 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	if err := m.clock.Every(m.cfg.GSBInterval, gsbHorizon, func(now time.Time) bool {
 		mu.Lock()
 		defer mu.Unlock()
+		hourlyPolls := m.hourly("milker_gsb_polls_hourly", now)
 		for i := range res.Domains {
 			d := &res.Domains[i]
 			if !d.GSBListedAt.IsZero() {
 				continue
 			}
+			m.met.gsbPolls.Inc()
+			hourlyPolls.Inc()
 			if m.gsb.Lookup(d.Host, now) {
 				d.GSBListedAt = now
 			}
@@ -405,6 +459,7 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	m.clock.AdvanceTo(finalAt)
 	for i := range res.Domains {
 		d := &res.Domains[i]
+		m.met.gsbPolls.Inc()
 		d.GSBFinal = m.gsb.Lookup(d.Host, finalAt)
 		// GSBListedAt is left zero for final-lookup-only detections: the
 		// exact listing time between polls is unknown, so they are

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/crawler"
 	"repro/internal/gsb"
+	"repro/internal/obs"
 	"repro/internal/vclock"
 	"repro/internal/vtsim"
 	"repro/internal/webcat"
@@ -22,6 +25,11 @@ type PipelineConfig struct {
 	Milker MilkerConfig
 	// MaxPublishers bounds the crawl (0 = all found).
 	MaxPublishers int
+	// Obs is the pipeline's observability registry: each Figure-2 stage
+	// runs under a span and the hot layers (crawler, discovery, milker,
+	// webtx) report counters into it. Nil (the default) disables all
+	// instrumentation at one nil check per site.
+	Obs *obs.Registry
 }
 
 // Pipeline is the end-to-end SEACMA system bound to one (synthetic) web.
@@ -53,37 +61,39 @@ type RunResult struct {
 	// Milking is the tracking result ⑥ (nil if milking skipped).
 	Milking *MilkingResult
 
+	seRefOnce     sync.Once
 	seRefCache    map[LandingRef]bool
+	seDomainOnce  sync.Once
 	seDomainCache map[string]bool
 }
 
 // IsSE reports whether a landing (by reference) belongs to a discovered
-// SE campaign.
+// SE campaign. Safe for concurrent use.
 func (r *RunResult) IsSE(ref LandingRef) bool {
 	return r.seRefs()[ref]
 }
 
 func (r *RunResult) seRefs() map[LandingRef]bool {
-	if r.seRefCache != nil {
-		return r.seRefCache
-	}
-	m := map[LandingRef]bool{}
-	if r.Discovery != nil {
-		for _, c := range r.Discovery.Campaigns() {
-			for _, mi := range c.Members {
-				for _, ref := range r.Discovery.Observations[mi].Refs {
-					m[ref] = true
+	r.seRefOnce.Do(func() {
+		m := map[LandingRef]bool{}
+		if r.Discovery != nil {
+			for _, c := range r.Discovery.Campaigns() {
+				for _, mi := range c.Members {
+					for _, ref := range r.Discovery.Observations[mi].Refs {
+						m[ref] = true
+					}
 				}
 			}
 		}
-	}
-	r.seRefCache = m
-	return m
+		r.seRefCache = m
+	})
+	return r.seRefCache
 }
 
-// IsSEDomain reports whether an e2LD belongs to a discovered SE campaign.
+// IsSEDomain reports whether an e2LD belongs to a discovered SE
+// campaign. Safe for concurrent use.
 func (r *RunResult) IsSEDomain(e2ld string) bool {
-	if r.seDomainCache == nil {
+	r.seDomainOnce.Do(func() {
 		m := map[string]bool{}
 		if r.Discovery != nil {
 			for _, c := range r.Discovery.Campaigns() {
@@ -93,12 +103,16 @@ func (r *RunResult) IsSEDomain(e2ld string) bool {
 			}
 		}
 		r.seDomainCache = m
-	}
+	})
 	return r.seDomainCache[e2ld]
 }
 
-// SEAttackCount returns the total SE attack instances discovered.
+// SEAttackCount returns the total SE attack instances discovered (0
+// when discovery has not run).
 func (r *RunResult) SEAttackCount() int {
+	if r.Discovery == nil {
+		return 0
+	}
 	n := 0
 	for _, c := range r.Discovery.Campaigns() {
 		n += c.AttackCount(r.Discovery.Observations)
@@ -114,11 +128,13 @@ func NewPipeline(cfg PipelineConfig, internet *webtx.Internet, clock *vclock.Clo
 
 // Reverse runs step ②.
 func (p *Pipeline) Reverse() (hosts []string, byHost map[string][]string) {
+	defer p.Cfg.Obs.StartSpan("reverse").End()
 	return ReverseSeeds(p.Search, p.Cfg.Seeds)
 }
 
 // Crawl runs step ③ over the two IP-vantage groups.
 func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
+	defer p.Cfg.Obs.StartSpan("crawl").End()
 	inst, res := GroupPublishers(byHost, p.Cfg.Seeds)
 	var tasks []crawler.Task
 	for _, h := range inst.Hosts {
@@ -130,33 +146,50 @@ func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
 	if p.Cfg.MaxPublishers > 0 && len(tasks) > p.Cfg.MaxPublishers {
 		tasks = tasks[:p.Cfg.MaxPublishers]
 	}
-	farm := crawler.New(p.Internet, p.Clock, p.Cfg.Crawler)
+	ccfg := p.Cfg.Crawler
+	if ccfg.Obs == nil {
+		ccfg.Obs = p.Cfg.Obs
+	}
+	farm := crawler.New(p.Internet, p.Clock, ccfg)
 	return farm.CrawlAll(tasks)
 }
 
 // Discover runs step ⑤.
 func (p *Pipeline) Discover(sessions []*crawler.Session) (*DiscoveryResult, error) {
+	defer p.Cfg.Obs.StartSpan("discover").End()
 	params := p.Cfg.Discovery
 	if params.Cluster.MinPts == 0 {
 		params = PaperDiscoveryParams
+	}
+	if params.Obs == nil {
+		params.Obs = p.Cfg.Obs
 	}
 	return Discover(sessions, params)
 }
 
 // Attribute runs step ⑦.
 func (p *Pipeline) Attribute(sessions []*crawler.Session) []Attribution {
+	defer p.Cfg.Obs.StartSpan("attribute").End()
 	return AttributeSessions(sessions, PatternSetFromSeeds(p.Cfg.Seeds))
 }
 
 // Milk runs step ⑥: candidate extraction, source verification, tracking.
 func (p *Pipeline) Milk(sessions []*crawler.Session, disc *DiscoveryResult) ([]MilkSource, *MilkingResult, error) {
+	mcfg := p.Cfg.Milker
+	if mcfg.Obs == nil {
+		mcfg.Obs = p.Cfg.Obs
+	}
 	cands := ExtractMilkingSources(sessions, disc)
-	milker := NewMilker(p.Internet, p.Clock, p.GSB, p.VT, p.Cfg.Milker)
+	milker := NewMilker(p.Internet, p.Clock, p.GSB, p.VT, mcfg)
+	verifySpan := p.Cfg.Obs.StartSpan("verify")
 	sources := milker.VerifySources(cands)
+	verifySpan.End()
 	if len(sources) == 0 {
 		return nil, nil, Errorf("no milkable sources verified from %d candidates", len(cands))
 	}
+	milkSpan := p.Cfg.Obs.StartSpan("milk")
 	res, err := milker.Run(sources)
+	milkSpan.End()
 	return sources, res, err
 }
 

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/crawler"
+	"repro/internal/obs"
+	"repro/internal/phash"
+)
+
+// Regression: SEAttackCount used to dereference r.Discovery without the
+// nil guard IsSE/IsSEDomain have, panicking on a discovery-less run.
+func TestSEAttackCountNilDiscovery(t *testing.T) {
+	r := &RunResult{}
+	if got := r.SEAttackCount(); got != 0 {
+		t.Fatalf("SEAttackCount with nil Discovery = %d, want 0", got)
+	}
+	// The sibling accessors stay nil-safe too.
+	if r.IsSE(LandingRef{}) {
+		t.Fatalf("IsSE with nil Discovery = true")
+	}
+	if r.IsSEDomain("example.com") {
+		t.Fatalf("IsSEDomain with nil Discovery = true")
+	}
+}
+
+func testDiscovery() *DiscoveryResult {
+	obs := []Observation{
+		{Hash: phash.Hash{Hi: 1}, E2LD: "a.com", Refs: []LandingRef{{0, 0}}},
+		{Hash: phash.Hash{Hi: 1}, E2LD: "b.com", Refs: []LandingRef{{0, 1}, {1, 0}}},
+	}
+	return &DiscoveryResult{
+		Observations: obs,
+		Clusters: []*DiscoveredCampaign{{
+			ID: 0, Rep: phash.Hash{Hi: 1}, Members: []int{0, 1},
+			Domains: []string{"a.com", "b.com"}, Category: CatFakeSoftware,
+		}},
+	}
+}
+
+// The lazy IsSE/IsSEDomain caches must be safe under concurrent
+// readers (run with -race to exercise).
+func TestRunResultConcurrentQueries(t *testing.T) {
+	r := &RunResult{Discovery: testDiscovery()}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if !r.IsSE(LandingRef{Session: 0, Landing: 0}) {
+					t.Error("IsSE = false for campaign member")
+					return
+				}
+				if !r.IsSEDomain("a.com") {
+					t.Error("IsSEDomain(a.com) = false")
+					return
+				}
+				if r.IsSEDomain("benign.com") {
+					t.Error("IsSEDomain(benign.com) = true")
+					return
+				}
+				if got := r.SEAttackCount(); got != 3 {
+					t.Errorf("SEAttackCount = %d, want 3", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Discover reports its work into the registry: observations, DBSCAN
+// distance calls, cluster and θc-filter counts.
+func TestDiscoverReportsMetrics(t *testing.T) {
+	mkLanding := func(h phash.Hash, e2ld string) crawler.Landing {
+		return crawler.Landing{Hash: h, Hashed: true, E2LD: e2ld}
+	}
+	// One visually identical template on 5 domains (passes θc=3 below)
+	// plus two noise pages ≥ 64 Hamming bits from everything else (eps
+	// is 12 bits).
+	tpl := phash.Hash{}
+	noise1 := phash.Hash{Hi: ^uint64(0)}
+	noise2 := phash.Hash{Lo: ^uint64(0)}
+	sessions := []*crawler.Session{{
+		Landings: []crawler.Landing{
+			mkLanding(tpl, "a.com"), mkLanding(tpl, "b.com"), mkLanding(tpl, "c.com"),
+			mkLanding(tpl, "d.com"), mkLanding(tpl, "e.com"),
+			mkLanding(noise1, "x.com"), mkLanding(noise2, "y.com"),
+		},
+	}}
+	reg := obs.New()
+	res, err := Discover(sessions, DiscoveryParams{
+		Cluster:    PaperDiscoveryParams.Cluster,
+		MinDomains: 3,
+		Obs:        reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Clusters) != 1 {
+		t.Fatalf("clusters = %d, want 1", len(res.Clusters))
+	}
+	if got := reg.CounterValue("discovery_observations_total"); got != 7 {
+		t.Fatalf("observations counter = %d, want 7", got)
+	}
+	if got := reg.CounterValue("discovery_distance_calls_total"); got == 0 {
+		t.Fatalf("distance calls counter = 0, want > 0")
+	}
+	if got := reg.CounterValue("discovery_clusters_kept_total"); got != 1 {
+		t.Fatalf("clusters kept counter = %d, want 1", got)
+	}
+	if got := reg.CounterValue("discovery_noise_points_total"); got != 2 {
+		t.Fatalf("noise counter = %d, want 2", got)
+	}
+}

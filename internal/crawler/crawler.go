@@ -8,6 +8,7 @@
 package crawler
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/browser"
 	"repro/internal/devtools"
 	"repro/internal/dom"
+	"repro/internal/obs"
 	"repro/internal/parking"
 	"repro/internal/phash"
 	"repro/internal/urlx"
@@ -56,6 +58,9 @@ type Config struct {
 	// InteractWithLandings clicks once inside each landing page (file
 	// download collection). Default on.
 	DisableLandingInteraction bool
+	// Obs receives farm metrics (sessions per worker, clicks, ads
+	// triggered, cloaking denials, screenshot hashes). Nil = no-op.
+	Obs *obs.Registry
 }
 
 func (c *Config) fillDefaults() {
@@ -147,12 +152,29 @@ type Crawler struct {
 	internet *webtx.Internet
 	clock    *vclock.Clock
 	cfg      Config
+	met      farmMetrics
+}
+
+// farmMetrics are the farm's pre-resolved handles; all nil (one nil
+// check per update) when cfg.Obs is nil.
+type farmMetrics struct {
+	clicks   *obs.Counter // crawler_clicks_total
+	ads      *obs.Counter // crawler_ads_total: landings reached via ads
+	denied   *obs.Counter // crawler_denied_total: publisher page refused/cloaked
+	hashes   *obs.Counter // crawler_hashes_total: screenshots dhashed
+	landings *obs.Histogram
 }
 
 // New builds a crawler farm front-end.
 func New(internet *webtx.Internet, clock *vclock.Clock, cfg Config) *Crawler {
 	cfg.fillDefaults()
-	return &Crawler{internet: internet, clock: clock, cfg: cfg}
+	return &Crawler{internet: internet, clock: clock, cfg: cfg, met: farmMetrics{
+		clicks:   cfg.Obs.Counter("crawler_clicks_total"),
+		ads:      cfg.Obs.Counter("crawler_ads_total"),
+		denied:   cfg.Obs.Counter("crawler_denied_total"),
+		hashes:   cfg.Obs.Counter("crawler_hashes_total"),
+		landings: cfg.Obs.Histogram("crawler_landings_per_session"),
+	}}
 }
 
 // Config returns the effective configuration.
@@ -170,11 +192,13 @@ func (c *Crawler) CrawlAll(tasks []Task) []*Session {
 	out := make([]*Session, len(tasks)*len(c.cfg.UserAgents))
 	var wg sync.WaitGroup
 	for w := 0; w < c.cfg.Workers; w++ {
+		sessions := c.cfg.Obs.Counter("crawler_sessions_total", "worker="+strconv.Itoa(w))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
 				out[j.idx] = c.RunSession(j.task, j.ua)
+				sessions.Inc()
 			}
 		}()
 	}
@@ -193,6 +217,7 @@ func (c *Crawler) CrawlAll(tasks []Task) []*Session {
 // RunSession crawls one publisher with one UA.
 func (c *Crawler) RunSession(task Task, ua webtx.UserAgent) *Session {
 	s := &Session{Publisher: task.Host, UserAgent: ua, ClientIP: task.ClientIP}
+	defer func() { c.met.landings.Observe(int64(len(s.Landings))) }()
 	adsTriggered := 0
 	targetIdx := 0
 
@@ -200,6 +225,9 @@ func (c *Crawler) RunSession(task Task, ua webtx.UserAgent) *Session {
 		client := c.newClient(task, ua)
 		tab, err := client.Navigate("http://" + task.Host + "/")
 		if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
+			// The publisher refused us: NXDOMAIN, error page, or an
+			// IP-cloaking denial (the paper's residential-only networks).
+			c.met.denied.Inc()
 			s.Events = append(s.Events, client.Events()...)
 			return s
 		}
@@ -212,6 +240,7 @@ func (c *Crawler) RunSession(task Task, ua webtx.UserAgent) *Session {
 		el := clickables[targetIdx]
 		navigatedAway := false
 		for r := 0; r < c.cfg.RepeatClicks && adsTriggered < c.cfg.MaxAdsPerSession; r++ {
+			c.met.clicks.Inc()
 			res, err := client.ClickElement(tab, el)
 			if err != nil {
 				break
@@ -222,6 +251,7 @@ func (c *Crawler) RunSession(task Task, ua webtx.UserAgent) *Session {
 				}
 				s.Landings = append(s.Landings, c.recordLanding(client, popup, ua))
 				adsTriggered++
+				c.met.ads.Inc()
 			}
 			if res.Navigated {
 				// The tab itself left the publisher: record it, then
@@ -230,6 +260,7 @@ func (c *Crawler) RunSession(task Task, ua webtx.UserAgent) *Session {
 				if tab.URL.Host != task.Host {
 					s.Landings = append(s.Landings, c.recordLanding(client, tab, ua))
 					adsTriggered++
+					c.met.ads.Inc()
 				}
 				navigatedAway = true
 				break
@@ -279,6 +310,7 @@ func (c *Crawler) recordLanding(client *devtools.Client, tab *browser.Tab, ua we
 	if img, err := client.CaptureScreenshot(tab); err == nil {
 		l.Hash = phash.DHash(img)
 		l.Hashed = true
+		c.met.hashes.Inc()
 	}
 	if !c.cfg.DisableLandingInteraction {
 		c.interact(client, tab)

@@ -1,0 +1,70 @@
+package crawler
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/webtx"
+)
+
+// The farm's workers report into the registry concurrently; run with
+// -race to exercise the hot path.
+func TestCrawlAllReportsMetrics(t *testing.T) {
+	w := tinyWorld(t)
+	reg := obs.New()
+	reg.SetVirtualNow(w.Clock.Now)
+	w.Internet.SetObs(reg)
+	cfg := fastCfg()
+	cfg.Obs = reg
+	c := New(w.Internet, w.Clock, cfg)
+
+	tasks := tasksFor(w, 10)
+	sessions := c.CrawlAll(tasks)
+
+	wantSessions := int64(len(tasks) * len(c.Config().UserAgents))
+	if got := reg.SumCounters("crawler_sessions_total"); got != wantSessions {
+		t.Fatalf("sessions counter = %d, want %d", got, wantSessions)
+	}
+	if got := reg.CounterValue("crawler_clicks_total"); got == 0 {
+		t.Fatal("clicks counter = 0")
+	}
+	var landings int64
+	for _, s := range sessions {
+		landings += int64(len(s.Landings))
+	}
+	if got := reg.CounterValue("crawler_ads_total"); got != landings {
+		t.Fatalf("ads counter = %d, want %d landings", got, landings)
+	}
+	if got := reg.Histogram("crawler_landings_per_session").Count(); got != wantSessions {
+		t.Fatalf("landings histogram count = %d, want %d", got, wantSessions)
+	}
+	// Every fetch the farm made shows up in the webtx request counters.
+	if got := reg.CounterValue("webtx_requests_total", "ip=residential"); got == 0 {
+		t.Fatal("webtx residential request counter = 0")
+	}
+}
+
+// A publisher that refuses to serve (dead host) counts as a denial,
+// and the failed fetch lands in webtx_nxdomain_total.
+func TestDeniedSessionCounted(t *testing.T) {
+	w := tinyWorld(t)
+	reg := obs.New()
+	w.Internet.SetObs(reg)
+	cfg := fastCfg()
+	cfg.Obs = reg
+	c := New(w.Internet, w.Clock, cfg)
+
+	s := c.RunSession(Task{Host: "no-such-host.example", ClientIP: webtx.IPDatacenter}, webtx.UAChromeMac)
+	if s.PublisherOK {
+		t.Fatal("dead publisher loaded")
+	}
+	if got := reg.CounterValue("crawler_denied_total"); got != 1 {
+		t.Fatalf("denied counter = %d, want 1", got)
+	}
+	if got := reg.CounterValue("webtx_nxdomain_total"); got != 1 {
+		t.Fatalf("nxdomain counter = %d, want 1", got)
+	}
+	if got := reg.CounterValue("webtx_requests_total", "ip=datacenter"); got != 1 {
+		t.Fatalf("datacenter request counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,361 @@
+// Package obs is the pipeline-wide observability subsystem: labeled
+// atomic counters, gauges and log-scale histograms, span tracing in both
+// wall-clock and virtual time, and a registry that exports JSON and
+// aligned-text snapshots.
+//
+// The package is dependency-free (standard library only) so every layer
+// of the repository — webtx at the bottom, cmd at the top — can import
+// it. Instrumentation is opt-in and pay-for-what-you-use:
+//
+//   - A nil *Registry is the no-op default. Every method on a nil
+//     Registry, Counter, Gauge, Histogram or Span is safe and does
+//     nothing, so uninstrumented callers pay exactly one nil check.
+//   - The hot path (Counter.Add, Gauge.Set, Histogram.Observe) is
+//     lock-free: one atomic add on a handle the caller resolved once.
+//   - Handle resolution (Registry.Counter et al.) goes through sharded
+//     maps, so even resolve-per-call instrumentation scales across
+//     GOMAXPROCS (see BenchmarkObs_CounterContention).
+//
+// Virtual time: the SEACMA milking experiment runs 14 virtual days on a
+// vclock in seconds of wall time. Bind the registry to the experiment
+// clock with SetVirtualNow and every span records both durations, so a
+// run can be profiled in either domain.
+package obs
+
+import (
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// numShards spreads handle resolution across independently locked maps.
+// 64 shards keep contention negligible at any realistic GOMAXPROCS.
+const numShards = 64
+
+// Counter is a monotonically increasing labeled counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n. Safe on a nil Counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. Safe on a nil Counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a labeled value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v. Safe on a nil Gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adjusts the gauge by delta. Safe on a nil Gauge.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed log-scale bucket count: bucket b holds the
+// values whose bit length is b, i.e. bucket 0 holds {0} and bucket b>0
+// holds [2^(b-1), 2^b). Values are clamped to >= 0.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket log-scale histogram of int64 samples.
+// Observe is one atomic add per bucket plus count and sum, lock-free.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v); u != 0; u >>= 1 {
+		b++
+	}
+	return b
+}
+
+// bucketUpper returns the inclusive upper bound of bucket b.
+func bucketUpper(b int) int64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<uint(b) - 1
+}
+
+// Observe records one sample. Safe on a nil Histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration sample in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(d.Microseconds())
+}
+
+// Count returns the number of samples (0 for nil).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of samples (0 for nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// shard is one independently locked slice of the metric namespace.
+type shard struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Registry owns a metric namespace and the span log. The zero value is
+// not usable; use New. A nil *Registry is the supported no-op default:
+// every method returns immediately (handles come back nil and are
+// themselves no-ops).
+type Registry struct {
+	shards [numShards]shard
+
+	confMu sync.RWMutex
+	vnow   func() time.Time // virtual clock source; nil = no virtual domain
+
+	spanMu sync.Mutex
+	spans  []SpanRecord
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	r := &Registry{}
+	for i := range r.shards {
+		r.shards[i].counters = map[string]*Counter{}
+		r.shards[i].gauges = map[string]*Gauge{}
+		r.shards[i].hists = map[string]*Histogram{}
+	}
+	return r
+}
+
+// SetVirtualNow binds the registry to a virtual clock (typically
+// vclock.Clock.Now). Spans started afterwards record virtual durations
+// alongside wall durations. Call during setup, before instrumented code
+// runs.
+func (r *Registry) SetVirtualNow(fn func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.confMu.Lock()
+	r.vnow = fn
+	r.confMu.Unlock()
+}
+
+func (r *Registry) virtualNow() (time.Time, bool) {
+	r.confMu.RLock()
+	fn := r.vnow
+	r.confMu.RUnlock()
+	if fn == nil {
+		return time.Time{}, false
+	}
+	return fn(), true
+}
+
+// Key builds the canonical metric key for a name and "k=v" label pairs:
+// name alone, or name{l1,l2,...} with labels in the given order.
+func Key(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 2 + 16*len(labels))
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (r *Registry) shardOf(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &r.shards[h.Sum32()%numShards]
+}
+
+// Counter returns (creating if needed) the counter for name and labels.
+// Returns nil on a nil Registry.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	key := Key(name, labels...)
+	s := r.shardOf(key)
+	s.mu.RLock()
+	c, ok := s.counters[key]
+	s.mu.RUnlock()
+	if ok {
+		return c
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok = s.counters[key]; ok {
+		return c
+	}
+	c = &Counter{}
+	s.counters[key] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name and labels.
+// Returns nil on a nil Registry.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	key := Key(name, labels...)
+	s := r.shardOf(key)
+	s.mu.RLock()
+	g, ok := s.gauges[key]
+	s.mu.RUnlock()
+	if ok {
+		return g
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if g, ok = s.gauges[key]; ok {
+		return g
+	}
+	g = &Gauge{}
+	s.gauges[key] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for name and
+// labels. Returns nil on a nil Registry.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	key := Key(name, labels...)
+	s := r.shardOf(key)
+	s.mu.RLock()
+	h, ok := s.hists[key]
+	s.mu.RUnlock()
+	if ok {
+		return h
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok = s.hists[key]; ok {
+		return h
+	}
+	h = &Histogram{}
+	s.hists[key] = h
+	return h
+}
+
+// counterValues snapshots all counters as key -> value.
+func (r *Registry) counterValues() map[string]int64 {
+	out := map[string]int64{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, c := range s.counters {
+			out[k] = c.Value()
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+func (r *Registry) gaugeValues() map[string]int64 {
+	out := map[string]int64{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, g := range s.gauges {
+			out[k] = g.Value()
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+func (r *Registry) histValues() map[string]HistogramSnapshot {
+	out := map[string]HistogramSnapshot{}
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		for k, h := range s.hists {
+			out[k] = h.snapshot()
+		}
+		s.mu.RUnlock()
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,96 @@
+package obs
+
+import "time"
+
+// Span is one in-flight timed region. Obtain via Registry.StartSpan and
+// finish with End; the record lands in the registry's span log. Spans
+// are cheap but not hot-path-free (End appends under a mutex); use them
+// for stage-level regions — per-stage pipeline phases, per-run setup —
+// not per-request work (use a Histogram for that).
+type Span struct {
+	reg       *Registry
+	name      string
+	wallStart time.Time
+	virtStart time.Time
+	hasVirt   bool
+	done      bool
+}
+
+// SpanRecord is one completed span as it appears in snapshots. Virtual
+// fields are present only when the registry was bound to a virtual
+// clock via SetVirtualNow.
+type SpanRecord struct {
+	Name      string    `json:"name"`
+	WallStart time.Time `json:"wall_start"`
+	// WallNS is the wall-clock duration in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// VirtualStart/VirtualNS describe the same region in virtual time.
+	VirtualStart *time.Time `json:"virtual_start,omitempty"`
+	VirtualNS    int64      `json:"virtual_ns,omitempty"`
+}
+
+// Wall returns the wall-clock duration.
+func (s SpanRecord) Wall() time.Duration { return time.Duration(s.WallNS) }
+
+// Virtual returns the virtual-time duration (0 when no virtual clock
+// was bound).
+func (s SpanRecord) Virtual() time.Duration { return time.Duration(s.VirtualNS) }
+
+// StartSpan opens a named span. Returns nil on a nil Registry; End on a
+// nil Span is a no-op, so callers need no guard:
+//
+//	sp := reg.StartSpan("crawl")
+//	defer sp.End()
+func (r *Registry) StartSpan(name string) *Span {
+	if r == nil {
+		return nil
+	}
+	sp := &Span{reg: r, name: name, wallStart: time.Now()}
+	if v, ok := r.virtualNow(); ok {
+		sp.virtStart, sp.hasVirt = v, true
+	}
+	return sp
+}
+
+// End closes the span and records it. Calling End twice records once.
+// Safe on a nil Span.
+func (s *Span) End() {
+	if s == nil || s.done {
+		return
+	}
+	s.done = true
+	rec := SpanRecord{
+		Name:      s.name,
+		WallStart: s.wallStart,
+		WallNS:    int64(time.Since(s.wallStart)),
+	}
+	if s.hasVirt {
+		start := s.virtStart
+		rec.VirtualStart = &start
+		if v, ok := s.reg.virtualNow(); ok {
+			rec.VirtualNS = int64(v.Sub(s.virtStart))
+		}
+	}
+	s.reg.spanMu.Lock()
+	s.reg.spans = append(s.reg.spans, rec)
+	s.reg.spanMu.Unlock()
+}
+
+// Spans returns a copy of the completed-span log, in completion order.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spanMu.Lock()
+	defer r.spanMu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}
+
+// Timed runs fn inside a span. Convenience for straight-line stages.
+func (r *Registry) Timed(name string, fn func()) {
+	sp := r.StartSpan(name)
+	fn()
+	sp.End()
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/dom"
+	"repro/internal/obs"
 	"repro/internal/urlx"
 )
 
@@ -212,6 +213,10 @@ type Internet struct {
 	hosts   map[string]Handler
 	log     []LogEntry
 	logging bool
+	// reqByIP are pre-resolved per-IP-class request counters (nil when
+	// observability is off, which costs one nil check per request).
+	reqByIP  [4]*obs.Counter
+	nxdomain *obs.Counter
 }
 
 // NewInternet returns an empty internet with request logging enabled.
@@ -248,6 +253,19 @@ func (in *Internet) HostCount() int {
 	return len(in.hosts)
 }
 
+// SetObs binds the internet to a metrics registry: every served request
+// counts under webtx_requests_total labeled by client IP class, and
+// unresolvable hosts under webtx_nxdomain_total. Call during setup; a
+// nil registry (the default) keeps the fast path uninstrumented.
+func (in *Internet) SetObs(reg *obs.Registry) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for _, c := range []IPClass{IPResidential, IPInstitutional, IPDatacenter, IPTorExit} {
+		in.reqByIP[c] = reg.Counter("webtx_requests_total", "ip="+c.String())
+	}
+	in.nxdomain = reg.Counter("webtx_nxdomain_total")
+}
+
 // SetLogging toggles the request log (large experiments disable it and
 // rely on component-level accounting).
 func (in *Internet) SetLogging(on bool) {
@@ -261,8 +279,15 @@ func (in *Internet) SetLogging(on bool) {
 func (in *Internet) RoundTrip(req *Request) (*Response, error) {
 	in.mu.RLock()
 	h, ok := in.hosts[req.URL.Host]
+	var reqCtr, nxCtr *obs.Counter
+	if c := int(req.ClientIP); c >= 0 && c < len(in.reqByIP) {
+		reqCtr = in.reqByIP[c]
+	}
+	nxCtr = in.nxdomain
 	in.mu.RUnlock()
+	reqCtr.Inc()
 	if !ok {
+		nxCtr.Inc()
 		return nil, ErrNXDomain{Host: req.URL.Host}
 	}
 	resp := h.Serve(req)

@@ -28,6 +28,7 @@ import (
 	"repro/internal/adnet"
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/obs"
 	"repro/internal/webcat"
 	"repro/internal/worldgen"
 )
@@ -74,6 +75,11 @@ type ExperimentConfig struct {
 	MaxPublishers int
 	// SkipMilking stops after discovery and attribution.
 	SkipMilking bool
+	// Obs, when non-nil, instruments the whole run: per-stage spans
+	// (wall + virtual time), crawler/discovery/milker counters, and
+	// webtx request counts by IP class. NewExperiment binds it to the
+	// world's virtual clock. Nil = zero-overhead no-op.
+	Obs *obs.Registry
 }
 
 // DefaultExperimentConfig is the 1/8-scale default world with the
@@ -107,12 +113,15 @@ type Experiment struct {
 // NewExperiment builds the world and the pipeline.
 func NewExperiment(cfg ExperimentConfig) *Experiment {
 	w := worldgen.Build(cfg.World)
+	cfg.Obs.SetVirtualNow(w.Clock.Now)
+	w.Internet.SetObs(cfg.Obs)
 	p := core.NewPipeline(core.PipelineConfig{
 		Seeds:         SeedsFromSpecs(w),
 		Crawler:       cfg.Crawler,
 		Discovery:     cfg.Discovery,
 		Milker:        cfg.Milker,
 		MaxPublishers: cfg.MaxPublishers,
+		Obs:           cfg.Obs,
 	}, w.Internet, w.Clock, w.Search, w.GSB, w.VT, w.Webcat)
 	return &Experiment{Cfg: cfg, World: w, Pipeline: p}
 }
