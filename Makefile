@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench-obs
+.PHONY: all build vet test test-race check bench-obs bench-baseline bench-check
 
 all: check
 
@@ -19,12 +19,57 @@ test:
 
 # The concurrency-bearing packages: internal/obs (lock-free counters,
 # span list), internal/crawler (worker farm), internal/core (pipeline +
-# milker). Documented as tier-1 alongside `go build && go test`.
+# batched milking engine), internal/cluster (parallel neighbourhood
+# precompute), internal/vclock (batch-tick API), plus the root package
+# (worker-count determinism contract on the serialized report).
 test-race:
-	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/... \
+		./internal/cluster/... ./internal/vclock/... .
 
 check: build vet test test-race
 
 # Overhead guard: the uninstrumented (nil-registry) hot path.
 bench-obs:
 	$(GO) test -bench 'BenchmarkObs_' -run XXX ./internal/obs/
+
+# The perf contract benches: end-to-end pipeline (Figure 2), the milking
+# stage per worker count, and cluster triage (which reports the
+# distance-calls metric of the multi-index). -benchtime 1x keeps a
+# baseline run under a minute; these are regression sentinels, not
+# statistically tight measurements.
+BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage
+BENCH_BASELINE = BENCH_pipeline.json
+
+# Record the current cost of the contract benches into $(BENCH_BASELINE).
+# The GOMAXPROCS suffix is stripped from the names so baselines compare
+# across machines; custom metrics (milked-domains, distance-calls, ...)
+# ride along as extra keys.
+bench-baseline:
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchtime 1x . | tee BENCH_pipeline.txt
+	awk 'BEGIN { print "{"; first = 1 } \
+	     /^Benchmark/ { \
+	       name = $$1; sub(/-[0-9]+$$/, "", name); \
+	       extra = ""; \
+	       for (i = 5; i < NF; i += 2) extra = extra sprintf(", \"%s\": %s", $$(i+1), $$i); \
+	       if (!first) printf ",\n"; first = 0; \
+	       printf "  \"%s\": {\"ns_per_op\": %s%s}", name, $$3, extra \
+	     } \
+	     END { print "\n}" }' BENCH_pipeline.txt > $(BENCH_BASELINE)
+	@rm -f BENCH_pipeline.txt
+	@echo "wrote $(BENCH_BASELINE)"
+
+# Re-run the end-to-end pipeline bench and fail if it regressed more
+# than 20% against the recorded baseline.
+bench-check:
+	@test -f $(BENCH_BASELINE) || { echo "no $(BENCH_BASELINE); run make bench-baseline first"; exit 1; }
+	$(GO) test -run XXX -bench 'BenchmarkFigure2_PipelineEndToEnd$$' -benchtime 1x . | tee BENCH_check.txt
+	@base=$$(sed -n 's/.*"BenchmarkFigure2_PipelineEndToEnd": {"ns_per_op": \([0-9.]*\).*/\1/p' $(BENCH_BASELINE)); \
+	now=$$(awk '$$1 ~ /^BenchmarkFigure2_PipelineEndToEnd(-[0-9]+)?$$/ { print $$3 }' BENCH_check.txt); \
+	rm -f BENCH_check.txt; \
+	if [ -z "$$base" ] || [ -z "$$now" ]; then echo "could not extract ns/op (base=$$base now=$$now)"; exit 1; fi; \
+	awk -v base="$$base" -v now="$$now" 'BEGIN { \
+	  limit = base * 1.2; \
+	  printf "e2e baseline %s ns/op, current %s ns/op, limit %.0f ns/op\n", base, now, limit; \
+	  exit (now + 0 > limit) ? 1 : 0 }' \
+	  || { echo "FAIL: end-to-end pipeline bench regressed >20%"; exit 1; }
+	@echo "bench-check OK"

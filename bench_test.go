@@ -188,10 +188,23 @@ func BenchmarkFigure1_TransparentAdFlow(b *testing.B) {
 
 // BenchmarkFigure2_PipelineEndToEnd runs the whole Figure 2 system on a
 // tiny world (the architecture smoke bench).
-func BenchmarkFigure2_PipelineEndToEnd(b *testing.B) {
+func BenchmarkFigure2_PipelineEndToEnd(b *testing.B) { benchFigure2(b, 0) }
+
+// Worker-count variants of the e2e bench for the EXPERIMENTS.md
+// parallel-speedup table.
+func BenchmarkFigure2_PipelineEndToEnd_W1(b *testing.B) { benchFigure2(b, 1) }
+func BenchmarkFigure2_PipelineEndToEnd_W2(b *testing.B) { benchFigure2(b, 2) }
+func BenchmarkFigure2_PipelineEndToEnd_W4(b *testing.B) { benchFigure2(b, 4) }
+func BenchmarkFigure2_PipelineEndToEnd_W8(b *testing.B) { benchFigure2(b, 8) }
+
+func benchFigure2(b *testing.B, workers int) {
+	b.Helper()
 	for i := 0; i < b.N; i++ {
 		cfg := QuickExperimentConfig()
 		cfg.World.Seed = int64(100 + i)
+		if workers > 0 {
+			cfg.SetWorkers(workers)
+		}
 		res, err := NewExperiment(cfg).Run()
 		if err != nil {
 			b.Fatal(err)
@@ -200,6 +213,50 @@ func BenchmarkFigure2_PipelineEndToEnd(b *testing.B) {
 			b.Fatal("no campaigns")
 		}
 	}
+}
+
+// BenchmarkMilking_W* measures only the tracking (milking) stage at a
+// given engine worker count; the world build, crawl and discovery that
+// produce the milking sources run outside the timer. One row per worker
+// count feeds the EXPERIMENTS.md parallel-speedup table.
+func BenchmarkMilking_W1(b *testing.B) { benchMilking(b, 1) }
+func BenchmarkMilking_W2(b *testing.B) { benchMilking(b, 2) }
+func BenchmarkMilking_W4(b *testing.B) { benchMilking(b, 4) }
+func BenchmarkMilking_W8(b *testing.B) { benchMilking(b, 8) }
+
+func benchMilking(b *testing.B, workers int) {
+	b.Helper()
+	domains := 0
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := worldgen.TinyConfig()
+		cfg.Seed = int64(100 + i)
+		w := worldgen.Build(cfg)
+		p := core.NewPipeline(core.PipelineConfig{
+			Seeds:     SeedsFromSpecs(w),
+			Crawler:   crawler.Config{Workers: 1},
+			Discovery: core.PaperDiscoveryParams,
+			Milker: core.MilkerConfig{
+				Duration:   2 * 24 * time.Hour,
+				GSBExtra:   2 * 24 * time.Hour,
+				MaxSources: 60,
+				Workers:    workers,
+			},
+		}, w.Internet, w.Clock, w.Search, w.GSB, w.VT, w.Webcat)
+		_, byHost := p.Reverse()
+		sessions := p.Crawl(byHost)
+		disc, err := p.Discover(sessions)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, milk, err := p.Milk(sessions, disc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		domains += len(milk.Domains)
+	}
+	b.ReportMetric(float64(domains)/float64(b.N), "milked-domains")
 }
 
 // BenchmarkFigure3_BacktrackingGraph measures reconstructing ad-loading
@@ -328,6 +385,7 @@ func BenchmarkScalars_ClusterTriage(b *testing.B) {
 	b.ReportMetric(float64(len(disc.Clusters)), "clusters")
 	b.ReportMetric(float64(len(disc.Campaigns())), "se-campaigns")
 	b.ReportMetric(float64(len(disc.BenignClusters())), "benign-clusters")
+	b.ReportMetric(float64(disc.DistanceCalls), "distance-calls")
 }
 
 // BenchmarkScalars_AdblockEvasion reproduces the Section 4.4 AdBlock

@@ -25,6 +25,7 @@ func main() {
 		eps     = flag.Float64("eps", 0.1, "DBSCAN eps over normalised dhash distance")
 		minPts  = flag.Int("minpts", 3, "DBSCAN MinPts")
 		minDoms = flag.Int("theta-c", 5, "minimum distinct e2LDs per campaign (θc)")
+		workers = flag.Int("workers", 1, "parallelism of the clustering neighbourhood precompute (output is identical for any value)")
 	)
 	flag.Parse()
 	if *inFile == "" {
@@ -50,6 +51,7 @@ func main() {
 	disc, err := core.Discover(sessions, core.DiscoveryParams{
 		Cluster:    cluster.Params{Eps: *eps, MinPts: *minPts},
 		MinDomains: *minDoms,
+		Workers:    *workers,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -48,6 +48,7 @@ func parseFlags(args []string) (*crawlConfig, error) {
 		asJSON     = fs.Bool("json", false, "emit the campaign list as JSON")
 		outFile    = fs.String("out", "", "write the crawl sessions to this file (JSONL) for offline analysis with seacma-analyze")
 		metrics    = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
+		workers    = fs.Int("workers", 0, "worker count for the crawl farm and clustering (0 = per-stage defaults)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -58,6 +59,9 @@ func parseFlags(args []string) (*crawlConfig, error) {
 		cfg = seacma.QuickExperimentConfig()
 	}
 	cfg.SkipMilking = true
+	if *workers > 0 {
+		cfg.SetWorkers(*workers)
+	}
 	cfg.World.Seed = *seed
 	cfg.World = scaleWorld(cfg.World, *scale)
 	if *publishers > 0 {

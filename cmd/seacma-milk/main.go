@@ -2,7 +2,7 @@
 // (milking) experiment and reports Table 4, the GSB lag, and the
 // VirusTotal statistics of the milked binaries.
 //
-//	seacma-milk [-seed N] [-days N] [-sources N] [-interval MIN] [-tiny] [-metrics out.json]
+//	seacma-milk [-seed N] [-days N] [-sources N] [-interval MIN] [-workers N] [-tiny] [-metrics out.json]
 package main
 
 import (
@@ -42,6 +42,7 @@ func parseFlags(args []string) (*milkConfig, error) {
 		interval = fs.Int("interval", 15, "milking interval in virtual minutes (paper: 15)")
 		tiny     = fs.Bool("tiny", false, "use the tiny smoke-test world")
 		metrics  = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
+		workers  = fs.Int("workers", 0, "worker count for the parallel stages (0 = per-stage defaults; milking output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -55,6 +56,9 @@ func parseFlags(args []string) (*milkConfig, error) {
 	cfg.Milker.Duration = time.Duration(*days) * 24 * time.Hour
 	cfg.Milker.MilkInterval = time.Duration(*interval) * time.Minute
 	cfg.Milker.MaxSources = *sources
+	if *workers > 0 {
+		cfg.SetWorkers(*workers)
+	}
 	if *metrics != "" {
 		cfg.Obs = obs.New()
 	}

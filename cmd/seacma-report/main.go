@@ -1,7 +1,7 @@
 // Command seacma-report regenerates every table of the paper's
 // evaluation from one pipeline run, plus the headline scalars.
 //
-//	seacma-report [-seed N] [-table N] [-tiny] [-json report.json] [-metrics out.json]
+//	seacma-report [-seed N] [-table N] [-tiny] [-workers N] [-json report.json] [-metrics out.json]
 //
 // -table selects a single table (1-4); by default all four are printed
 // together with the Section 4.3/4.4/4.5 scalars.
@@ -46,6 +46,7 @@ func parseFlags(args []string) (*reportConfig, error) {
 		tiny     = fs.Bool("tiny", false, "use the tiny smoke-test world")
 		jsonFile = fs.String("json", "", "also write the full machine-readable report to this file")
 		metrics  = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
+		workers  = fs.Int("workers", 0, "worker count for the parallel stages (0 = per-stage defaults; milking/discovery output is identical for any value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -57,6 +58,9 @@ func parseFlags(args []string) (*reportConfig, error) {
 	}
 	cfg.World.Seed = *seed
 	cfg.Milker.MaxSources = 300
+	if *workers > 0 {
+		cfg.SetWorkers(*workers)
+	}
 	if *table >= 1 && *table <= 3 {
 		cfg.SkipMilking = true
 	}

@@ -1,0 +1,79 @@
+package seacma_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+)
+
+// reportBytes runs the full pipeline with the given worker count on the
+// milking and discovery stages and returns the serialized report. The
+// crawl farm is pinned to one worker: crawling advances the shared
+// virtual clock per fetch, so its session ordering is inherently
+// worker-count dependent — the determinism guarantee under test covers
+// the stages the batch-tick engine and the neighbourhood index
+// parallelize.
+func reportBytes(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := seacma.QuickExperimentConfig()
+	cfg.Crawler.Workers = 1
+	cfg.Milker.Workers = workers
+	cfg.Discovery.Workers = workers
+	// Shrink the tracking horizon: determinism does not get stronger
+	// with more virtual days, only slower.
+	cfg.Milker.Duration = 6 * time.Hour
+	cfg.Milker.GSBExtra = 6 * time.Hour
+	cfg.Milker.FinalLookupAfter = 24 * time.Hour
+	cfg.Milker.MaxSources = 40
+
+	exp := seacma.NewExperiment(cfg)
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	patterns := core.PatternSetFromSeeds(exp.Pipeline.Cfg.Seeds)
+	rep := core.BuildReport(res.RunResult, patterns, exp.World.GSB, exp.World.Webcat, exp.World.Clock.Now())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("workers=%d: serialize: %v", workers, err)
+	}
+	return buf.Bytes()
+}
+
+// TestReportDeterministicAcrossWorkerCounts is the parallelism
+// contract: the same seed must produce a byte-identical report whether
+// same-tick milking sessions and clustering neighbourhoods are computed
+// by one worker or eight.
+func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	serial := reportBytes(t, 1)
+	parallel := reportBytes(t, 8)
+	if !bytes.Equal(serial, parallel) {
+		a, b := string(serial), string(parallel)
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("report diverges at byte %d:\n  workers=1: ...%s\n  workers=8: ...%s",
+			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
+	}
+	if len(serial) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -62,8 +62,19 @@ func (idx *HashNeighbourIndex) DistinctCount() int { return len(idx.distinct) }
 func (idx *HashNeighbourIndex) DistanceCalls() int64 { return idx.distCalls }
 
 // DBSCANHashes clusters perceptual hashes with the paper's metric
-// (normalised Hamming distance) using the duplicate-collapsing index.
+// (normalised Hamming distance). Neighbour queries go through the
+// pigeonhole multi-index (multiindex.go) instead of scanning every
+// distinct hash; ClusterHashes exposes the same path with parallel
+// neighbourhood precompute and index statistics.
 func DBSCANHashes(hashes []phash.Hash, params Params) (Result, error) {
+	res, _, err := ClusterHashes(hashes, params, 1)
+	return res, err
+}
+
+// DBSCANHashesFlat is the previous clustering path — one distance
+// computation per distinct hash per query — kept for ablations and as
+// the reference implementation the multi-index is tested against.
+func DBSCANHashesFlat(hashes []phash.Hash, params Params) (Result, error) {
 	idx := NewHashNeighbourIndex(hashes, params.Eps)
 	res, err := DBSCANIndexed(len(hashes), idx.Neighbours, params)
 	res.DistanceCalls = idx.DistanceCalls()

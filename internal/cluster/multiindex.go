@@ -1,0 +1,350 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/phash"
+)
+
+// MultiIndex is a pigeonhole-partitioned Hamming index over perceptual
+// hashes — the sub-quadratic replacement for scanning every distinct
+// hash per neighbourhood query.
+//
+// The 128-bit dhash is split into m contiguous bands. For two hashes
+// within maxBits of each other, at least one band must differ by at
+// most tol = ⌊maxBits/m⌋ bits (pigeonhole: if every band differed by
+// tol+1 or more, the total distance would be at least m·(tol+1) >
+// maxBits). A neighbourhood query therefore probes, per band, the hash
+// buckets of every band value within tol bit flips of the query's band
+// value, and verifies only those candidates with a full Hamming
+// distance computation. With the paper's eps=0.1 (12 bits) the index
+// uses 13 bands with tol=0 — 13 exact bucket lookups per query.
+//
+// Like HashNeighbourIndex, points are first collapsed by exact hash, so
+// all work is per distinct hash; neighbourhoods are additionally
+// memoized per distinct hash, and Precompute fills the memo table in
+// parallel (each entry depends only on read-only state, so the result
+// is identical for any worker count).
+type MultiIndex struct {
+	hashes   []phash.Hash
+	distinct []phash.Hash
+	members  [][]int // members[d] = point indices with distinct hash d
+	ofPoint  []int   // ofPoint[i] = index into distinct for point i
+	maxBits  int     // eps expressed in raw bits
+
+	bands   []bandSpec
+	tol     int                   // per-band flip budget
+	buckets []map[uint64][]int32  // buckets[b][value] = distinct ids
+	linear  bool                  // probe enumeration wider than a scan
+
+	memo     []atomic.Pointer[[]int] // memo[d] = neighbourhood of distinct d
+	memoOnce []sync.Once
+
+	probes, candidates, distCalls atomic.Int64
+}
+
+// bandSpec is one contiguous bit span [Off, Off+Width) of the 128-bit
+// hash (bit i reads from Hi for i < 64, from Lo above).
+type bandSpec struct{ Off, Width uint }
+
+// IndexStats is a snapshot of the index's shape and query counters.
+type IndexStats struct {
+	Points        int
+	Distinct      int
+	Bands         int
+	Tolerance     int
+	Linear        bool
+	Probes        int64 // bucket lookups performed
+	Candidates    int64 // distinct candidates examined (pre-verification)
+	DistanceCalls int64 // full Hamming verifications
+}
+
+// MaxBands caps the band count; beyond ~16 bands the per-band bucket
+// values get too short and every bucket collides.
+const MaxBands = 16
+
+// bandsFor picks the band count for a bit radius: maxBits+1 bands give
+// tol=0 (exact band probes); capped at MaxBands, floored at 2 so each
+// band value fits a uint64.
+func bandsFor(maxBits int) int {
+	m := maxBits + 1
+	if m > MaxBands {
+		m = MaxBands
+	}
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+// NewMultiIndex builds an index for the given hashes and a normalised
+// eps (fraction of 128 bits). bands <= 0 selects the band count
+// automatically from the bit radius.
+func NewMultiIndex(hashes []phash.Hash, eps float64, bands int) *MultiIndex {
+	idx := &MultiIndex{
+		hashes:  hashes,
+		ofPoint: make([]int, len(hashes)),
+		maxBits: int(eps * float64(phash.Bits)),
+	}
+	seen := make(map[phash.Hash]int, len(hashes))
+	for i, h := range hashes {
+		d, ok := seen[h]
+		if !ok {
+			d = len(idx.distinct)
+			seen[h] = d
+			idx.distinct = append(idx.distinct, h)
+			idx.members = append(idx.members, nil)
+		}
+		idx.ofPoint[i] = d
+		idx.members[d] = append(idx.members[d], i)
+	}
+
+	if bands <= 0 {
+		bands = bandsFor(idx.maxBits)
+	}
+	if bands < 2 {
+		bands = 2
+	}
+	if bands > MaxBands {
+		bands = MaxBands
+	}
+	idx.tol = idx.maxBits / bands
+	base, extra := phash.Bits/bands, phash.Bits%bands
+	off := uint(0)
+	for b := 0; b < bands; b++ {
+		w := uint(base)
+		if b < extra {
+			w++
+		}
+		idx.bands = append(idx.bands, bandSpec{Off: off, Width: w})
+		off += w
+	}
+
+	// If enumerating flip patterns would probe more buckets than there
+	// are distinct hashes, a linear scan is cheaper; keep the index
+	// correct for any eps by falling back.
+	if probeCount(idx.bands, idx.tol) > len(idx.distinct) {
+		idx.linear = true
+	} else {
+		idx.buckets = make([]map[uint64][]int32, bands)
+		for b := range idx.buckets {
+			idx.buckets[b] = map[uint64][]int32{}
+		}
+		for d, h := range idx.distinct {
+			for b, spec := range idx.bands {
+				v := bandValue(h, spec)
+				idx.buckets[b][v] = append(idx.buckets[b][v], int32(d))
+			}
+		}
+	}
+
+	idx.memo = make([]atomic.Pointer[[]int], len(idx.distinct))
+	idx.memoOnce = make([]sync.Once, len(idx.distinct))
+	return idx
+}
+
+// probeCount returns the number of bucket lookups one query costs:
+// sum over bands of the ≤tol-flip enumeration size.
+func probeCount(bands []bandSpec, tol int) int {
+	total := 0
+	for _, b := range bands {
+		n, term := 1, 1
+		for f := 1; f <= tol; f++ {
+			term = term * (int(b.Width) - f + 1) / f // C(width, f)
+			n += term
+		}
+		total += n
+	}
+	return total
+}
+
+// bandValue extracts the band's bits from the 128-bit concatenation
+// Hi||Lo (bit 0 = lowest bit of Hi, bit 64 = lowest bit of Lo).
+func bandValue(h phash.Hash, b bandSpec) uint64 {
+	var v uint64
+	if b.Off < 64 {
+		v = h.Hi >> b.Off
+		if b.Off+b.Width > 64 {
+			v |= h.Lo << (64 - b.Off)
+		}
+	} else {
+		v = h.Lo >> (b.Off - 64)
+	}
+	if b.Width < 64 {
+		v &= (1 << b.Width) - 1
+	}
+	return v
+}
+
+// enumBand calls emit for every value within tol bit flips of v
+// (including v itself), each exactly once.
+func enumBand(v uint64, width uint, tol int, emit func(uint64)) {
+	emit(v)
+	if tol <= 0 {
+		return
+	}
+	var rec func(v uint64, start uint, left int)
+	rec = func(v uint64, start uint, left int) {
+		for p := start; p < width; p++ {
+			fv := v ^ (1 << p)
+			emit(fv)
+			if left > 1 {
+				rec(fv, p+1, left-1)
+			}
+		}
+	}
+	rec(v, 0, tol)
+}
+
+// scratch is per-goroutine query state: a stamp array deduplicating the
+// candidate set across bands without per-query allocation.
+type scratch struct {
+	mark  []int64
+	stamp int64
+}
+
+func (x *MultiIndex) newScratch() *scratch {
+	return &scratch{mark: make([]int64, len(x.distinct))}
+}
+
+// neighbourhood computes the point indices within maxBits of distinct
+// hash d, in deterministic (band, probe, bucket) discovery order.
+func (x *MultiIndex) neighbourhood(d int, sc *scratch) []int {
+	h := x.distinct[d]
+	sc.stamp++
+	var pts []int
+	var dist int64
+	consider := func(cd int32) {
+		if sc.mark[cd] == sc.stamp {
+			return
+		}
+		sc.mark[cd] = sc.stamp
+		dist++
+		if phash.Distance(h, x.distinct[cd]) <= x.maxBits {
+			pts = append(pts, x.members[cd]...)
+		}
+	}
+	if x.linear {
+		for cd := range x.distinct {
+			consider(int32(cd))
+		}
+	} else {
+		var probes int64
+		for b, spec := range x.bands {
+			v := bandValue(h, spec)
+			enumBand(v, spec.Width, x.tol, func(pv uint64) {
+				probes++
+				for _, cd := range x.buckets[b][pv] {
+					consider(cd)
+				}
+			})
+		}
+		x.probes.Add(probes)
+	}
+	x.candidates.Add(dist)
+	x.distCalls.Add(dist)
+	return pts
+}
+
+// neighboursOf returns (memoizing) the neighbourhood of distinct d.
+func (x *MultiIndex) neighboursOf(d int, sc *scratch) []int {
+	if p := x.memo[d].Load(); p != nil {
+		return *p
+	}
+	x.memoOnce[d].Do(func() {
+		nb := x.neighbourhood(d, sc)
+		x.memo[d].Store(&nb)
+	})
+	return *x.memo[d].Load()
+}
+
+// Precompute fills every distinct hash's neighbourhood using the given
+// number of workers. The memo contents are a pure function of the
+// corpus, so any worker count yields identical neighbourhoods.
+func (x *MultiIndex) Precompute(workers int) {
+	n := len(x.distinct)
+	if workers <= 1 || n < 2 {
+		sc := x.newScratch()
+		for d := 0; d < n; d++ {
+			x.neighboursOf(d, sc)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := x.newScratch()
+			for {
+				d := int(next.Add(1)) - 1
+				if d >= n {
+					return
+				}
+				x.neighboursOf(d, sc)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Neighbours returns all point indices within eps of point i, including
+// i. Callers sharing the index across goroutines must have called
+// Precompute first (Neighbours itself memoizes with a private scratch
+// only on the slow path).
+func (x *MultiIndex) Neighbours(i int) []int {
+	d := x.ofPoint[i]
+	if p := x.memo[d].Load(); p != nil {
+		return *p
+	}
+	return x.neighboursOf(d, x.newScratch())
+}
+
+// DistinctCount reports the number of distinct hashes in the corpus.
+func (x *MultiIndex) DistinctCount() int { return len(x.distinct) }
+
+// DistanceCalls reports the full Hamming verifications performed.
+func (x *MultiIndex) DistanceCalls() int64 { return x.distCalls.Load() }
+
+// Stats snapshots the index shape and counters.
+func (x *MultiIndex) Stats() IndexStats {
+	return IndexStats{
+		Points:        len(x.hashes),
+		Distinct:      len(x.distinct),
+		Bands:         len(x.bands),
+		Tolerance:     x.tol,
+		Linear:        x.linear,
+		Probes:        x.probes.Load(),
+		Candidates:    x.candidates.Load(),
+		DistanceCalls: x.distCalls.Load(),
+	}
+}
+
+// ClusterHashes clusters perceptual hashes with the paper's metric
+// (normalised Hamming distance) through the multi-index, precomputing
+// neighbourhoods across workers, and returns the index for stats
+// introspection. Results are identical for any worker count.
+func ClusterHashes(hashes []phash.Hash, params Params, workers int) (Result, *MultiIndex, error) {
+	if err := params.Validate(); err != nil {
+		return Result{}, nil, err
+	}
+	idx := NewMultiIndex(hashes, params.Eps, 0)
+	idx.Precompute(workers)
+	res, err := DBSCANIndexed(len(hashes), idx.Neighbours, params)
+	res.DistanceCalls = idx.DistanceCalls()
+	return res, idx, err
+}
+
+// sortedCopy returns a sorted copy of a neighbourhood; test helper for
+// order-insensitive comparisons.
+func sortedCopy(nb []int) []int {
+	out := append([]int(nil), nb...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,259 @@
+package cluster
+
+import (
+	"math/bits"
+	"reflect"
+	"testing"
+
+	"repro/internal/phash"
+	"repro/internal/rng"
+)
+
+// bruteNeighbours is the reference neighbourhood: every point within
+// maxBits of point i, in ascending index order.
+func bruteNeighbours(hashes []phash.Hash, i, maxBits int) []int {
+	var out []int
+	for j, h := range hashes {
+		if phash.Distance(hashes[i], h) <= maxBits {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+func TestMultiIndexBandsCoverAllBits(t *testing.T) {
+	for m := 2; m <= MaxBands; m++ {
+		idx := NewMultiIndex(corpus(50, 5), 0.1, m)
+		if len(idx.bands) != m {
+			t.Fatalf("m=%d: got %d bands", m, len(idx.bands))
+		}
+		covered := uint(0)
+		for i, b := range idx.bands {
+			if b.Off != covered {
+				t.Fatalf("m=%d: band %d starts at %d, want %d", m, i, b.Off, covered)
+			}
+			if b.Width == 0 || b.Width > 64 {
+				t.Fatalf("m=%d: band %d width %d out of range", m, i, b.Width)
+			}
+			covered += b.Width
+		}
+		if covered != phash.Bits {
+			t.Fatalf("m=%d: bands cover %d bits, want %d", m, covered, phash.Bits)
+		}
+	}
+}
+
+func TestBandValueMatchesBitExtraction(t *testing.T) {
+	src := rng.New(3)
+	for trial := 0; trial < 200; trial++ {
+		h := phash.Hash{Hi: uint64(src.Int63()) | uint64(src.Intn(2))<<63, Lo: uint64(src.Int63()) | uint64(src.Intn(2))<<63}
+		off := uint(src.Intn(120))
+		width := uint(1 + src.Intn(int(min64(64, 128-int(off)))))
+		var want uint64
+		for b := uint(0); b < width; b++ {
+			bit := off + b
+			var v uint64
+			if bit < 64 {
+				v = (h.Hi >> bit) & 1
+			} else {
+				v = (h.Lo >> (bit - 64)) & 1
+			}
+			want |= v << b
+		}
+		got := bandValue(h, bandSpec{Off: off, Width: width})
+		if got != want {
+			t.Fatalf("bandValue(%v, off=%d, w=%d) = %x, want %x", h, off, width, got, want)
+		}
+	}
+}
+
+func min64(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestEnumBandEmitsExactlyWithinTol(t *testing.T) {
+	const width, tol = 6, 2
+	v := uint64(0b101100)
+	seen := map[uint64]int{}
+	enumBand(v, width, tol, func(pv uint64) { seen[pv]++ })
+	// Every value within tol flips appears exactly once; none beyond.
+	for cand := uint64(0); cand < 1<<width; cand++ {
+		d := bits.OnesCount64(cand ^ v)
+		n := seen[cand]
+		if d <= tol && n != 1 {
+			t.Fatalf("value %06b at distance %d emitted %d times", cand, d, n)
+		}
+		if d > tol && n != 0 {
+			t.Fatalf("value %06b at distance %d emitted %d times, want 0", cand, d, n)
+		}
+	}
+}
+
+func TestMultiIndexNeighboursMatchBruteForce(t *testing.T) {
+	for _, eps := range []float64{0.0, 0.1, 0.2, 0.35} {
+		hashes := corpus(400, 12)
+		idx := NewMultiIndex(hashes, eps, 0)
+		maxBits := int(eps * float64(phash.Bits))
+		for i := range hashes {
+			got := sortedCopy(idx.Neighbours(i))
+			want := bruteNeighbours(hashes, i, maxBits)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("eps=%v point %d: neighbours %v, want %v", eps, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiIndexLinearFallback(t *testing.T) {
+	// A huge eps makes probe enumeration wider than the distinct count;
+	// the index must fall back to scanning and stay correct.
+	hashes := corpus(60, 6)
+	idx := NewMultiIndex(hashes, 0.45, 0)
+	if !idx.linear {
+		t.Fatalf("eps=0.45 over %d distinct: expected linear fallback, stats %+v",
+			idx.DistinctCount(), idx.Stats())
+	}
+	eps := 0.45
+	maxBits := int(eps * float64(phash.Bits))
+	for i := range hashes {
+		got := sortedCopy(idx.Neighbours(i))
+		want := bruteNeighbours(hashes, i, maxBits)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("point %d: neighbours %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestMultiIndexLabelsMatchFlatPath(t *testing.T) {
+	hashes := corpus(800, 25)
+	flat, err := DBSCANHashesFlat(hashes, PaperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := DBSCANHashes(hashes, PaperParams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(flat.Labels, multi.Labels) {
+		t.Fatal("multi-index labels differ from flat-scan labels")
+	}
+	if flat.NumClusters != multi.NumClusters {
+		t.Fatalf("cluster counts differ: flat %d, multi %d", flat.NumClusters, multi.NumClusters)
+	}
+	if multi.DistanceCalls >= flat.DistanceCalls {
+		t.Fatalf("multi-index DistanceCalls %d not below flat %d",
+			multi.DistanceCalls, flat.DistanceCalls)
+	}
+	if flat.DistanceCalls < 5*multi.DistanceCalls {
+		t.Fatalf("want >=5x distance-call reduction, got flat=%d multi=%d (%.1fx)",
+			flat.DistanceCalls, multi.DistanceCalls,
+			float64(flat.DistanceCalls)/float64(multi.DistanceCalls))
+	}
+}
+
+func TestClusterHashesWorkerCountInvariance(t *testing.T) {
+	hashes := corpus(600, 20)
+	var ref Result
+	for _, workers := range []int{1, 2, 8} {
+		res, idx, err := ClusterHashes(hashes, PaperParams, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if workers == 1 {
+			ref = res
+			continue
+		}
+		if !reflect.DeepEqual(res.Labels, ref.Labels) {
+			t.Fatalf("workers=%d: labels differ from workers=1", workers)
+		}
+		if res.NumClusters != ref.NumClusters {
+			t.Fatalf("workers=%d: %d clusters, want %d", workers, res.NumClusters, ref.NumClusters)
+		}
+		st := idx.Stats()
+		if st.DistanceCalls != ref.DistanceCalls {
+			t.Fatalf("workers=%d: %d distance calls, want %d (memoization must make totals worker-invariant)",
+				workers, st.DistanceCalls, ref.DistanceCalls)
+		}
+	}
+}
+
+func TestMultiIndexParallelPrecomputeRace(t *testing.T) {
+	// Exercised under -race: many goroutines racing on the memo table.
+	hashes := corpus(500, 15)
+	idx := NewMultiIndex(hashes, 0.1, 0)
+	idx.Precompute(16)
+	for i := range hashes {
+		if idx.Neighbours(i) == nil {
+			t.Fatalf("point %d: nil neighbourhood after precompute", i)
+		}
+	}
+}
+
+func TestMultiIndexMemoizationSharesDuplicates(t *testing.T) {
+	// 100 points over 4 distinct hashes: one neighbourhood computation per
+	// distinct, so distance calls are bounded by distinct^2.
+	base := corpus(4, 4)
+	hashes := make([]phash.Hash, 100)
+	for i := range hashes {
+		hashes[i] = base[i%len(base)]
+	}
+	idx := NewMultiIndex(hashes, 0.1, 0)
+	for i := range hashes {
+		idx.Neighbours(i)
+	}
+	if d := idx.DistanceCalls(); d > 16 {
+		t.Fatalf("distance calls %d exceed distinct^2 = 16; memoization broken", d)
+	}
+}
+
+func TestMultiIndexStats(t *testing.T) {
+	hashes := corpus(300, 10)
+	_, idx, err := ClusterHashes(hashes, PaperParams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := idx.Stats()
+	if st.Points != 300 {
+		t.Fatalf("Points = %d, want 300", st.Points)
+	}
+	if st.Distinct != idx.DistinctCount() {
+		t.Fatalf("Distinct = %d, want %d", st.Distinct, idx.DistinctCount())
+	}
+	if st.Bands != 13 || st.Tolerance != 0 {
+		t.Fatalf("paper eps should yield 13 bands tol 0, got %d/%d", st.Bands, st.Tolerance)
+	}
+	if st.Linear {
+		t.Fatal("paper eps on 300 points should not fall back to linear scan")
+	}
+	if st.Probes == 0 || st.Candidates == 0 || st.DistanceCalls == 0 {
+		t.Fatalf("counters not populated: %+v", st)
+	}
+	if st.Candidates != st.DistanceCalls {
+		t.Fatalf("each deduplicated candidate is verified once: candidates %d vs distance calls %d",
+			st.Candidates, st.DistanceCalls)
+	}
+}
+
+func BenchmarkDBSCANHashesFlat1k(b *testing.B) {
+	hashes := corpus(1000, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DBSCANHashesFlat(hashes, PaperParams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiIndexPrecompute10k(b *testing.B) {
+	hashes := corpus(10000, 120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx := NewMultiIndex(hashes, PaperParams.Eps, 0)
+		idx.Precompute(8)
+	}
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cluster"
 	"repro/internal/crawler"
@@ -20,8 +21,12 @@ type DiscoveryParams struct {
 	// MinDomains is θc: clusters spanning fewer distinct e2LDs are
 	// discarded (the paper sets 5).
 	MinDomains int
+	// Workers is the parallelism of the neighbourhood precompute feeding
+	// DBSCAN (default 1). Any value yields identical clusters.
+	Workers int
 	// Obs receives discovery metrics (observations, DBSCAN distance
-	// calls, cluster and θc-filter counts). Nil = no-op.
+	// calls, index probe/candidate counts, cluster and θc-filter
+	// counts). Nil = no-op.
 	Obs *obs.Registry
 }
 
@@ -110,29 +115,43 @@ type DiscoveryResult struct {
 	NoiseCount int
 	// FilteredClusters counts clusters dropped by the θc domain filter.
 	FilteredClusters int
+	// DistanceCalls is the number of Hamming verifications the
+	// neighbourhood index performed during clustering.
+	DistanceCalls int64
+
+	// campaigns/benign cache the triage partition; Clusters is immutable
+	// after Discover, and callers (reporting, milking, triage tables)
+	// re-ask for the partition many times.
+	campaignsOnce sync.Once
+	campaigns     []*DiscoveredCampaign
+	benign        []*DiscoveredCampaign
+}
+
+// partition splits Clusters by triage verdict, once.
+func (r *DiscoveryResult) partition() {
+	r.campaignsOnce.Do(func() {
+		for _, c := range r.Clusters {
+			if c.Category != CatBenign {
+				r.campaigns = append(r.campaigns, c)
+			} else {
+				r.benign = append(r.benign, c)
+			}
+		}
+	})
 }
 
 // Campaigns returns only the clusters triaged as SE campaigns (the
-// paper's 108 of 130).
+// paper's 108 of 130). The returned slice is shared; do not mutate.
 func (r *DiscoveryResult) Campaigns() []*DiscoveredCampaign {
-	var out []*DiscoveredCampaign
-	for _, c := range r.Clusters {
-		if c.Category != CatBenign {
-			out = append(out, c)
-		}
-	}
-	return out
+	r.partition()
+	return r.campaigns
 }
 
 // BenignClusters returns the clusters triaged benign (the paper's 22).
+// The returned slice is shared; do not mutate.
 func (r *DiscoveryResult) BenignClusters() []*DiscoveredCampaign {
-	var out []*DiscoveredCampaign
-	for _, c := range r.Clusters {
-		if c.Category == CatBenign {
-			out = append(out, c)
-		}
-	}
-	return out
+	r.partition()
+	return r.benign
 }
 
 // Discover runs clustering ⑤ and the θc filter on crawl output, then
@@ -143,13 +162,25 @@ func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryRe
 	for i, o := range obs {
 		hashes[i] = o.Hash
 	}
-	res, err := cluster.DBSCANHashes(hashes, params.Cluster)
+	workers := params.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	res, idx, err := cluster.ClusterHashes(hashes, params.Cluster, workers)
 	if err != nil {
 		return nil, Errorf("clustering: %v", err)
 	}
-	out := &DiscoveryResult{Observations: obs, NoiseCount: len(res.NoisePoints())}
+	out := &DiscoveryResult{
+		Observations:  obs,
+		NoiseCount:    len(res.NoisePoints()),
+		DistanceCalls: res.DistanceCalls,
+	}
+	st := idx.Stats()
 	params.Obs.Counter("discovery_observations_total").Add(int64(len(obs)))
-	params.Obs.Counter("discovery_distance_calls_total").Add(res.DistanceCalls)
+	params.Obs.Counter("discovery_distinct_hashes_total").Add(int64(st.Distinct))
+	params.Obs.Counter("discovery_distance_calls_total").Add(st.DistanceCalls)
+	params.Obs.Counter("discovery_index_probes_total").Add(st.Probes)
+	params.Obs.Counter("discovery_index_candidates_total").Add(st.Candidates)
 	params.Obs.Counter("discovery_noise_points_total").Add(int64(out.NoiseCount))
 	params.Obs.Counter("discovery_clusters_raw_total").Add(int64(res.NumClusters))
 	for id, members := range res.Clusters() {
@@ -171,8 +202,14 @@ func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryRe
 		out.Clusters = append(out.Clusters, dc)
 	}
 	// Stable ordering: by descending attack volume, then cluster id.
+	// Attack counts are precomputed once — the comparator runs O(n log n)
+	// times and AttackCount walks every member.
+	attacks := make(map[int]int, len(out.Clusters))
+	for _, c := range out.Clusters {
+		attacks[c.ID] = c.AttackCount(obs)
+	}
 	sort.SliceStable(out.Clusters, func(i, j int) bool {
-		a, b := out.Clusters[i].AttackCount(obs), out.Clusters[j].AttackCount(obs)
+		a, b := attacks[out.Clusters[i].ID], attacks[out.Clusters[j].ID]
 		if a != b {
 			return a > b
 		}

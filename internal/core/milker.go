@@ -3,7 +3,9 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/browser"
@@ -109,6 +111,12 @@ type MilkerConfig struct {
 	ViewportScale int
 	// MaxSources bounds the number of sources (0 = no bound).
 	MaxSources int
+	// Workers is the number of concurrent milking sessions per virtual
+	// tick (default 8). Sessions due at the same virtual instant fan out
+	// across the pool for the order-independent half of the work
+	// (navigation, rendering, hashing) and are committed serially in
+	// source order, so every result is byte-identical for any value.
+	Workers int
 	// Obs receives milking metrics (milk requests, new domains, GSB
 	// polls, VT submissions — totals plus per-virtual-hour series).
 	// Nil = no-op.
@@ -125,6 +133,7 @@ func PaperMilkerConfig() MilkerConfig {
 		FinalLookupAfter: 60 * 24 * time.Hour,
 		VerifyBits:       12,
 		ViewportScale:    4,
+		Workers:          8,
 	}
 }
 
@@ -150,6 +159,9 @@ func (c *MilkerConfig) fillDefaults() {
 	}
 	if c.ViewportScale == 0 {
 		c.ViewportScale = p.ViewportScale
+	}
+	if c.Workers == 0 {
+		c.Workers = p.Workers
 	}
 }
 
@@ -268,52 +280,46 @@ func (m *Milker) hourly(name string, now time.Time) *obs.Counter {
 }
 
 // VerifySources runs the pilot check of Section 4.2: each candidate is
-// visited once and kept only if it leads to a page whose screenshot
-// matches its campaign.
+// visited once — across the worker pool — and kept only if it leads to
+// a page whose screenshot matches its campaign. Candidates are filtered
+// in input order with the MaxSources cap applied to the ordered result,
+// so the kept set is independent of the worker count.
 func (m *Milker) VerifySources(cands []MilkSource) []MilkSource {
+	m.cfg.Obs.Counter("milker_verify_visits_total").Add(int64(len(cands)))
+	idxs := make([]int, len(cands))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	probes := m.fanOut(idxs, cands, nil)
 	var out []MilkSource
-	verifyVisits := m.cfg.Obs.Counter("milker_verify_visits_total")
-	for _, src := range cands {
+	for i, p := range probes {
 		if m.cfg.MaxSources > 0 && len(out) >= m.cfg.MaxSources {
 			break
 		}
-		verifyVisits.Inc()
-		if _, h, ok := m.visit(src); ok && phash.Distance(h, src.RepHash) <= m.cfg.VerifyBits {
-			out = append(out, src)
+		if p.ok && p.hashed && phash.Distance(p.hash, cands[i].RepHash) <= m.cfg.VerifyBits {
+			out = append(out, cands[i])
 		}
 	}
 	return out
 }
 
-// visit loads a milking source and returns the final landing tab's host
-// and screenshot hash.
-func (m *Milker) visit(src MilkSource) (host string, h phash.Hash, ok bool) {
-	client := devtools.NewClient(m.internet, m.clock, devtools.ClientConfig{
-		UserAgent: src.UA, ClientIP: src.ClientIP,
-		StealthPatch: true, DialogBypass: true,
-		DeviceEmulation: src.UA.Mobile,
-		ViewportScale:   m.cfg.ViewportScale,
-	})
-	tab, err := client.Navigate(src.URL)
-	if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
-		return "", phash.Hash{}, false
-	}
-	srcURL, err := urlx.Parse(src.URL)
-	if err != nil || tab.URL.Host == srcURL.Host {
-		return "", phash.Hash{}, false
-	}
-	img, err := client.Browser().Screenshot(tab)
-	if err != nil {
-		return "", phash.Hash{}, false
-	}
-	return tab.URL.Host, phash.DHash(img), true
+// milkProbe is the parallel half of one milking session: navigation,
+// rendering and hashing — work whose outcome depends only on the source
+// and the (frozen, same-tick) virtual clock, never on sibling sessions.
+type milkProbe struct {
+	ok     bool // navigation landed on an off-source OK page
+	host   string
+	client *devtools.Client
+	tab    *browser.Tab
+	hash   phash.Hash
+	hashed bool // screenshot hash computed (host unseen at probe time)
 }
 
-// milkOnce performs one milking session, returning any newly discovered
-// domain and the downloads it produced.
-func (m *Milker) milkOnce(src MilkSource, res *MilkingResult, seenHosts map[string]bool, mu *sync.Mutex) {
-	m.met.milks.Inc()
-	m.hourly("milker_milks_hourly", m.clock.Now()).Inc()
+// probe loads a milking source. seen (read-only during a probe wave; nil
+// to always hash) skips screenshot work for hosts already discovered
+// before this tick — the dominant case in steady-state milking.
+func (m *Milker) probe(src MilkSource, seen map[string]bool) milkProbe {
+	var p milkProbe
 	client := devtools.NewClient(m.internet, m.clock, devtools.ClientConfig{
 		UserAgent: src.UA, ClientIP: src.ClientIP,
 		StealthPatch: true, DialogBypass: true,
@@ -321,60 +327,104 @@ func (m *Milker) milkOnce(src MilkSource, res *MilkingResult, seenHosts map[stri
 		ViewportScale:   m.cfg.ViewportScale,
 	})
 	tab, err := client.Navigate(src.URL)
-	mu.Lock()
-	res.Sessions++
-	mu.Unlock()
 	if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
-		return
+		return p
 	}
 	srcURL, err := urlx.Parse(src.URL)
 	if err != nil || tab.URL.Host == srcURL.Host {
-		return
+		return p
 	}
-	host := tab.URL.Host
+	p.ok, p.host, p.client, p.tab = true, tab.URL.Host, client, tab
+	if seen == nil || !seen[p.host] {
+		if img, err := client.Browser().Screenshot(tab); err == nil {
+			p.hash, p.hashed = phash.DHash(img), true
+		}
+	}
+	return p
+}
 
-	mu.Lock()
-	known := seenHosts[host]
-	if !known {
-		seenHosts[host] = true
+// fanOut probes the sources at the given indices across the worker
+// pool, returning results positionally. Probes perform only
+// order-independent work, so which worker handles which probe cannot
+// influence any result; per-worker session counts are exported as
+// milker_sessions_total{worker=N}.
+func (m *Milker) fanOut(idxs []int, sources []MilkSource, seen map[string]bool) []milkProbe {
+	out := make([]milkProbe, len(idxs))
+	workers := m.cfg.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	mu.Unlock()
-	if known {
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	if workers <= 1 {
+		ctr := m.cfg.Obs.Counter("milker_sessions_total", "worker=0")
+		for k, si := range idxs {
+			out[k] = m.probe(sources[si], seen)
+			ctr.Inc()
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctr := m.cfg.Obs.Counter("milker_sessions_total", "worker="+strconv.Itoa(w))
+			for {
+				k := int(next.Add(1)) - 1
+				if k >= len(idxs) {
+					return
+				}
+				out[k] = m.probe(sources[idxs[k]], seen)
+				ctr.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out
+}
+
+// commit is the serial half of one milking session. Callers invoke it in
+// ascending source order for each tick, which fixes first-discovery of
+// seenHosts, GSB lag bookkeeping, download sequencing and result-slice
+// order — everything the probe phase deliberately leaves untouched.
+func (m *Milker) commit(src MilkSource, p milkProbe, now time.Time, res *MilkingResult, seenHosts map[string]bool, unlisted *[]int) {
+	res.Sessions++
+	if !p.ok {
 		return
 	}
+	if seenHosts[p.host] {
+		return
+	}
+	seenHosts[p.host] = true
 
 	// Never-before-seen domain: verify it still shows the campaign's
 	// attack, then record and blacklist-check it.
-	img, err := client.Browser().Screenshot(tab)
-	if err != nil {
+	if !p.hashed || phash.Distance(p.hash, src.RepHash) > m.cfg.VerifyBits {
 		return
 	}
-	h := phash.DHash(img)
-	if phash.Distance(h, src.RepHash) > m.cfg.VerifyBits {
-		return
-	}
-	now := m.clock.Now()
 	m.met.newDomains.Inc()
 	m.hourly("milker_new_domains_hourly", now).Inc()
 	m.met.gsbPolls.Inc()
 	d := MilkedDomain{
-		Host: host, Category: src.Category, CampaignID: src.CampaignID,
+		Host: p.host, Category: src.Category, CampaignID: src.CampaignID,
 		FirstSeen: now,
-		GSBInit:   m.gsb.Lookup(host, now),
+		GSBInit:   m.gsb.Lookup(p.host, now),
 	}
 	if d.GSBInit {
 		d.GSBListedAt = now
 	}
 
 	// Harvest scam phone numbers from the fresh page (tech support).
-	if res.Phones != nil && tab.Doc != nil {
-		res.Phones.HarvestText(tab.Doc.Serialize(), host, now)
+	if res.Phones != nil && p.tab.Doc != nil {
+		res.Phones.HarvestText(p.tab.Doc.Serialize(), p.host, now)
 	}
 
 	// Interact for downloads (fake software / scareware).
-	interactForDownloads(client, tab)
-	var files []MilkedFile
-	for _, dl := range tab.Downloads {
+	interactForDownloads(p.client, p.tab)
+	for _, dl := range p.tab.Downloads {
 		f := MilkedFile{
 			SHA256: dl.SHA256, Category: src.Category, CampaignID: src.CampaignID,
 			Known: m.vt.Known(dl.SHA256),
@@ -382,15 +432,15 @@ func (m *Milker) milkOnce(src MilkSource, res *MilkingResult, seenHosts map[stri
 		f.Initial = m.vt.Submit(dl.SHA256, dl.CampaignID, now)
 		m.met.vtSubmits.Inc()
 		m.hourly("milker_vt_submissions_hourly", now).Inc()
-		files = append(files, f)
+		res.Files = append(res.Files, f)
 	}
 
-	mu.Lock()
 	m.met.verified.Inc()
 	res.VerifiedMatch++
+	if d.GSBListedAt.IsZero() {
+		*unlisted = append(*unlisted, len(res.Domains))
+	}
 	res.Domains = append(res.Domains, d)
-	res.Files = append(res.Files, files...)
-	mu.Unlock()
 }
 
 func interactForDownloads(client *devtools.Client, tab *browser.Tab) {
@@ -406,6 +456,10 @@ func interactForDownloads(client *devtools.Client, tab *browser.Tab) {
 // milking every MilkInterval for Duration, GSB polling every GSBInterval
 // until Duration+GSBExtra, and a final lookup at
 // Duration+FinalLookupAfter (files are rescanned then too).
+//
+// Sessions due at the same virtual instant are probed concurrently by
+// cfg.Workers workers and committed serially in source order, so the
+// result is identical for every worker count.
 func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	if m.cfg.MaxSources > 0 && len(sources) > m.cfg.MaxSources {
 		sources = sources[:m.cfg.MaxSources]
@@ -415,43 +469,71 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	if len(sources) == 0 {
 		return res, Errorf("milker: no sources")
 	}
-	var mu sync.Mutex
 	seenHosts := map[string]bool{}
+	// unlisted indexes the res.Domains entries still awaiting a positive
+	// blacklist verdict, so each poll touches only those instead of
+	// rescanning every domain ever milked (the old O(domains × ticks)
+	// loop re-examined listed domains forever).
+	var unlisted []int
 	horizon := m.clock.Now().Add(m.cfg.Duration)
 	gsbHorizon := horizon.Add(m.cfg.GSBExtra)
 
-	for _, src := range sources {
-		src := src
+	// Timer callbacks only enqueue; the batch runner below fans the
+	// enqueued sources out once every same-instant callback has run.
+	var pending []int
+	for i := range sources {
+		i := i
 		if err := m.clock.Every(m.cfg.MilkInterval, horizon, func(now time.Time) bool {
-			m.milkOnce(src, res, seenHosts, &mu)
+			m.met.milks.Inc()
+			m.hourly("milker_milks_hourly", now).Inc()
+			pending = append(pending, i)
 			return true
 		}); err != nil {
 			return nil, Errorf("milker: schedule: %v", err)
 		}
 	}
 	// Blacklist polling: every GSBInterval, look up every yet-unlisted
-	// domain.
+	// domain. Runs inline in the callback pass — before any same-instant
+	// milking commits — exactly as the serial scheduler ordered it.
 	if err := m.clock.Every(m.cfg.GSBInterval, gsbHorizon, func(now time.Time) bool {
-		mu.Lock()
-		defer mu.Unlock()
 		hourlyPolls := m.hourly("milker_gsb_polls_hourly", now)
-		for i := range res.Domains {
-			d := &res.Domains[i]
-			if !d.GSBListedAt.IsZero() {
-				continue
-			}
+		w := 0
+		for _, di := range unlisted {
+			d := &res.Domains[di]
 			m.met.gsbPolls.Inc()
 			hourlyPolls.Inc()
 			if m.gsb.Lookup(d.Host, now) {
 				d.GSBListedAt = now
+			} else {
+				unlisted[w] = di
+				w++
 			}
 		}
+		unlisted = unlisted[:w]
 		return true
 	}); err != nil {
 		return nil, Errorf("milker: gsb schedule: %v", err)
 	}
 
-	m.clock.AdvanceTo(gsbHorizon.Add(time.Minute))
+	runBatch := func(now time.Time, batch []func(now time.Time)) {
+		for _, fn := range batch {
+			fn(now)
+		}
+		if len(pending) == 0 {
+			return
+		}
+		due := pending
+		pending = pending[:0]
+		// Same-instant callbacks fire in scheduling order, which is
+		// already ascending source order; the sort makes the commit
+		// order contract explicit rather than inherited.
+		sort.Ints(due)
+		probes := m.fanOut(due, sources, seenHosts)
+		for k, si := range due {
+			m.commit(sources[si], probes[k], now, res, seenHosts, &unlisted)
+		}
+	}
+	m.clock.AdvanceToBatched(gsbHorizon.Add(time.Minute), runBatch)
 	res.End = horizon
 
 	// Final sweep two months after milking ended.

@@ -97,13 +97,18 @@ func (b *Blacklist) ObserveMaliciousDomain(domain, category string, born time.Ti
 	}
 	e := &entry{category: category, born: born}
 	p := b.profiles[category]
-	if b.src.Bool(p.DetectProb) {
+	// The detection draw is keyed per domain, not pulled from the shared
+	// sequential stream: domains can be observed in any order (parallel
+	// milking mints them concurrently) and must still receive the same
+	// detection fate and lag.
+	src := b.src.Split(domain)
+	if src.Bool(p.DetectProb) {
 		e.detected = true
-		if p.FastProb > 0 && b.src.Bool(p.FastProb) {
-			lagHours := b.src.Exp(p.FastLagHours)
+		if p.FastProb > 0 && src.Bool(p.FastProb) {
+			lagHours := src.Exp(p.FastLagHours)
 			e.detectedAt = born.Add(time.Duration(lagHours * float64(time.Hour)))
 		} else {
-			lagDays := b.src.LogNormal(logMeanFor(p.LagMeanDays, p.LagSigma), p.LagSigma)
+			lagDays := src.LogNormal(logMeanFor(p.LagMeanDays, p.LagSigma), p.LagSigma)
 			e.detectedAt = born.Add(time.Duration(lagDays * 24 * float64(time.Hour)))
 		}
 	}

@@ -68,14 +68,23 @@ func (im *Image) Fill(c Color) {
 }
 
 // FillRect paints the rectangle [x,x+w) x [y,y+h), clipped to the image.
+// Rows are painted by writing the first pixel and then doubling it with
+// copy, which the runtime turns into wide memmoves — the renderer's
+// hottest primitive (every element box is at least one fill).
 func (im *Image) FillRect(x, y, w, h int, c Color) {
 	x0, y0, x1, y1 := clip(x, y, w, h, im.W, im.H)
-	for yy := y0; yy < y1; yy++ {
-		i := im.idx(x0, yy)
-		for xx := x0; xx < x1; xx++ {
-			im.Pix[i], im.Pix[i+1], im.Pix[i+2], im.Pix[i+3] = c.R, c.G, c.B, c.A
-			i += 4
-		}
+	if x1 <= x0 || y1 <= y0 {
+		return
+	}
+	// Paint the first row pixel by pixel (seed), then double it.
+	first := im.Pix[im.idx(x0, y0):im.idx(x1, y0)]
+	first[0], first[1], first[2], first[3] = c.R, c.G, c.B, c.A
+	for filled := 4; filled < len(first); filled *= 2 {
+		copy(first[filled:], first[:filled])
+	}
+	// Replicate the seeded row into the remaining rows.
+	for yy := y0 + 1; yy < y1; yy++ {
+		copy(im.Pix[im.idx(x0, yy):im.idx(x1, yy)], first)
 	}
 }
 
@@ -109,23 +118,48 @@ func (im *Image) Noise(amp int, seed uint64) {
 	if amp <= 0 {
 		return
 	}
-	s := seed | 1
-	for i := 0; i < len(im.Pix); i++ {
-		if i%4 == 3 {
-			continue // leave alpha
-		}
-		s ^= s << 13
-		s ^= s >> 7
-		s ^= s << 17
-		d := int(s%uint64(2*amp+1)) - amp
-		v := int(im.Pix[i]) + d
-		if v < 0 {
-			v = 0
-		} else if v > 255 {
-			v = 255
-		}
-		im.Pix[i] = byte(v)
+	// The renderer always perturbs with amp=2 (modulus 5); a dedicated
+	// loop lets the compiler strength-reduce the per-channel modulo into
+	// a multiply, which matters because Noise touches three channels of
+	// every pixel of every screenshot the pipeline captures.
+	if amp == 2 {
+		im.noiseMod5(seed)
+		return
 	}
+	s := seed | 1
+	m := uint64(2*amp + 1)
+	for i := 0; i+3 < len(im.Pix); i += 4 {
+		for j := i; j < i+3; j++ { // leave alpha
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			im.Pix[j] = clampByte(int(im.Pix[j]) + int(s%m) - amp)
+		}
+	}
+}
+
+// noiseMod5 is Noise specialised to amp=2: identical output, constant
+// modulus.
+func (im *Image) noiseMod5(seed uint64) {
+	s := seed | 1
+	for i := 0; i+3 < len(im.Pix); i += 4 {
+		for j := i; j < i+3; j++ { // leave alpha
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			im.Pix[j] = clampByte(int(im.Pix[j]) + int(s%5) - 2)
+		}
+	}
+}
+
+func clampByte(v int) byte {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return byte(v)
 }
 
 // Grayscale returns a luminance view of the image as a W*H byte slice
@@ -142,30 +176,37 @@ func (im *Image) Grayscale() []byte {
 // ResizeGray box-filters the image's grayscale view down (or up) to w x h.
 // It is the preprocessing step for perceptual hashing.
 func (im *Image) ResizeGray(w, h int) []byte {
+	return ResizeGrayFrom(im.Grayscale(), im.W, im.H, w, h)
+}
+
+// ResizeGrayFrom box-filters an existing grayscale buffer (srcW x srcH,
+// row-major) down (or up) to w x h. The hasher uses it to derive both
+// dhash grids from a single grayscale conversion instead of one per
+// grid.
+func ResizeGrayFrom(gray []byte, srcW, srcH, w, h int) []byte {
 	if w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imaging: invalid resize %dx%d", w, h))
 	}
-	gray := im.Grayscale()
 	out := make([]byte, w*h)
 	for oy := 0; oy < h; oy++ {
-		y0, y1 := oy*im.H/h, (oy+1)*im.H/h
+		y0, y1 := oy*srcH/h, (oy+1)*srcH/h
 		if y1 <= y0 {
 			y1 = y0 + 1
 		}
-		if y1 > im.H {
-			y1 = im.H
+		if y1 > srcH {
+			y1 = srcH
 		}
 		for ox := 0; ox < w; ox++ {
-			x0, x1 := ox*im.W/w, (ox+1)*im.W/w
+			x0, x1 := ox*srcW/w, (ox+1)*srcW/w
 			if x1 <= x0 {
 				x1 = x0 + 1
 			}
-			if x1 > im.W {
-				x1 = im.W
+			if x1 > srcW {
+				x1 = srcW
 			}
 			var sum, n int
 			for yy := y0; yy < y1; yy++ {
-				row := yy * im.W
+				row := yy * srcW
 				for xx := x0; xx < x1; xx++ {
 					sum += int(gray[row+xx])
 					n++

@@ -28,8 +28,11 @@ type Hash struct {
 
 // DHash computes the 128-bit difference hash of an image.
 func DHash(im *imaging.Image) Hash {
+	// One grayscale conversion feeds both gradient grids — the full-image
+	// pass dominates hashing cost, the 9x8/8x9 box filters are nothing.
+	gray := im.Grayscale()
 	// Horizontal gradients: 9 columns x 8 rows; bit set when left < right.
-	hg := im.ResizeGray(9, 8)
+	hg := imaging.ResizeGrayFrom(gray, im.W, im.H, 9, 8)
 	var hi uint64
 	for y := 0; y < 8; y++ {
 		for x := 0; x < 8; x++ {
@@ -40,7 +43,7 @@ func DHash(im *imaging.Image) Hash {
 		}
 	}
 	// Vertical gradients: 8 columns x 9 rows; bit set when upper < lower.
-	vg := im.ResizeGray(8, 9)
+	vg := imaging.ResizeGrayFrom(gray, im.W, im.H, 8, 9)
 	var lo uint64
 	for y := 0; y < 8; y++ {
 		for x := 0; x < 8; x++ {

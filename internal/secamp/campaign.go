@@ -175,7 +175,14 @@ func (c *Campaign) serveTDS(req *webtx.Request) *webtx.Response {
 		return webtx.HTMLPage("<html></html>")
 	}
 	idx := c.rotationIndex(now)
-	slot := c.src.Intn(c.Cfg.Slots)
+	// The slot draw is keyed to the request (epoch, UA, client class,
+	// virtual second) rather than pulled from the shared sequential
+	// stream: concurrent same-instant TDS hits must not perturb each
+	// other's domain choice, or milking with more than one worker would
+	// be schedule-dependent. The timestamp in the key keeps the draw
+	// varying across a crawl (whose fetches are paced on the virtual
+	// clock) the way the old per-request draw did.
+	slot := c.src.Split(fmt.Sprintf("slot/%d/%s/%d/%d", idx, req.UserAgent.Name, req.ClientIP, now.Unix())).Intn(c.Cfg.Slots)
 	host := c.mint(idx, slot, now)
 
 	c.mu.Lock()
@@ -266,16 +273,18 @@ func (c *Campaign) serveDownload() *webtx.Response {
 // download listeners, notification lures.
 func (c *Campaign) attachBehaviour(doc *dom.Document, host string) {
 	var code string
+	// Download-URL tokens derive from the host so that rebuilding the same
+	// page — in any order, on any goroutine — embeds the same URL.
 	switch c.Category {
 	case FakeSoftware:
-		dl := adscript.EncodeString("http://"+host+"/dl/"+c.src.Token(6)+".bin", c.dlKey)
+		dl := adscript.EncodeString("http://"+host+"/dl/"+c.src.Split("dl/"+host).Token(6)+".bin", c.dlKey)
 		code = fmt.Sprintf(`
 			document.listen("install", "click", function() {
 				document.download(dec("%s", %d));
 			});
 		`, dl, c.dlKey)
 	case Scareware:
-		dl := adscript.EncodeString("http://"+host+"/dl/"+c.src.Token(6)+".bin", c.dlKey)
+		dl := adscript.EncodeString("http://"+host+"/dl/"+c.src.Split("dl/"+host).Token(6)+".bin", c.dlKey)
 		code = fmt.Sprintf(`
 			window.onbeforeunload(function() { return "Your PC is at risk!"; });
 			window.alert("WARNING! %s detected 12 threats on your system.");

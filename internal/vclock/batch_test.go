@@ -1,0 +1,150 @@
+package vclock
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBatchedCollectsSameInstantEvents checks that every event due at
+// one virtual instant arrives in a single batch, in scheduling order.
+func TestBatchedCollectsSameInstantEvents(t *testing.T) {
+	c := New()
+	at := Epoch.Add(time.Minute)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		if err := c.At(at, func(time.Time) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.At(at.Add(time.Second), func(time.Time) { order = append(order, 99) }); err != nil {
+		t.Fatal(err)
+	}
+	var sizes []int
+	c.AdvanceToBatched(at.Add(time.Hour), func(now time.Time, batch []func(time.Time)) {
+		sizes = append(sizes, len(batch))
+		for _, fn := range batch {
+			fn(now)
+		}
+	})
+	if !reflect.DeepEqual(sizes, []int{5, 1}) {
+		t.Fatalf("batch sizes %v, want [5 1]", sizes)
+	}
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4, 99}) {
+		t.Fatalf("order %v", order)
+	}
+}
+
+// TestBatchedMatchesSerialAdvance runs the same interleaved Every
+// schedule through AdvanceTo and through a batching runner and demands
+// identical callback sequences — the equivalence the milking engine
+// relies on.
+func TestBatchedMatchesSerialAdvance(t *testing.T) {
+	build := func() (*Clock, *[]string) {
+		c := New()
+		var log []string
+		horizon := Epoch.Add(2 * time.Hour)
+		for _, spec := range []struct {
+			name  string
+			every time.Duration
+		}{{"a", 15 * time.Minute}, {"b", 15 * time.Minute}, {"gsb", 30 * time.Minute}} {
+			spec := spec
+			if err := c.Every(spec.every, horizon, func(now time.Time) bool {
+				log = append(log, spec.name+"@"+now.Format("15:04"))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c, &log
+	}
+
+	serialClock, serialLog := build()
+	serialClock.AdvanceTo(Epoch.Add(3 * time.Hour))
+
+	batchClock, batchLog := build()
+	batchClock.AdvanceToBatched(Epoch.Add(3*time.Hour), func(now time.Time, batch []func(time.Time)) {
+		for _, fn := range batch {
+			fn(now)
+		}
+	})
+
+	if !reflect.DeepEqual(*serialLog, *batchLog) {
+		t.Fatalf("serial %v\nbatched %v", *serialLog, *batchLog)
+	}
+}
+
+// TestBatchedFollowUpSameInstant checks that events a batch schedules at
+// the current instant run as a follow-up batch at the same now.
+func TestBatchedFollowUpSameInstant(t *testing.T) {
+	c := New()
+	at := Epoch.Add(time.Minute)
+	var order []string
+	if err := c.At(at, func(now time.Time) {
+		order = append(order, "first")
+		if err := c.At(now, func(time.Time) { order = append(order, "follow-up") }); err != nil {
+			t.Errorf("same-instant reschedule: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	batches := 0
+	c.AdvanceToBatched(at, func(now time.Time, batch []func(time.Time)) {
+		batches++
+		if !now.Equal(at) {
+			t.Fatalf("batch %d at %v, want %v", batches, now, at)
+		}
+		for _, fn := range batch {
+			fn(now)
+		}
+	})
+	if batches != 2 {
+		t.Fatalf("ran %d batches, want 2", batches)
+	}
+	if !reflect.DeepEqual(order, []string{"first", "follow-up"}) {
+		t.Fatalf("order %v", order)
+	}
+}
+
+// TestBatchedRunnerMayFanOut checks the engine contract: a runner may
+// execute a batch's callbacks concurrently, and the clock stays frozen
+// (and readable) while it does.
+func TestBatchedRunnerMayFanOut(t *testing.T) {
+	c := New()
+	at := Epoch.Add(time.Minute)
+	var mu sync.Mutex
+	seen := map[int]time.Time{}
+	for i := 0; i < 8; i++ {
+		i := i
+		if err := c.At(at, func(now time.Time) {
+			mu.Lock()
+			seen[i] = c.Now() // concurrent Now() reads must be safe
+			mu.Unlock()
+			_ = now
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.AdvanceToBatched(at, func(now time.Time, batch []func(time.Time)) {
+		var wg sync.WaitGroup
+		for _, fn := range batch {
+			fn := fn
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				fn(now)
+			}()
+		}
+		wg.Wait()
+	})
+	if len(seen) != 8 {
+		t.Fatalf("ran %d callbacks, want 8", len(seen))
+	}
+	for i, now := range seen {
+		if !now.Equal(at) {
+			t.Fatalf("callback %d saw now=%v, want %v", i, now, at)
+		}
+	}
+}

@@ -123,6 +123,27 @@ func (c *Clock) Every(interval time.Duration, horizon time.Time, fn func(now tim
 // order, and leaves the clock at t. Events scheduled by running events are
 // themselves run if they fall within the window.
 func (c *Clock) AdvanceTo(t time.Time) {
+	c.AdvanceToBatched(t, nil)
+}
+
+// BatchRunner executes one batch of same-instant callbacks. The batch is
+// ordered by scheduling sequence — exactly the order AdvanceTo would have
+// run the callbacks one by one — so a runner that invokes them serially
+// in slice order reproduces AdvanceTo. A runner may instead stage or fan
+// the callbacks out (the milking engine runs independent same-tick
+// sessions on a worker pool), as long as every callback is invoked
+// before it returns: the clock re-examines the queue only after the
+// runner completes, so events scheduled by the batch (timer re-arms) are
+// collected for the next batch.
+type BatchRunner func(now time.Time, batch []func(now time.Time))
+
+// AdvanceToBatched is AdvanceTo with same-instant batching: all queued
+// events due at the same virtual instant are popped together and handed
+// to run as one batch. A nil runner executes batches serially in
+// schedule order (identical to AdvanceTo). Events scheduled by a batch
+// at the same instant are run as a follow-up batch at the same now.
+func (c *Clock) AdvanceToBatched(t time.Time, run BatchRunner) {
+	var batch []func(now time.Time)
 	for {
 		c.mu.Lock()
 		if len(c.events) == 0 || c.events[0].at.After(t) {
@@ -136,8 +157,21 @@ func (c *Clock) AdvanceTo(t time.Time) {
 		if e.at.After(c.now) {
 			c.now = e.at
 		}
+		batch = append(batch[:0], e.fn)
+		// Collect every other event due at the same instant, in seq
+		// order (the heap pops equal timestamps by ascending seq).
+		for len(c.events) > 0 && c.events[0].at.Equal(e.at) {
+			batch = append(batch, heap.Pop(&c.events).(*event).fn)
+		}
+		now := c.now
 		c.mu.Unlock()
-		e.fn(e.at)
+		if run == nil {
+			for _, fn := range batch {
+				fn(now)
+			}
+		} else {
+			run(now, batch)
+		}
 	}
 }
 

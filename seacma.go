@@ -103,6 +103,21 @@ func QuickExperimentConfig() ExperimentConfig {
 	return cfg
 }
 
+// SetWorkers sets the worker count of every parallel stage — crawl farm,
+// milking engine, discovery neighbourhood precompute — in one call (the
+// cmd tools' -workers flag lands here). Milking and discovery results
+// are byte-identical for any value; the crawl stage's session ordering
+// is worker-count dependent, so runs that must be reproducible across
+// machines pin crawl workers to 1.
+func (c *ExperimentConfig) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.Crawler.Workers = n
+	c.Milker.Workers = n
+	c.Discovery.Workers = n
+}
+
 // Experiment couples a generated world with a pipeline bound to it.
 type Experiment struct {
 	Cfg      ExperimentConfig
