@@ -20,11 +20,15 @@ test:
 # The concurrency-bearing packages: internal/obs (lock-free counters,
 # span list), internal/crawler (worker farm), internal/core (pipeline +
 # batched milking engine), internal/cluster (parallel neighbourhood
-# precompute), internal/vclock (batch-tick API), plus the root package
-# (worker-count determinism contract on the serialized report).
+# precompute), internal/vclock (batch-tick API), the capture fast path
+# shared across worker pools (internal/imaging buffer pools,
+# internal/screenshot capture cache, internal/phash fused hashing),
+# plus the root package (worker-count determinism contract on the
+# serialized report).
 test-race:
 	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/... \
-		./internal/cluster/... ./internal/vclock/... .
+		./internal/cluster/... ./internal/vclock/... \
+		./internal/imaging/... ./internal/screenshot/... ./internal/phash/... .
 
 check: build vet test test-race
 
@@ -33,19 +37,21 @@ bench-obs:
 	$(GO) test -bench 'BenchmarkObs_' -run XXX ./internal/obs/
 
 # The perf contract benches: end-to-end pipeline (Figure 2), the milking
-# stage per worker count, and cluster triage (which reports the
-# distance-calls metric of the multi-index). -benchtime 1x keeps a
+# stage per worker count, cluster triage (which reports the
+# distance-calls metric of the multi-index), and the capture fast path
+# (cold miss vs memoized hit, with allocs/op). -benchtime 1x keeps a
 # baseline run under a minute; these are regression sentinels, not
 # statistically tight measurements.
-BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage
+BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_
 BENCH_BASELINE = BENCH_pipeline.json
 
 # Record the current cost of the contract benches into $(BENCH_BASELINE).
 # The GOMAXPROCS suffix is stripped from the names so baselines compare
-# across machines; custom metrics (milked-domains, distance-calls, ...)
-# ride along as extra keys.
+# across machines; -benchmem pairs (B/op, allocs/op) and custom metrics
+# (milked-domains, distance-calls, cache-hit-pct, ...) ride along as
+# extra keys.
 bench-baseline:
-	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchtime 1x . | tee BENCH_pipeline.txt
+	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . | tee BENCH_pipeline.txt
 	awk 'BEGIN { print "{"; first = 1 } \
 	     /^Benchmark/ { \
 	       name = $$1; sub(/-[0-9]+$$/, "", name); \

@@ -328,6 +328,7 @@ func BenchmarkFigure5_CampaignScreenshots(b *testing.B) {
 	for i, c := range cats {
 		tmpls = append(tmpls, secamp.NewTemplate(c, i, src))
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, t := range tmpls {
@@ -348,6 +349,7 @@ func BenchmarkFigure6_AttackGallery(b *testing.B) {
 		tmpls = append(tmpls, secamp.NewTemplate(c, i, src))
 	}
 	var hashes []phash.Hash
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		hashes = hashes[:0]
@@ -366,6 +368,41 @@ func BenchmarkFigure6_AttackGallery(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(minDist), "min-intercategory-bits")
+}
+
+// BenchmarkCapturePath_Cold measures one uncached capture — paint-list
+// walk, pooled render, fused noise+luminance dual-grid hash — per
+// iteration. This is what every cache miss costs.
+func BenchmarkCapturePath_Cold(b *testing.B) {
+	tmpl := secamp.NewTemplate(secamp.FakeSoftware, 0, rng.New(8))
+	doc := tmpl.BuildDoc("http://x.club/l", 1)
+	opts := screenshot.Options{NoiseAmp: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.NoiseSeed = uint64(i) | 1 // distinct stream per iteration: never memoizable
+		_ = screenshot.CaptureHash(doc, opts)
+	}
+}
+
+// BenchmarkCapturePath_Warm measures a memoized capture: fingerprint
+// the document, hit the content-addressed cache, return the stored
+// hash. This is what repeat captures (milking revisits, same-template
+// publishers) cost with the cache on.
+func BenchmarkCapturePath_Warm(b *testing.B) {
+	tmpl := secamp.NewTemplate(secamp.FakeSoftware, 0, rng.New(8))
+	doc := tmpl.BuildDoc("http://x.club/l", 1)
+	opts := screenshot.Options{NoiseAmp: 2, NoiseSeed: 42}
+	cache := screenshot.NewCache(0, nil)
+	cache.Hash(doc, opts) // prime: the single miss
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cache.Hash(doc, opts)
+	}
+	b.StopTimer()
+	hits, misses, _ := cache.Stats()
+	b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-pct")
 }
 
 // BenchmarkScalars_ClusterTriage reports the Section 4.3 triage scalars:

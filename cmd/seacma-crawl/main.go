@@ -16,6 +16,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 	"repro/internal/sessionio"
 	"repro/internal/worldgen"
 )
@@ -30,10 +31,12 @@ func main() {
 // crawlConfig is the assembled run configuration; split from flag
 // parsing so tests can cover the -flag → config mapping.
 type crawlConfig struct {
-	exp     seacma.ExperimentConfig
-	asJSON  bool
-	outFile string
-	metrics string
+	exp        seacma.ExperimentConfig
+	asJSON     bool
+	outFile    string
+	metrics    string
+	cpuProfile string
+	memProfile string
 }
 
 // parseFlags maps the command line onto a crawlConfig.
@@ -49,6 +52,8 @@ func parseFlags(args []string) (*crawlConfig, error) {
 		outFile    = fs.String("out", "", "write the crawl sessions to this file (JSONL) for offline analysis with seacma-analyze")
 		metrics    = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
 		workers    = fs.Int("workers", 0, "worker count for the crawl farm and clustering (0 = per-stage defaults)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write an allocation profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -72,14 +77,26 @@ func parseFlags(args []string) (*crawlConfig, error) {
 	if *metrics != "" {
 		cfg.Obs = obs.New()
 	}
-	return &crawlConfig{exp: cfg, asJSON: *asJSON, outFile: *outFile, metrics: *metrics}, nil
+	return &crawlConfig{
+		exp: cfg, asJSON: *asJSON, outFile: *outFile, metrics: *metrics,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
+	}, nil
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	cc, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(cc.cpuProfile, cc.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	exp := seacma.NewExperiment(cc.exp)
 	fmt.Fprintf(stderr, "world: %d publishers, %d campaigns; crawling...\n",

@@ -15,6 +15,7 @@ import (
 
 	"repro"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -27,9 +28,11 @@ func main() {
 // milkConfig is the assembled run configuration; split from flag
 // parsing so tests can cover the -flag → config mapping.
 type milkConfig struct {
-	exp     seacma.ExperimentConfig
-	days    int
-	metrics string
+	exp        seacma.ExperimentConfig
+	days       int
+	metrics    string
+	cpuProfile string
+	memProfile string
 }
 
 // parseFlags maps the command line onto a milkConfig.
@@ -43,6 +46,8 @@ func parseFlags(args []string) (*milkConfig, error) {
 		tiny     = fs.Bool("tiny", false, "use the tiny smoke-test world")
 		metrics  = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
 		workers  = fs.Int("workers", 0, "worker count for the parallel stages (0 = per-stage defaults; milking output is identical for any value)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -62,14 +67,26 @@ func parseFlags(args []string) (*milkConfig, error) {
 	if *metrics != "" {
 		cfg.Obs = obs.New()
 	}
-	return &milkConfig{exp: cfg, days: *days, metrics: *metrics}, nil
+	return &milkConfig{
+		exp: cfg, days: *days, metrics: *metrics,
+		cpuProfile: *cpuProf, memProfile: *memProf,
+	}, nil
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	mc, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(mc.cpuProfile, mc.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	exp := seacma.NewExperiment(mc.exp)
 	fmt.Fprintf(stderr, "world: %d publishers, %d campaigns; running full pipeline...\n",

@@ -18,6 +18,7 @@ import (
 	"repro"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/profiling"
 )
 
 func main() {
@@ -30,11 +31,13 @@ func main() {
 // reportConfig is the assembled run configuration; split from flag
 // parsing so tests can cover the -flag → config mapping.
 type reportConfig struct {
-	exp      seacma.ExperimentConfig
-	table    int
-	jsonFile string
-	metrics  string
-	seed     int64
+	exp        seacma.ExperimentConfig
+	table      int
+	jsonFile   string
+	metrics    string
+	seed       int64
+	cpuProfile string
+	memProfile string
 }
 
 // parseFlags maps the command line onto a reportConfig.
@@ -47,6 +50,8 @@ func parseFlags(args []string) (*reportConfig, error) {
 		jsonFile = fs.String("json", "", "also write the full machine-readable report to this file")
 		metrics  = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
 		workers  = fs.Int("workers", 0, "worker count for the parallel stages (0 = per-stage defaults; milking/discovery output is identical for any value)")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write an allocation profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -67,14 +72,26 @@ func parseFlags(args []string) (*reportConfig, error) {
 	if *metrics != "" {
 		cfg.Obs = obs.New()
 	}
-	return &reportConfig{exp: cfg, table: *table, jsonFile: *jsonFile, metrics: *metrics, seed: *seed}, nil
+	return &reportConfig{
+		exp: cfg, table: *table, jsonFile: *jsonFile, metrics: *metrics, seed: *seed,
+		cpuProfile: *cpuProf, memProfile: *memProf,
+	}, nil
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	rc, err := parseFlags(args)
 	if err != nil {
 		return err
 	}
+	stopProf, err := profiling.Start(rc.cpuProfile, rc.memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	exp := seacma.NewExperiment(rc.exp)
 	fmt.Fprintf(stderr, "running pipeline on seed %d...\n", rc.seed)

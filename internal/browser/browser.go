@@ -27,6 +27,7 @@ import (
 	"repro/internal/adscript"
 	"repro/internal/dom"
 	"repro/internal/imaging"
+	"repro/internal/phash"
 	"repro/internal/screenshot"
 	"repro/internal/urlx"
 	"repro/internal/vclock"
@@ -122,6 +123,11 @@ type Options struct {
 	// (1 = native). Perceptual hashing is resolution-invariant, so large
 	// experiments capture at reduced scale to save rendering time.
 	ViewportScale int
+	// Capture, when non-nil, is the shared content-addressed capture
+	// cache ScreenshotHash consults before rendering. Output is
+	// byte-identical with or without it; nil disables memoization (the
+	// fused fast path is still used).
+	Capture *screenshot.Cache
 }
 
 func (o *Options) fillDefaults() {
@@ -467,11 +473,39 @@ func (b *Browser) ClickElement(tab *Tab, el *dom.Element) (ClickResult, error) {
 // Screenshot rasterises the tab with the session's viewport. Wedged tabs
 // cannot be captured — the reason the paper had to bypass dialog locks.
 func (b *Browser) Screenshot(tab *Tab) (*imaging.Image, error) {
+	opts, err := b.captureOpts(tab)
+	if err != nil {
+		return nil, err
+	}
+	if c := b.opts.Capture; c != nil {
+		return c.Image(tab.Doc, opts), nil
+	}
+	return screenshot.Render(tab.Doc, opts), nil
+}
+
+// ScreenshotHash returns the perceptual hash of the tab's capture
+// without handing pixels to the caller — the fast path for the crawler
+// and milker, which only ever hash. The result is bit-identical to
+// phash.DHash of the Screenshot image; with a Capture cache configured,
+// repeat captures of content-identical pages are memoized.
+func (b *Browser) ScreenshotHash(tab *Tab) (phash.Hash, error) {
+	opts, err := b.captureOpts(tab)
+	if err != nil {
+		return phash.Hash{}, err
+	}
+	if c := b.opts.Capture; c != nil {
+		return c.Hash(tab.Doc, opts), nil
+	}
+	return screenshot.CaptureHash(tab.Doc, opts), nil
+}
+
+// captureOpts resolves the tab's capture geometry and noise stream.
+func (b *Browser) captureOpts(tab *Tab) (screenshot.Options, error) {
 	if tab.blocked {
-		return nil, ErrTabBlocked
+		return screenshot.Options{}, ErrTabBlocked
 	}
 	if tab.Doc == nil {
-		return nil, errors.New("browser: no document loaded")
+		return screenshot.Options{}, errors.New("browser: no document loaded")
 	}
 	// Capture the full document when it declares its size (screenshots of
 	// the same template must align across device profiles for perceptual
@@ -486,11 +520,11 @@ func (b *Browser) Screenshot(tab *Tab) (*imaging.Image, error) {
 	if s := b.opts.ViewportScale; s > 1 {
 		w, h = w/s, h/s
 	}
-	return screenshot.Render(tab.Doc, screenshot.Options{
+	return screenshot.Options{
 		Width: w, Height: h,
 		NoiseAmp:  2,
 		NoiseSeed: hashURL(tab.URL.String()) ^ uint64(b.clock.Now().UnixNano()/int64(time.Hour)),
-	}), nil
+	}, nil
 }
 
 // Blocked reports whether the tab is wedged by a page lock.

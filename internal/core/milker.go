@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/phash"
 	"repro/internal/phonebl"
+	"repro/internal/screenshot"
 	"repro/internal/urlx"
 	"repro/internal/vclock"
 	"repro/internal/vtsim"
@@ -121,6 +122,12 @@ type MilkerConfig struct {
 	// polls, VT submissions — totals plus per-virtual-hour series).
 	// Nil = no-op.
 	Obs *obs.Registry
+	// Capture is the shared content-addressed capture cache consulted by
+	// probe screenshots. Milking revisits the same sources every
+	// MilkInterval while noise seeds rotate hourly, so most probe
+	// captures are repeats; verify hashes are byte-identical with or
+	// without the cache. Nil disables memoization.
+	Capture *screenshot.Cache
 }
 
 // PaperMilkerConfig is the published setup.
@@ -325,6 +332,7 @@ func (m *Milker) probe(src MilkSource, seen map[string]bool) milkProbe {
 		StealthPatch: true, DialogBypass: true,
 		DeviceEmulation: src.UA.Mobile,
 		ViewportScale:   m.cfg.ViewportScale,
+		Capture:         m.cfg.Capture,
 	})
 	tab, err := client.Navigate(src.URL)
 	if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
@@ -336,8 +344,8 @@ func (m *Milker) probe(src MilkSource, seen map[string]bool) milkProbe {
 	}
 	p.ok, p.host, p.client, p.tab = true, tab.URL.Host, client, tab
 	if seen == nil || !seen[p.host] {
-		if img, err := client.Browser().Screenshot(tab); err == nil {
-			p.hash, p.hashed = phash.DHash(img), true
+		if h, err := client.Browser().ScreenshotHash(tab); err == nil {
+			p.hash, p.hashed = h, true
 		}
 	}
 	return p

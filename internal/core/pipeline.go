@@ -6,6 +6,7 @@ import (
 	"repro/internal/crawler"
 	"repro/internal/gsb"
 	"repro/internal/obs"
+	"repro/internal/screenshot"
 	"repro/internal/vclock"
 	"repro/internal/vtsim"
 	"repro/internal/webcat"
@@ -30,6 +31,13 @@ type PipelineConfig struct {
 	// webtx) report counters into it. Nil (the default) disables all
 	// instrumentation at one nil check per site.
 	Obs *obs.Registry
+	// Capture is the content-addressed capture cache shared by the crawl
+	// and milking stages. NewPipeline creates one (bound to Obs) when
+	// left nil, so a pipeline always runs with the fast path; set
+	// DisableCapture to opt out for A/B benchmarking.
+	Capture *screenshot.Cache
+	// DisableCapture forces uncached captures even when Capture is nil.
+	DisableCapture bool
 }
 
 // Pipeline is the end-to-end SEACMA system bound to one (synthetic) web.
@@ -123,6 +131,9 @@ func (r *RunResult) SEAttackCount() int {
 // NewPipeline binds a pipeline to the measurement-facing services.
 func NewPipeline(cfg PipelineConfig, internet *webtx.Internet, clock *vclock.Clock,
 	search *websearch.Engine, bl *gsb.Blacklist, vt *vtsim.Service, cats *webcat.Service) *Pipeline {
+	if cfg.Capture == nil && !cfg.DisableCapture {
+		cfg.Capture = screenshot.NewCache(0, cfg.Obs)
+	}
 	return &Pipeline{Cfg: cfg, Internet: internet, Clock: clock, Search: search, GSB: bl, VT: vt, Webcat: cats}
 }
 
@@ -149,6 +160,9 @@ func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
 	ccfg := p.Cfg.Crawler
 	if ccfg.Obs == nil {
 		ccfg.Obs = p.Cfg.Obs
+	}
+	if ccfg.Capture == nil {
+		ccfg.Capture = p.Cfg.Capture
 	}
 	farm := crawler.New(p.Internet, p.Clock, ccfg)
 	return farm.CrawlAll(tasks)
@@ -178,6 +192,9 @@ func (p *Pipeline) Milk(sessions []*crawler.Session, disc *DiscoveryResult) ([]M
 	mcfg := p.Cfg.Milker
 	if mcfg.Obs == nil {
 		mcfg.Obs = p.Cfg.Obs
+	}
+	if mcfg.Capture == nil {
+		mcfg.Capture = p.Cfg.Capture
 	}
 	cands := ExtractMilkingSources(sessions, disc)
 	milker := NewMilker(p.Internet, p.Clock, p.GSB, p.VT, mcfg)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parking"
 	"repro/internal/phash"
+	"repro/internal/screenshot"
 	"repro/internal/urlx"
 	"repro/internal/vclock"
 	"repro/internal/webtx"
@@ -61,6 +62,10 @@ type Config struct {
 	// Obs receives farm metrics (sessions per worker, clicks, ads
 	// triggered, cloaking denials, screenshot hashes). Nil = no-op.
 	Obs *obs.Registry
+	// Capture is the shared content-addressed capture cache. All workers
+	// may share one instance; landing hashes are byte-identical with or
+	// without it. Nil disables memoization.
+	Capture *screenshot.Cache
 }
 
 func (c *Config) fillDefaults() {
@@ -285,6 +290,7 @@ func (c *Crawler) newClient(task Task, ua webtx.UserAgent) *devtools.Client {
 		BlockFilter:     c.cfg.BlockFilter,
 		FetchCost:       c.cfg.FetchCost,
 		ViewportScale:   c.cfg.ViewportScale,
+		Capture:         c.cfg.Capture,
 	})
 }
 
@@ -307,8 +313,8 @@ func (c *Crawler) recordLanding(client *devtools.Client, tab *browser.Tab, ua we
 	}
 	l.Title = tab.Doc.Title
 	_, l.ParkedScore = parking.NewDetector().Classify(tab.Doc)
-	if img, err := client.CaptureScreenshot(tab); err == nil {
-		l.Hash = phash.DHash(img)
+	if h, err := client.CaptureScreenshotHash(tab); err == nil {
+		l.Hash = h
 		l.Hashed = true
 		c.met.hashes.Inc()
 	}

@@ -18,6 +18,8 @@ import (
 	"repro/internal/browser"
 	"repro/internal/dom"
 	"repro/internal/imaging"
+	"repro/internal/phash"
+	"repro/internal/screenshot"
 	"repro/internal/urlx"
 	"repro/internal/vclock"
 	"repro/internal/webtx"
@@ -42,6 +44,9 @@ type ClientConfig struct {
 	FetchCost time.Duration
 	// ViewportScale divides screenshot resolution (1 = native).
 	ViewportScale int
+	// Capture shares a content-addressed capture cache across clients;
+	// nil leaves captures unmemoized (identical output either way).
+	Capture *screenshot.Cache
 }
 
 // Client is one automation session over one browser.
@@ -61,6 +66,7 @@ func NewClient(internet *webtx.Internet, clock *vclock.Clock, cfg ClientConfig) 
 		BlockFilter:     cfg.BlockFilter,
 		FetchCost:       cfg.FetchCost,
 		ViewportScale:   cfg.ViewportScale,
+		Capture:         cfg.Capture,
 	}
 	return &Client{cfg: cfg, b: browser.New(internet, clock, opts)}
 }
@@ -83,6 +89,13 @@ func (c *Client) ClickElement(tab *browser.Tab, el *dom.Element) (browser.ClickR
 // CaptureScreenshot rasterises a tab ("Page.captureScreenshot").
 func (c *Client) CaptureScreenshot(tab *browser.Tab) (*imaging.Image, error) {
 	return c.b.Screenshot(tab)
+}
+
+// CaptureScreenshotHash returns the perceptual hash of the tab's
+// capture without materialising pixels — the capture fast path for
+// callers that only cluster on hashes.
+func (c *Client) CaptureScreenshotHash(tab *browser.Tab) (phash.Hash, error) {
+	return c.b.ScreenshotHash(tab)
 }
 
 // Events returns the instrumentation log collected so far.

@@ -162,6 +162,59 @@ func clampByte(v int) byte {
 	return byte(v)
 }
 
+// NoisyGrayInto writes into dst (length W*H) the Rec.601 luminance the
+// image would have after Noise(amp, seed), without mutating the pixel
+// data: the per-seed noise stream is applied to each channel during the
+// luminance conversion, with arithmetic identical to Noise followed by
+// Grayscale. It returns dst. amp <= 0 degenerates to a plain grayscale
+// conversion.
+//
+// This is the capture fast path's fused pass: one traversal replaces
+// the mutate-every-pixel Noise pass plus the separate Grayscale pass,
+// and the source image stays pristine so it can live in a cache.
+func (im *Image) NoisyGrayInto(dst []byte, amp int, seed uint64) []byte {
+	if amp <= 0 {
+		for p, i := 0, 0; p < len(dst); p, i = p+1, i+4 {
+			r, g, b := int(im.Pix[i]), int(im.Pix[i+1]), int(im.Pix[i+2])
+			dst[p] = byte((299*r + 587*g + 114*b) / 1000)
+		}
+		return dst
+	}
+	if amp == 2 {
+		return im.noisyGrayMod5(dst, seed)
+	}
+	s := seed | 1
+	m := uint64(2*amp + 1)
+	for p, i := 0, 0; p < len(dst); p, i = p+1, i+4 {
+		var ch [3]int
+		for j := 0; j < 3; j++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			ch[j] = int(clampByte(int(im.Pix[i+j]) + int(s%m) - amp))
+		}
+		dst[p] = byte((299*ch[0] + 587*ch[1] + 114*ch[2]) / 1000)
+	}
+	return dst
+}
+
+// noisyGrayMod5 is NoisyGrayInto specialised to amp=2 (the renderer's
+// only amplitude), mirroring noiseMod5's constant modulus.
+func (im *Image) noisyGrayMod5(dst []byte, seed uint64) []byte {
+	s := seed | 1
+	for p, i := 0, 0; p < len(dst); p, i = p+1, i+4 {
+		var ch [3]int
+		for j := 0; j < 3; j++ {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			ch[j] = int(clampByte(int(im.Pix[i+j]) + int(s%5) - 2))
+		}
+		dst[p] = byte((299*ch[0] + 587*ch[1] + 114*ch[2]) / 1000)
+	}
+	return dst
+}
+
 // Grayscale returns a luminance view of the image as a W*H byte slice
 // using the Rec.601 weights.
 func (im *Image) Grayscale() []byte {
@@ -219,10 +272,10 @@ func ResizeGrayFrom(gray []byte, srcW, srcH, w, h int) []byte {
 }
 
 // EncodePNG writes the image as PNG. Used by the figure benches and
-// example programs to emit the paper's screenshot figures.
+// example programs to emit the paper's screenshot figures. The stdlib
+// image wraps the existing pixel buffer — no copy is made.
 func (im *Image) EncodePNG(w io.Writer) error {
-	dst := image.NewRGBA(image.Rect(0, 0, im.W, im.H))
-	copy(dst.Pix, im.Pix)
+	dst := &image.RGBA{Pix: im.Pix, Stride: im.W * 4, Rect: image.Rect(0, 0, im.W, im.H)}
 	return png.Encode(w, dst)
 }
 

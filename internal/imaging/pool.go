@@ -1,0 +1,83 @@
+package imaging
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Raster and grayscale buffer pools. The capture fast path renders and
+// hashes thousands of same-sized screenshots; recycling the two big
+// buffers (W*H*4 RGBA, W*H gray) drops its steady-state allocation to
+// near zero. Buffers of any size share one pool per kind: a pooled
+// buffer whose capacity is too small for the requested size is simply
+// dropped and a fresh one allocated, which converges on the largest
+// viewport in use.
+//
+// All pool traffic is counted with atomics so the observability layer
+// can export reuse rates and bytes in flight without importing this
+// package's internals (see PoolStats).
+
+var (
+	rasterPool sync.Pool // *[]byte, RGBA pixel buffers
+	grayPool   sync.Pool // *[]byte, luminance buffers
+
+	poolGets   atomic.Int64 // buffers requested (both kinds)
+	poolReuses atomic.Int64 // requests served from a pooled buffer
+	poolInUse  atomic.Int64 // bytes currently handed out and not returned
+)
+
+// PoolStats reports cumulative pool traffic: buffer requests, requests
+// served by reuse, and the bytes currently checked out of the pools.
+func PoolStats() (gets, reuses, inUseBytes int64) {
+	return poolGets.Load(), poolReuses.Load(), poolInUse.Load()
+}
+
+func poolGet(p *sync.Pool, n int) []byte {
+	poolGets.Add(1)
+	poolInUse.Add(int64(n))
+	if v := p.Get(); v != nil {
+		if buf := *(v.(*[]byte)); cap(buf) >= n {
+			poolReuses.Add(1)
+			return buf[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+func poolPut(p *sync.Pool, buf []byte) {
+	if buf == nil {
+		return
+	}
+	poolInUse.Add(-int64(len(buf)))
+	p.Put(&buf)
+}
+
+// NewPooled returns a white image like New, backed by a recycled pixel
+// buffer when one of sufficient capacity is available. The caller owns
+// the image until Release; a released image must not be used again.
+func NewPooled(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("imaging: invalid pooled size")
+	}
+	img := &Image{W: w, H: h, Pix: poolGet(&rasterPool, w*h*4)}
+	img.Fill(RGB(255, 255, 255))
+	return img
+}
+
+// Release returns the image's pixel buffer to the pool. Only images
+// obtained from NewPooled should be released; after Release the image
+// must not be touched.
+func (im *Image) Release() {
+	if im == nil || im.Pix == nil {
+		return
+	}
+	poolPut(&rasterPool, im.Pix)
+	im.Pix = nil
+}
+
+// GetGray checks a grayscale scratch buffer of n bytes out of the pool.
+// Contents are unspecified; callers overwrite every byte.
+func GetGray(n int) []byte { return poolGet(&grayPool, n) }
+
+// PutGray returns a buffer obtained from GetGray.
+func PutGray(buf []byte) { poolPut(&grayPool, buf) }

@@ -80,6 +80,21 @@ func (g *Gauge) Add(delta int64) {
 	g.v.Add(delta)
 }
 
+// SetMax raises the gauge to v if v exceeds the current value,
+// leaving it untouched otherwise — a lock-free high-watermark for
+// peak tracking (e.g. peak pooled bytes). Safe on a nil Gauge.
+func (g *Gauge) SetMax(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value returns the current value (0 for nil).
 func (g *Gauge) Value() int64 {
 	if g == nil {

@@ -67,6 +67,19 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+func TestGaugeSetMax(t *testing.T) {
+	r := New()
+	g := r.Gauge("peak_bytes")
+	for _, v := range []int64{4, 9, 2, 9, 7} {
+		g.SetMax(v)
+	}
+	if g.Value() != 9 {
+		t.Fatalf("high watermark = %d, want 9", g.Value())
+	}
+	var nilG *Gauge
+	nilG.SetMax(42) // must not panic
+}
+
 func TestKey(t *testing.T) {
 	if got := Key("a"); got != "a" {
 		t.Fatalf("Key = %q", got)

@@ -1,0 +1,83 @@
+package phash
+
+import "repro/internal/imaging"
+
+// DHashNoisy computes the hash the image would have after
+// im.Noise(amp, seed) — bit-identical to that naive sequence — without
+// mutating the image and without allocating: the deterministic noise
+// stream is applied during luminance conversion (one fused pass into a
+// pooled scratch buffer), and both dhash grids are accumulated in a
+// single traversal of the luminance data instead of one box-filter pass
+// per grid. This is the hashing half of the capture fast path.
+func DHashNoisy(im *imaging.Image, amp int, seed uint64) Hash {
+	w, h := im.W, im.H
+	gray := imaging.GetGray(w * h)
+	im.NoisyGrayInto(gray, amp, seed)
+	var out Hash
+	if w >= 9 && h >= 9 {
+		out = dualGridHash(gray, w, h)
+	} else {
+		// Tiny rasters upscale, where box-filter cells overlap; fall back
+		// to the reference resampler rather than replicating its clamping.
+		out = gridsToHash(
+			imaging.ResizeGrayFrom(gray, w, h, 9, 8),
+			imaging.ResizeGrayFrom(gray, w, h, 8, 9))
+	}
+	imaging.PutGray(gray)
+	return out
+}
+
+// dualGridHash box-filters the luminance buffer into the 9x8 and 8x9
+// dhash grids in one pass. For w, h >= 9 every output cell covers the
+// disjoint pixel range [ox*w/W, (ox+1)*w/W) x [oy*h/H, (oy+1)*h/H) —
+// exactly the cells imaging.ResizeGrayFrom visits — so accumulating
+// each pixel into its cell and dividing by the cell area afterwards
+// reproduces the reference grids bit for bit.
+func dualGridHash(gray []byte, w, h int) Hash {
+	var hsum, vsum [72]int64
+	hr, vr := 0, 0 // current row cell of the 8-row / 9-row grids
+	hrNext, vrNext := h/8, h/9
+	for y := 0; y < h; y++ {
+		if y == hrNext {
+			hr++
+			hrNext = (hr + 1) * h / 8
+		}
+		if y == vrNext {
+			vr++
+			vrNext = (vr + 1) * h / 9
+		}
+		hbase, vbase := hr*9, vr*8
+		row := y * w
+		hc, vc := 0, 0 // current column cell of the 9-col / 8-col grids
+		hcNext, vcNext := w/9, w/8
+		for x := 0; x < w; x++ {
+			if x == hcNext {
+				hc++
+				hcNext = (hc + 1) * w / 9
+			}
+			if x == vcNext {
+				vc++
+				vcNext = (vc + 1) * w / 8
+			}
+			g := int64(gray[row+x])
+			hsum[hbase+hc] += g
+			vsum[vbase+vc] += g
+		}
+	}
+	var hg, vg [72]byte
+	for oy := 0; oy < 8; oy++ {
+		ys := (oy+1)*h/8 - oy*h/8
+		for ox := 0; ox < 9; ox++ {
+			xs := (ox+1)*w/9 - ox*w/9
+			hg[oy*9+ox] = byte(hsum[oy*9+ox] / int64(xs*ys))
+		}
+	}
+	for oy := 0; oy < 9; oy++ {
+		ys := (oy+1)*h/9 - oy*h/9
+		for ox := 0; ox < 8; ox++ {
+			xs := (ox+1)*w/8 - ox*w/8
+			vg[oy*8+ox] = byte(vsum[oy*8+ox] / int64(xs*ys))
+		}
+	}
+	return gridsToHash(hg[:], vg[:])
+}

@@ -1,0 +1,61 @@
+package phash
+
+import (
+	"testing"
+
+	"repro/internal/imaging"
+)
+
+// randomImage fills an image with deterministic pseudo-random content,
+// including saturated regions so the noise clamping paths fire.
+func randomImage(w, h int, seed uint64) *imaging.Image {
+	img := imaging.New(w, h)
+	s := seed | 1
+	for i := range img.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		img.Pix[i] = byte(s)
+	}
+	img.FillRect(0, 0, w/3+1, h/3+1, imaging.RGB(255, 255, 255))
+	img.FillRect(w/2, h/2, w/3+1, h/3+1, imaging.RGB(0, 0, 0))
+	return img
+}
+
+// TestDHashNoisyMatchesNaive is the bit-exactness contract of the fused
+// hash: for every size class (dual-grid fast path and the tiny-raster
+// fallback), amplitude and seed, DHashNoisy(im) == DHash(im + Noise).
+func TestDHashNoisyMatchesNaive(t *testing.T) {
+	sizes := [][2]int{
+		{256, 192}, {1024, 768}, {9, 9}, {10, 64}, {37, 23},
+		{8, 8}, {5, 17}, {3, 3}, {100, 9},
+	}
+	for _, sz := range sizes {
+		for _, amp := range []int{0, 1, 2, 4} {
+			for _, seed := range []uint64{0, 7, 1 << 40} {
+				img := randomImage(sz[0], sz[1], seed*2654435761+uint64(sz[0]))
+				fused := DHashNoisy(img, amp, seed)
+
+				naive := img.Clone()
+				naive.Noise(amp, seed)
+				want := DHash(naive)
+
+				if fused != want {
+					t.Fatalf("size=%dx%d amp=%d seed=%d: fused %v != naive %v",
+						sz[0], sz[1], amp, seed, fused, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDHashNoisyDoesNotMutate(t *testing.T) {
+	img := randomImage(64, 48, 3)
+	before := append([]byte(nil), img.Pix...)
+	DHashNoisy(img, 2, 99)
+	for i := range before {
+		if img.Pix[i] != before[i] {
+			t.Fatalf("pixel %d mutated", i)
+		}
+	}
+}

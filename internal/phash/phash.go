@@ -26,13 +26,23 @@ type Hash struct {
 	Hi, Lo uint64
 }
 
-// DHash computes the 128-bit difference hash of an image.
+// DHash computes the 128-bit difference hash of an image. This is the
+// naive reference implementation; the capture fast path reaches the
+// same bits through DHashNoisy without materialising intermediate
+// buffers.
 func DHash(im *imaging.Image) Hash {
 	// One grayscale conversion feeds both gradient grids — the full-image
 	// pass dominates hashing cost, the 9x8/8x9 box filters are nothing.
 	gray := im.Grayscale()
-	// Horizontal gradients: 9 columns x 8 rows; bit set when left < right.
 	hg := imaging.ResizeGrayFrom(gray, im.W, im.H, 9, 8)
+	vg := imaging.ResizeGrayFrom(gray, im.W, im.H, 8, 9)
+	return gridsToHash(hg, vg)
+}
+
+// gridsToHash derives the 128 gradient bits from the two box-filtered
+// grids: hg is 9 columns x 8 rows (bit set when left < right), vg is 8
+// columns x 9 rows (bit set when upper < lower).
+func gridsToHash(hg, vg []byte) Hash {
 	var hi uint64
 	for y := 0; y < 8; y++ {
 		for x := 0; x < 8; x++ {
@@ -42,8 +52,6 @@ func DHash(im *imaging.Image) Hash {
 			}
 		}
 	}
-	// Vertical gradients: 8 columns x 9 rows; bit set when upper < lower.
-	vg := imaging.ResizeGrayFrom(gray, im.W, im.H, 8, 9)
 	var lo uint64
 	for y := 0; y < 8; y++ {
 		for x := 0; x < 8; x++ {

@@ -1,0 +1,74 @@
+package screenshot
+
+import "repro/internal/dom"
+
+// Fingerprint is a 128-bit content address of everything Render reads
+// from a document: element tags, box geometry, visual style, text
+// seeds, in paint-input (document) order. Two documents with equal
+// fingerprints render identically at every viewport and noise seed, so
+// the capture cache can key renders and hashes on it.
+type Fingerprint struct{ A, B uint64 }
+
+// fingerprint hash constants: FNV-1a for the first lane, a
+// golden-ratio multiplicative mix for the second. Two independent
+// 64-bit lanes push accidental collisions below any realistic corpus
+// size (the pipeline sees ~10^5 distinct documents; the birthday bound
+// at 128 bits is negligible).
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+	mixMult   = 0x9E3779B97F4A7C15
+)
+
+// DocFingerprint computes the render-relevant content address of doc.
+// A nil document (or one without a root) maps to the zero fingerprint,
+// matching Render's blank-canvas behaviour.
+func DocFingerprint(doc *dom.Document) Fingerprint {
+	if doc == nil || doc.Root == nil {
+		return Fingerprint{}
+	}
+	fp := Fingerprint{A: fnvOffset, B: 0x243F6A8885A308D3}
+	doc.Root.Walk(func(el *dom.Element) bool {
+		fp.words(
+			uint64(len(el.Tag)),
+			uint64(int64(el.X)), uint64(int64(el.Y)),
+			uint64(int64(el.W)), uint64(int64(el.H)),
+			uint64(int64(el.Style.Background)),
+			uint64(int64(el.Style.Ink)),
+			uint64(int64(el.Style.ZIndex)),
+			boolWord(el.Style.Transparent),
+			el.Style.TextSeed,
+		)
+		fp.str(el.Tag)
+		fp.str(el.Text)
+		return true
+	})
+	return fp
+}
+
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (fp *Fingerprint) words(vs ...uint64) {
+	for _, v := range vs {
+		fp.A = (fp.A ^ v) * fnvPrime
+		fp.B = (fp.B + v) * mixMult
+		fp.B ^= fp.B >> 29
+	}
+}
+
+func (fp *Fingerprint) str(s string) {
+	for i := 0; i < len(s); i++ {
+		fp.A = (fp.A ^ uint64(s[i])) * fnvPrime
+	}
+	// Length-delimit so concatenation ambiguity cannot alias, and fold
+	// the first lane's state into the second to keep them correlated
+	// with the string content without a second byte loop.
+	fp.A = (fp.A ^ uint64(len(s))) * fnvPrime
+	fp.B = (fp.B + fp.A) * mixMult
+	fp.B ^= fp.B >> 31
+}

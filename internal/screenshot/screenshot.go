@@ -35,25 +35,47 @@ const (
 	DefaultHeight = 768
 )
 
-// Render paints the document into a fresh image.
+// normalize resolves zero viewport dimensions to the defaults.
+func (o Options) normalize() Options {
+	if o.Width <= 0 {
+		o.Width = DefaultWidth
+	}
+	if o.Height <= 0 {
+		o.Height = DefaultHeight
+	}
+	return o
+}
+
+// Render paints the document into a fresh image. This is the naive
+// reference path: it allocates its own canvas, re-derives the paint
+// list, and mutates the pixels with the noise pass. The capture fast
+// path (Cache) produces byte-identical output from pooled buffers and
+// memoized paint lists.
 func Render(doc *dom.Document, opts Options) *imaging.Image {
-	w, h := opts.Width, opts.Height
-	if w <= 0 {
-		w = DefaultWidth
-	}
-	if h <= 0 {
-		h = DefaultHeight
-	}
-	img := imaging.New(w, h)
+	opts = opts.normalize()
+	img := imaging.New(opts.Width, opts.Height)
 	if doc == nil || doc.Root == nil {
 		return img
 	}
-
-	// Collect paintable elements with document order for stable z-sorting.
-	type paint struct {
-		el    *dom.Element
-		order int
+	renderPaints(img, doc, paintList(doc))
+	if opts.NoiseAmp > 0 {
+		img.Noise(opts.NoiseAmp, opts.NoiseSeed)
 	}
+	return img
+}
+
+// paint is one z-ordered entry of a document's paint list.
+type paint struct {
+	el    *dom.Element
+	order int
+}
+
+// paintList collects the document's paintable elements in stable
+// z-order (document order breaks ties). The list depends only on the
+// document content, never on the viewport, so the capture cache keeps
+// it per document fingerprint and Render stops re-walking and
+// re-sorting the DOM for every capture of an unchanged doc.
+func paintList(doc *dom.Document) []paint {
 	var paints []paint
 	order := 0
 	doc.Root.Walk(func(el *dom.Element) bool {
@@ -67,11 +89,16 @@ func Render(doc *dom.Document, opts Options) *imaging.Image {
 		}
 		return paints[i].order < paints[j].order
 	})
+	return paints
+}
 
-	// The capture is a scaled view of the document: element geometry is
-	// mapped from document coordinates onto the target canvas, as a real
-	// browser screenshot scales the rendered page rather than cropping
-	// its top-left corner.
+// renderPaints paints a prepared paint list onto the canvas. The
+// capture is a scaled view of the document: element geometry is mapped
+// from document coordinates onto the target canvas, as a real browser
+// screenshot scales the rendered page rather than cropping its
+// top-left corner.
+func renderPaints(img *imaging.Image, doc *dom.Document, paints []paint) {
+	w, h := img.W, img.H
 	docW, docH := doc.Root.W, doc.Root.H
 	if docW <= 0 {
 		docW = w
@@ -118,10 +145,6 @@ func Render(doc *dom.Document, opts Options) *imaging.Image {
 			img.TextBlock(x+pad, y+pad, ew-2*pad, eh-2*pad, rgb(ink), seed)
 		}
 	}
-	if opts.NoiseAmp > 0 {
-		img.Noise(opts.NoiseAmp, opts.NoiseSeed)
-	}
-	return img
 }
 
 func rgb(v int) imaging.Color {
