@@ -19,16 +19,19 @@ test:
 
 # The concurrency-bearing packages: internal/obs (lock-free counters,
 # span list), internal/crawler (worker farm), internal/core (pipeline +
-# batched milking engine), internal/cluster (parallel neighbourhood
-# precompute), internal/vclock (batch-tick API), the capture fast path
-# shared across worker pools (internal/imaging buffer pools,
-# internal/screenshot capture cache, internal/phash fused hashing),
-# plus the root package (worker-count determinism contract on the
-# serialized report).
+# batched milking engine + persistent milking pool), internal/cluster
+# (parallel neighbourhood precompute), internal/vclock (batch-tick API),
+# the capture fast path shared across worker pools (internal/imaging
+# buffer pools, internal/screenshot capture cache, internal/phash fused
+# hashing), the script fast path (internal/adscript program cache +
+# decode memo, internal/browser per-tab interpreter reuse), plus the
+# root package (worker-count determinism contract on the serialized
+# report).
 test-race:
 	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/... \
 		./internal/cluster/... ./internal/vclock/... \
-		./internal/imaging/... ./internal/screenshot/... ./internal/phash/... .
+		./internal/imaging/... ./internal/screenshot/... ./internal/phash/... \
+		./internal/adscript/... ./internal/browser/... .
 
 check: build vet test test-race
 
@@ -38,11 +41,12 @@ bench-obs:
 
 # The perf contract benches: end-to-end pipeline (Figure 2), the milking
 # stage per worker count, cluster triage (which reports the
-# distance-calls metric of the multi-index), and the capture fast path
-# (cold miss vs memoized hit, with allocs/op). -benchtime 1x keeps a
-# baseline run under a minute; these are regression sentinels, not
-# statistically tight measurements.
-BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_
+# distance-calls metric of the multi-index), the capture fast path
+# (cold miss vs memoized hit, with allocs/op), and the script fast path
+# (parse-per-run vs cached program on a reused interpreter).
+# -benchtime 1x keeps a baseline run under a minute; these are
+# regression sentinels, not statistically tight measurements.
+BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_
 BENCH_BASELINE = BENCH_pipeline.json
 
 # Record the current cost of the contract benches into $(BENCH_BASELINE).

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/adblock"
 	"repro/internal/adnet"
+	"repro/internal/adscript"
 	"repro/internal/btgraph"
 	"repro/internal/core"
 	"repro/internal/crawler"
@@ -403,6 +404,102 @@ func BenchmarkCapturePath_Warm(b *testing.B) {
 	b.StopTimer()
 	hits, misses, _ := cache.Stats()
 	b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-pct")
+}
+
+// benchScriptSource builds a representative obfuscated ad script — the
+// adnet serve-script shape: overlay install, dec() of an encoded click
+// URL, a byte-wise transform loop, closures registered and dispatched.
+func benchScriptSource() string {
+	const key = 37
+	enc := adscript.EncodeString("http://trk-a1.club/tok-c/click.js?z=3", key)
+	return fmt.Sprintf(`
+		document.addOverlay("__ovl_bench", 99999);
+		let url = dec(%q, %d);
+		let sum = 0;
+		let i = 0;
+		while (i < len(url)) {
+			sum = (sum + charCodeAt(url, i)) %% 251;
+			i = i + 1;
+		}
+		let _n = 0;
+		let fire = function() {
+			window.open(url);
+			_n = _n + 1;
+		};
+		window.addEventListener("click", fire);
+		fire();
+		fire();
+	`, enc, key)
+}
+
+// scriptBenchHost stubs the host objects the corpus scripts touch (the
+// browser installs the real ones per page load); the stubs are built
+// once so the benches measure the script path, not object construction.
+type scriptBenchHost struct{ win, doc, nav *adscript.Object }
+
+func newScriptBenchHost() scriptBenchHost {
+	sink := func(name string) *adscript.HostFunc {
+		return &adscript.HostFunc{Name: name, Fn: func(args []adscript.Value) (adscript.Value, error) { return nil, nil }}
+	}
+	return scriptBenchHost{
+		win: adscript.NewObject().
+			Set("addEventListener", sink("window.addEventListener")).
+			Set("open", sink("window.open")),
+		doc: adscript.NewObject().
+			Set("addOverlay", sink("document.addOverlay")).
+			Set("loadScript", sink("document.loadScript")),
+		nav: adscript.NewObject().Set("webdriver", false),
+	}
+}
+
+func (h scriptBenchHost) install(in *adscript.Interp) {
+	in.Globals.Define("window", h.win)
+	in.Globals.Define("document", h.doc)
+	in.Globals.Define("navigator", h.nav)
+}
+
+// BenchmarkScriptPath_Cold measures the parse-per-run path: every
+// iteration lexes, parses and executes the script on a fresh
+// interpreter. This is what every program-cache miss costs.
+func BenchmarkScriptPath_Cold(b *testing.B) {
+	src := benchScriptSource()
+	host := newScriptBenchHost()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in := adscript.NewInterp()
+		host.install(in)
+		if err := in.RunSource(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScriptPath_Warm measures the compile-once fast path: the
+// program is cached after the first Get, and each iteration resets a
+// reused per-tab interpreter and executes the shared Program — the
+// browser's steady state across a crawl plus milking run.
+func BenchmarkScriptPath_Warm(b *testing.B) {
+	src := benchScriptSource()
+	host := newScriptBenchHost()
+	cache := adscript.NewProgramCache(0, nil)
+	in := adscript.NewInterp()
+	host.install(in)
+	if err := in.RunCached(cache, src); err != nil { // prime: the single miss
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Reset()
+		host.install(in)
+		if err := in.RunCached(cache, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	hits, misses, _ := cache.Stats()
+	b.ReportMetric(100*float64(hits)/float64(hits+misses), "script-cache-hit-pct")
 }
 
 // BenchmarkScalars_ClusterTriage reports the Section 4.3 triage scalars:

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/sessionio"
 )
@@ -32,6 +33,7 @@ func main() {
 type analyzeConfig struct {
 	inFile     string
 	params     core.DiscoveryParams
+	metrics    string
 	cpuProfile string
 	memProfile string
 }
@@ -45,6 +47,7 @@ func parseFlags(args []string) (*analyzeConfig, error) {
 		minPts  = fs.Int("minpts", 3, "DBSCAN MinPts")
 		minDoms = fs.Int("theta-c", 5, "minimum distinct e2LDs per campaign (θc)")
 		workers = fs.Int("workers", 1, "parallelism of the clustering neighbourhood precompute (output is identical for any value)")
+		metrics = fs.String("metrics", "", "write an observability snapshot (JSON) to this file")
 		cpuProf = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = fs.String("memprofile", "", "write an allocation profile to this file")
 	)
@@ -62,6 +65,7 @@ func parseFlags(args []string) (*analyzeConfig, error) {
 			MinDomains: *minDoms,
 			Workers:    *workers,
 		},
+		metrics:    *metrics,
 		cpuProfile: *cpuProf,
 		memProfile: *memProf,
 	}, nil
@@ -97,8 +101,16 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 	}
 	fmt.Fprintf(stderr, "loaded %d sessions with %d landings\n", len(sessions), landings)
 
+	var reg *obs.Registry
+	if ac.metrics != "" {
+		reg = obs.New()
+		ac.params.Obs = reg
+	}
 	disc, err := core.Discover(sessions, ac.params)
 	if err != nil {
+		return err
+	}
+	if err := writeMetrics(reg, ac.metrics, stderr); err != nil {
 		return err
 	}
 
@@ -118,5 +130,26 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 				c.ID, c.Signals.Pages, len(c.Domains), c.Signals.MeanParkedScore())
 		}
 	}
+	return nil
+}
+
+// writeMetrics dumps the registry snapshot to path (no-op when either
+// is unset). Shared shape across the seacma binaries.
+func writeMetrics(reg *obs.Registry, path string, stderr io.Writer) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote metrics snapshot to %s\n", path)
 	return nil
 }

@@ -18,6 +18,13 @@ import (
 // parallelize.
 func reportBytes(t *testing.T, workers int) []byte {
 	t.Helper()
+	return reportBytesCfg(t, workers, false)
+}
+
+// reportBytesCfg additionally allows forcing the parse-per-run script
+// path, for the cache-on/cache-off invariance contract.
+func reportBytesCfg(t *testing.T, workers int, disableScriptCache bool) []byte {
+	t.Helper()
 	cfg := seacma.QuickExperimentConfig()
 	cfg.Crawler.Workers = 1
 	cfg.Milker.Workers = workers
@@ -30,6 +37,10 @@ func reportBytes(t *testing.T, workers int) []byte {
 	cfg.Milker.MaxSources = 40
 
 	exp := seacma.NewExperiment(cfg)
+	if disableScriptCache {
+		exp.Pipeline.Cfg.Scripts = nil
+		exp.Pipeline.Cfg.DisableScriptCache = true
+	}
 	res, err := exp.Run()
 	if err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
@@ -67,6 +78,34 @@ func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
 			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
 	}
 	if len(serial) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestReportDeterministicWithScriptCacheOnOff is the behaviour-invariance
+// contract of the compile-once program cache at the system level: the
+// end-to-end report must be byte-identical whether ad scripts run as
+// shared cached Programs or are re-parsed for every execution.
+func TestReportDeterministicWithScriptCacheOnOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	cached := reportBytesCfg(t, 4, false)
+	uncached := reportBytesCfg(t, 4, true)
+	if !bytes.Equal(cached, uncached) {
+		a, b := string(cached), string(uncached)
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		lo := i - 80
+		if lo < 0 {
+			lo = 0
+		}
+		t.Fatalf("report diverges at byte %d:\n  cached:   ...%s\n  uncached: ...%s",
+			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
+	}
+	if len(cached) == 0 {
 		t.Fatal("empty report")
 	}
 }

@@ -6,7 +6,26 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 )
+
+// The pure builtins are stateless, so every interpreter shares one
+// frozen scope holding them instead of re-installing ~15 HostFuncs per
+// page load. Env.set never writes a frozen scope (assignments shadow in
+// the interpreter's own globals), which keeps the sharing invisible.
+var (
+	builtinOnce sync.Once
+	builtinRoot *Env
+)
+
+func builtinEnv() *Env {
+	builtinOnce.Do(func() {
+		builtinRoot = NewEnv(nil)
+		installPureBuiltins(builtinRoot)
+		builtinRoot.frozen = true
+	})
+	return builtinRoot
+}
 
 // installPureBuiltins defines the environment-independent builtins every
 // script context gets. Host-environment objects (window, document,
@@ -43,9 +62,9 @@ func installPureBuiltins(env *Env) {
 		}
 		switch t := args[0].(type) {
 		case string:
-			return float64(len(t)), nil
+			return numValue(float64(len(t))), nil
 		case *Array:
-			return float64(len(t.Elems)), nil
+			return numValue(float64(len(t.Elems))), nil
 		default:
 			return nil, fmt.Errorf("len of %s", typeName(args[0]))
 		}
@@ -59,7 +78,7 @@ func installPureBuiltins(env *Env) {
 			return nil, errors.New("first arg must be array")
 		}
 		arr.Elems = append(arr.Elems, args[1])
-		return float64(len(arr.Elems)), nil
+		return numValue(float64(len(arr.Elems))), nil
 	}})
 	env.Define("substr", &HostFunc{Name: "substr", Fn: func(args []Value) (Value, error) {
 		if len(args) != 3 {
@@ -86,7 +105,7 @@ func installPureBuiltins(env *Env) {
 		if !ok1 || !ok2 {
 			return nil, errors.New("want (string, string)")
 		}
-		return float64(strings.Index(s, sub)), nil
+		return numValue(float64(strings.Index(s, sub))), nil
 	}})
 	env.Define("split", &HostFunc{Name: "split", Fn: func(args []Value) (Value, error) {
 		if len(args) != 2 {
@@ -128,7 +147,7 @@ func installPureBuiltins(env *Env) {
 		if !ok1 || !ok2 || int(i) < 0 || int(i) >= len(s) {
 			return nil, errors.New("bad charAt")
 		}
-		return string(s[int(i)]), nil
+		return charValue(s[int(i)]), nil
 	}})
 	env.Define("fromCharCode", &HostFunc{Name: "fromCharCode", Fn: func(args []Value) (Value, error) {
 		var b strings.Builder
@@ -150,7 +169,7 @@ func installPureBuiltins(env *Env) {
 		if !ok1 || !ok2 || int(i) < 0 || int(i) >= len(s) {
 			return nil, errors.New("bad charCodeAt")
 		}
-		return float64(s[int(i)]), nil
+		return numValue(float64(s[int(i)])), nil
 	}})
 	env.Define("floor", &HostFunc{Name: "floor", Fn: func(args []Value) (Value, error) {
 		if len(args) != 1 {
@@ -160,7 +179,7 @@ func installPureBuiltins(env *Env) {
 		if !ok {
 			return nil, errors.New("want number")
 		}
-		return float64(int64(n)), nil
+		return numValue(float64(int64(n))), nil
 	}})
 }
 
@@ -201,7 +220,7 @@ func builtinDec(args []Value) (Value, error) {
 	if !ok1 || !ok2 {
 		return nil, errors.New("want (string, number)")
 	}
-	out, err := DecodeString(s, byte(int(key)))
+	out, err := decodeMemoized(s, byte(int(key)))
 	if err != nil {
 		return nil, err
 	}

@@ -11,6 +11,48 @@ import (
 // *Object, *Closure, or *HostFunc.
 type Value any
 
+// Interned values for the interpreter hot loop. Boxing a float64 or a
+// string into an interface heap-allocates on every conversion; ad
+// snippets spend most of their steps on small loop counters, byte
+// values (charCodeAt/fromCharCode decode loops) and single-character
+// strings, so those are pre-boxed once and shared. Interning changes
+// no observable behaviour: the boxed values compare and stringify
+// exactly like freshly converted ones.
+var (
+	smallNumVals   [256]Value // float64(0) .. float64(255)
+	singleCharVals [256]Value // "\x00" .. "\xff"
+	valTrue        Value      = true
+	valFalse       Value      = false
+)
+
+func init() {
+	for i := range smallNumVals {
+		smallNumVals[i] = float64(i)
+		singleCharVals[i] = string(rune(byte(i)))
+	}
+}
+
+// numValue boxes a float64, reusing the interned box for small
+// non-negative integers (the overwhelmingly common case in ad-script
+// loops and string/byte math).
+func numValue(f float64) Value {
+	if i := int(f); float64(i) == f && i >= 0 && i < 256 {
+		return smallNumVals[i]
+	}
+	return f
+}
+
+// boolValue boxes a bool without allocating.
+func boolValue(b bool) Value {
+	if b {
+		return valTrue
+	}
+	return valFalse
+}
+
+// charValue boxes a single-byte string, reusing the interned box.
+func charValue(c byte) Value { return singleCharVals[c] }
+
 // Array is a mutable value slice.
 type Array struct{ Elems []Value }
 
@@ -42,6 +84,11 @@ type HostFunc struct {
 type Env struct {
 	vars   map[string]Value
 	parent *Env
+	// frozen marks a shared, immutable scope (the process-wide builtin
+	// root). Assignments never land in a frozen scope: they define in
+	// the outermost mutable scope instead, shadowing the builtin — the
+	// same observable behaviour as overwriting a per-interpreter global.
+	frozen bool
 }
 
 // NewEnv returns a fresh scope with the given parent (nil for global).
@@ -63,14 +110,19 @@ func (e *Env) Get(name string) (Value, bool) {
 }
 
 // set assigns to an existing binding, or defines globally when absent
-// (mirroring sloppy-mode JS, which ad snippets rely on).
+// (mirroring sloppy-mode JS, which ad snippets rely on). "Globally"
+// means the outermost mutable scope: the frozen builtin root below it
+// is shared by every interpreter and is never written.
 func (e *Env) set(name string, v Value) {
 	for s := e; s != nil; s = s.parent {
+		if s.frozen {
+			return
+		}
 		if _, ok := s.vars[name]; ok {
 			s.vars[name] = v
 			return
 		}
-		if s.parent == nil {
+		if s.parent == nil || s.parent.frozen {
 			s.vars[name] = v
 			return
 		}
@@ -106,14 +158,17 @@ func (e *RuntimeError) Error() string {
 	return fmt.Sprintf("adscript: runtime error at line %d: %s", e.Line, e.Msg)
 }
 
-// control-flow signals
-type returnSignal struct{ val Value }
+// control-flow signals. The return signal is a singleton: the returned
+// value travels in Interp.retVal instead of a per-return allocation.
+type returnSignal struct{}
 
 func (returnSignal) Error() string { return "return outside function" }
 
+var errReturn error = returnSignal{}
+
 // Interp executes Programs against a global environment. One Interp
-// corresponds to one page's script context; the browser creates a fresh
-// Interp per page load.
+// corresponds to one page's script context; the browser creates one
+// Interp per tab and resets it between page loads.
 type Interp struct {
 	Globals *Env
 	tracer  Tracer
@@ -125,18 +180,82 @@ type Interp struct {
 	maxSteps int
 	depth    int
 	maxDepth int
+
+	// retVal carries the value of the pending return signal.
+	retVal Value
+	// closures counts Closure values created so far; block scopes are
+	// recycled only when no closure was created during their execution
+	// (a closure captures its whole defining scope chain).
+	closures int
+	// scopePool recycles block/call scopes (the interpreter is
+	// single-threaded, so a plain freelist beats sync.Pool).
+	scopePool []*Env
+	// argArena is the call-argument scratch stack: arguments for nested
+	// calls are appended and truncated LIFO, so steady-state calls
+	// allocate no arg slices. Host functions must not retain the args
+	// slice they receive (copy values out instead).
+	argArena []Value
+	// active tracks nesting into Run/Call; the browser uses it to tell
+	// whether a script is mid-flight on this interpreter.
+	active int
 }
 
 // NewInterp returns an interpreter with the default pure builtins
-// installed and a generous-but-finite step budget.
+// installed and a generous-but-finite step budget. The builtins live in
+// a shared immutable parent scope, so constructing an interpreter is
+// cheap enough to do per page load.
 func NewInterp() *Interp {
-	in := &Interp{
-		Globals:  NewEnv(nil),
+	return &Interp{
+		Globals:  NewEnv(builtinEnv()),
 		maxSteps: 200000,
 		maxDepth: 64,
 	}
-	installPureBuiltins(in.Globals)
-	return in
+}
+
+// Reset clears the interpreter's page state — globals, budgets, scratch
+// arenas — so one Interp can be reused across page loads in a tab. The
+// tracer installed with SetTracer is retained.
+func (in *Interp) Reset() {
+	clear(in.Globals.vars)
+	in.ScriptURL = ""
+	in.steps, in.depth, in.closures = 0, 0, 0
+	in.retVal = nil
+	for i := range in.argArena {
+		in.argArena[i] = nil
+	}
+	in.argArena = in.argArena[:0]
+}
+
+// Active reports whether the interpreter is currently executing (a Run
+// or Call frame is on the stack). The browser checks it before reusing
+// a tab's interpreter: a script-triggered navigation must not reset the
+// environment out from under the still-running handler.
+func (in *Interp) Active() bool { return in.active > 0 }
+
+// newScope takes a scope from the freelist (or allocates one) and
+// parents it.
+func (in *Interp) newScope(parent *Env) *Env {
+	if n := len(in.scopePool); n > 0 {
+		e := in.scopePool[n-1]
+		in.scopePool = in.scopePool[:n-1]
+		e.parent = parent
+		return e
+	}
+	return NewEnv(parent)
+}
+
+// releaseScope returns a scope to the freelist when it provably did not
+// escape: closuresBefore is the closure counter captured before the
+// scope's execution window; any closure created during the window has
+// this scope on its chain, so an unchanged counter proves nothing
+// retains it.
+func (in *Interp) releaseScope(e *Env, closuresBefore int) {
+	if in.closures != closuresBefore || len(e.vars) > 64 || len(in.scopePool) >= 64 {
+		return
+	}
+	clear(e.vars)
+	e.parent = nil
+	in.scopePool = append(in.scopePool, e)
 }
 
 // SetTracer installs the API-call tracer.
@@ -150,9 +269,14 @@ func (in *Interp) SetStepBudget(n int) { in.maxSteps = n }
 func (in *Interp) ResetBudget() { in.steps = 0 }
 
 // Run executes a program's top-level statements in the global scope.
+// Programs are immutable: one parsed Program may be run concurrently by
+// any number of interpreters (the compile-once cache relies on this).
 func (in *Interp) Run(prog *Program) error {
+	in.active++
 	err := in.execBlock(prog.stmts, in.Globals)
-	if _, ok := err.(returnSignal); ok {
+	in.active--
+	if err == errReturn {
+		in.retVal = nil
 		return nil // top-level return: tolerated
 	}
 	return err
@@ -167,10 +291,23 @@ func (in *Interp) RunSource(source string) error {
 	return in.Run(prog)
 }
 
+// RunCached runs source through the given compile-once cache (nil cache
+// = parse per call) — the browser's fast path for repeated ad snippets.
+func (in *Interp) RunCached(cache *ProgramCache, source string) error {
+	prog, err := cache.Get(source)
+	if err != nil {
+		return err
+	}
+	return in.Run(prog)
+}
+
 // Call invokes a callable Value (Closure or HostFunc) with arguments; the
 // browser uses it to dispatch event handlers and timer callbacks.
 func (in *Interp) Call(fn Value, args ...Value) (Value, error) {
-	return in.callValue(fn, args, 0)
+	in.active++
+	v, err := in.callValue(fn, args, 0)
+	in.active--
+	return v, err
 }
 
 func (in *Interp) rerr(line int, format string, args ...any) error {
@@ -218,11 +355,11 @@ func (in *Interp) exec(s node, env *Env) error {
 			return err
 		}
 		if truthy(cond) {
-			return in.execBlock(st.then, NewEnv(env))
+			return in.execScoped(st.then, env)
 		}
 		if st.alt != nil {
 			if st.altIsBlock {
-				return in.execBlock(st.alt, NewEnv(env))
+				return in.execScoped(st.alt, env)
 			}
 			return in.exec(st.alt[0], env)
 		}
@@ -236,7 +373,7 @@ func (in *Interp) exec(s node, env *Env) error {
 			if !truthy(cond) {
 				return nil
 			}
-			if err := in.execBlock(st.body, NewEnv(env)); err != nil {
+			if err := in.execScoped(st.body, env); err != nil {
 				return err
 			}
 			if err := in.step(st.line); err != nil {
@@ -252,13 +389,24 @@ func (in *Interp) exec(s node, env *Env) error {
 				return err
 			}
 		}
-		return returnSignal{v}
+		in.retVal = v
+		return errReturn
 	case *exprStmt:
 		_, err := in.eval(st.x, env)
 		return err
 	default:
 		return in.rerr(s.nodeLine(), "unknown statement %T", s)
 	}
+}
+
+// execScoped runs a block in a fresh child scope, recycling the scope
+// when nothing escaped it.
+func (in *Interp) execScoped(stmts []node, parent *Env) error {
+	scope := in.newScope(parent)
+	before := in.closures
+	err := in.execBlock(stmts, scope)
+	in.releaseScope(scope, before)
+	return err
 }
 
 func (in *Interp) assign(target node, v Value, env *Env) error {
@@ -315,11 +463,11 @@ func (in *Interp) eval(x node, env *Env) (Value, error) {
 	}
 	switch e := x.(type) {
 	case *numLit:
-		return e.val, nil
+		return e.boxed, nil
 	case *strLit:
-		return e.val, nil
+		return e.boxed, nil
 	case *boolLit:
-		return e.val, nil
+		return boolValue(e.val), nil
 	case *nullLit:
 		return nil, nil
 	case *ident:
@@ -330,6 +478,9 @@ func (in *Interp) eval(x node, env *Env) (Value, error) {
 		return v, nil
 	case *arrayLit:
 		arr := &Array{}
+		if len(e.elems) > 0 {
+			arr.Elems = make([]Value, 0, len(e.elems))
+		}
 		for _, el := range e.elems {
 			v, err := in.eval(el, env)
 			if err != nil {
@@ -349,6 +500,7 @@ func (in *Interp) eval(x node, env *Env) (Value, error) {
 		}
 		return obj, nil
 	case *funcLit:
+		in.closures++
 		return &Closure{params: e.params, body: e.body, env: env}, nil
 	case *unaryExpr:
 		v, err := in.eval(e.x, env)
@@ -357,13 +509,13 @@ func (in *Interp) eval(x node, env *Env) (Value, error) {
 		}
 		switch e.op {
 		case "!":
-			return !truthy(v), nil
+			return boolValue(!truthy(v)), nil
 		case "-":
 			n, ok := v.(float64)
 			if !ok {
 				return nil, in.rerr(e.line, "cannot negate %s", typeName(v))
 			}
-			return -n, nil
+			return numValue(-n), nil
 		}
 		return nil, in.rerr(e.line, "unknown unary %q", e.op)
 	case *binaryExpr:
@@ -378,11 +530,11 @@ func (in *Interp) eval(x node, env *Env) (Value, error) {
 			return o.Fields[e.name], nil
 		case *Array:
 			if e.name == "length" {
-				return float64(len(o.Elems)), nil
+				return numValue(float64(len(o.Elems))), nil
 			}
 		case string:
 			if e.name == "length" {
-				return float64(len(o)), nil
+				return numValue(float64(len(o))), nil
 			}
 		}
 		return nil, in.rerr(e.line, "no property %q on %s", e.name, typeName(obj))
@@ -407,7 +559,7 @@ func (in *Interp) eval(x node, env *Env) (Value, error) {
 			if !ok || int(i) < 0 || int(i) >= len(o) {
 				return nil, in.rerr(e.line, "bad string index %v", idx)
 			}
-			return string(o[int(i)]), nil
+			return charValue(o[int(i)]), nil
 		case *Object:
 			k, ok := idx.(string)
 			if !ok {
@@ -422,15 +574,21 @@ func (in *Interp) eval(x node, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
-		args := make([]Value, len(e.args))
-		for i, a := range e.args {
+		// Arguments live in the LIFO arg arena: nested calls push past
+		// this call's window and truncate back on return, so the hot
+		// path allocates no arg slices.
+		base := len(in.argArena)
+		for _, a := range e.args {
 			v, err := in.eval(a, env)
 			if err != nil {
+				in.argArena = in.argArena[:base]
 				return nil, err
 			}
-			args[i] = v
+			in.argArena = append(in.argArena, v)
 		}
-		return in.callValue(fn, args, e.line)
+		v, err := in.callValue(fn, in.argArena[base:], e.line)
+		in.argArena = in.argArena[:base]
+		return v, err
 	default:
 		return nil, in.rerr(x.nodeLine(), "unknown expression %T", x)
 	}
@@ -457,7 +615,8 @@ func (in *Interp) callValue(fn Value, args []Value, line int) (Value, error) {
 		}
 		return v, nil
 	case *Closure:
-		env := NewEnv(f.env)
+		env := in.newScope(f.env)
+		before := in.closures
 		for i, p := range f.params {
 			if i < len(args) {
 				env.Define(p, args[i])
@@ -466,8 +625,11 @@ func (in *Interp) callValue(fn Value, args []Value, line int) (Value, error) {
 			}
 		}
 		err := in.execBlock(f.body, env)
-		if rs, ok := err.(returnSignal); ok {
-			return rs.val, nil
+		in.releaseScope(env, before)
+		if err == errReturn {
+			v := in.retVal
+			in.retVal = nil
+			return v, nil
 		}
 		return nil, err
 	default:
@@ -500,9 +662,9 @@ func (in *Interp) evalBinary(e *binaryExpr, env *Env) (Value, error) {
 	}
 	switch e.op {
 	case "==":
-		return valueEqual(l, r), nil
+		return boolValue(valueEqual(l, r)), nil
 	case "!=":
-		return !valueEqual(l, r), nil
+		return boolValue(!valueEqual(l, r)), nil
 	case "+":
 		// String concatenation when either side is a string.
 		if ls, ok := l.(string); ok {
@@ -514,7 +676,7 @@ func (in *Interp) evalBinary(e *binaryExpr, env *Env) (Value, error) {
 		ln, lok := l.(float64)
 		rn, rok := r.(float64)
 		if lok && rok {
-			return ln + rn, nil
+			return numValue(ln + rn), nil
 		}
 		return nil, in.rerr(e.line, "cannot add %s and %s", typeName(l), typeName(r))
 	case "-", "*", "/", "%", "<", ">", "<=", ">=":
@@ -526,13 +688,13 @@ func (in *Interp) evalBinary(e *binaryExpr, env *Env) (Value, error) {
 				if rs, ok := r.(string); ok {
 					switch e.op {
 					case "<":
-						return ls < rs, nil
+						return boolValue(ls < rs), nil
 					case ">":
-						return ls > rs, nil
+						return boolValue(ls > rs), nil
 					case "<=":
-						return ls <= rs, nil
+						return boolValue(ls <= rs), nil
 					case ">=":
-						return ls >= rs, nil
+						return boolValue(ls >= rs), nil
 					}
 				}
 			}
@@ -540,27 +702,27 @@ func (in *Interp) evalBinary(e *binaryExpr, env *Env) (Value, error) {
 		}
 		switch e.op {
 		case "-":
-			return ln - rn, nil
+			return numValue(ln - rn), nil
 		case "*":
-			return ln * rn, nil
+			return numValue(ln * rn), nil
 		case "/":
 			if rn == 0 {
 				return nil, in.rerr(e.line, "division by zero")
 			}
-			return ln / rn, nil
+			return numValue(ln / rn), nil
 		case "%":
 			if rn == 0 {
 				return nil, in.rerr(e.line, "modulo by zero")
 			}
-			return float64(int64(ln) % int64(rn)), nil
+			return numValue(float64(int64(ln) % int64(rn))), nil
 		case "<":
-			return ln < rn, nil
+			return boolValue(ln < rn), nil
 		case ">":
-			return ln > rn, nil
+			return boolValue(ln > rn), nil
 		case "<=":
-			return ln <= rn, nil
+			return boolValue(ln <= rn), nil
 		case ">=":
-			return ln >= rn, nil
+			return boolValue(ln >= rn), nil
 		}
 	}
 	return nil, in.rerr(e.line, "unknown operator %q", e.op)

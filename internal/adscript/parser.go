@@ -14,10 +14,15 @@ type (
 	numLit struct {
 		baseNode
 		val float64
+		// boxed is the literal pre-converted to a Value at parse time, so
+		// evaluation never re-boxes it into an interface (Programs are
+		// immutable and shared, so one box serves every run).
+		boxed Value
 	}
 	strLit struct {
 		baseNode
-		val string
+		val   string
+		boxed Value
 	}
 	boolLit struct {
 		baseNode
@@ -414,10 +419,10 @@ func (p *parser) primary() (node, error) {
 	switch {
 	case t.kind == tokNumber:
 		p.advance()
-		return &numLit{baseNode{t.line}, t.num}, nil
+		return &numLit{baseNode{t.line}, t.num, numValue(t.num)}, nil
 	case t.kind == tokString:
 		p.advance()
-		return &strLit{baseNode{t.line}, t.text}, nil
+		return &strLit{baseNode{t.line}, t.text, t.text}, nil
 	case t.kind == tokKeyword && t.text == "true":
 		p.advance()
 		return &boolLit{baseNode{t.line}, true}, nil

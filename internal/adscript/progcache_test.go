@@ -1,0 +1,296 @@
+package adscript_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/adnet"
+	"repro/internal/adscript"
+	"repro/internal/rng"
+)
+
+// scriptCorpus builds obfuscated sources in the shapes the synthetic web
+// actually serves: real adnet publisher snippets plus the serve-script
+// and secamp behaviour templates (overlay + click-listener closures,
+// page locking, download listeners, notification lures).
+func scriptCorpus() []string {
+	var out []string
+	src := rng.New(11)
+	for _, spec := range adnet.SeedSpecs() {
+		n := adnet.New(spec, src)
+		for zone := 0; zone < 3; zone++ {
+			out = append(out, n.SnippetCode(zone))
+		}
+	}
+	click := adscript.EncodeString("http://trk-x1.club/tok-c/c.js?z=4", 41)
+	dl := adscript.EncodeString("http://x9f2.club/dl/abcdef.bin", 73)
+	out = append(out,
+		// adnet serve-script shape.
+		fmt.Sprintf(`
+			document.addOverlay("__ovl_t", 99999);
+			let _n_t = 0;
+			window.addEventListener("click", function() {
+				window.open(dec("%s", 41) + "&n=" + _n_t);
+				_n_t = _n_t + 1;
+			});
+		`, click),
+		// Webdriver-checking variant.
+		fmt.Sprintf(`
+			if (navigator.webdriver) { let _x = 0; } else {
+				document.addOverlay("__ovl_w", 99999);
+				window.addEventListener("click", function() { window.open(dec("%s", 41)); });
+			}
+		`, click),
+		// secamp fake-software / scareware download listeners.
+		fmt.Sprintf(`
+			document.listen("install", "click", function() {
+				document.download(dec("%s", 73));
+			});
+		`, dl),
+		fmt.Sprintf(`
+			window.onbeforeunload(function() { return "Your PC is at risk!"; });
+			window.alert("WARNING! GuardPro detected 12 threats on your system.");
+			document.listen("install", "click", function() {
+				document.download(dec("%s", 73));
+			});
+		`, dl),
+		// secamp tech-support page locking.
+		`
+			window.onbeforeunload(function() { return "locked"; });
+			let i = 0;
+			while (i < 3) {
+				window.alert("Windows Security Alert! Call 1-800-555-0199 immediately.");
+				i = i + 1;
+			}
+		`,
+		// secamp notification lure.
+		`
+			notification.request();
+			document.listen("allow", "click", function() { notification.request(); });
+		`,
+	)
+	return out
+}
+
+// installStubHost defines the host objects the corpus touches, with
+// every function traced through the interpreter's tracer exactly like
+// the browser's host env. Handlers registered via listeners are
+// collected so the caller can dispatch them.
+func installStubHost(in *adscript.Interp, handlers *[]adscript.Value) {
+	sink := func(name string) *adscript.HostFunc {
+		return &adscript.HostFunc{Name: name, Fn: func(args []adscript.Value) (adscript.Value, error) { return nil, nil }}
+	}
+	capture := func(name string, at int) *adscript.HostFunc {
+		return &adscript.HostFunc{Name: name, Fn: func(args []adscript.Value) (adscript.Value, error) {
+			if at < len(args) {
+				if _, ok := args[at].(*adscript.Closure); ok {
+					*handlers = append(*handlers, args[at])
+				}
+			}
+			return nil, nil
+		}}
+	}
+	in.Globals.Define("window", adscript.NewObject().
+		Set("addEventListener", capture("window.addEventListener", 1)).
+		Set("open", sink("window.open")).
+		Set("alert", sink("window.alert")).
+		Set("onbeforeunload", capture("window.onbeforeunload", 0)))
+	in.Globals.Define("document", adscript.NewObject().
+		Set("addOverlay", sink("document.addOverlay")).
+		Set("loadScript", sink("document.loadScript")).
+		Set("listen", capture("document.listen", 2)).
+		Set("download", sink("document.download")))
+	in.Globals.Define("navigator", adscript.NewObject().Set("webdriver", false))
+	in.Globals.Define("notification", adscript.NewObject().Set("request", sink("notification.request")))
+}
+
+// traceCorpus executes the whole corpus `passes` times through exec on
+// one reused interpreter (the browser's per-tab pattern) and returns
+// every traced API call serialized.
+func traceCorpus(t *testing.T, passes int, exec func(in *adscript.Interp, source string) error) []string {
+	t.Helper()
+	var trace []string
+	in := adscript.NewInterp()
+	in.SetTracer(adscript.TracerFunc(func(c adscript.APICall) {
+		trace = append(trace, fmt.Sprintf("%s|%v|%s|%d", c.Name, c.Args, c.ScriptURL, c.Line))
+	}))
+	corpus := scriptCorpus()
+	for p := 0; p < passes; p++ {
+		for i, src := range corpus {
+			in.Reset()
+			var handlers []adscript.Value
+			installStubHost(in, &handlers)
+			in.ScriptURL = fmt.Sprintf("http://scripts.test/%d-%d.js", p, i)
+			if err := exec(in, src); err != nil {
+				t.Fatalf("pass %d script %d: %v\nsource:\n%s", p, i, err, src)
+			}
+			// Dispatch registered handlers twice, like click replays.
+			for _, h := range handlers {
+				for n := 0; n < 2; n++ {
+					if _, err := in.Call(h); err != nil {
+						t.Fatalf("pass %d script %d handler: %v", p, i, err)
+					}
+				}
+			}
+		}
+	}
+	return trace
+}
+
+// TestCachedTraceBitIdentical is the behaviour-invariance contract of
+// the compile-once cache: for the obfuscated adnet/secamp corpus, the
+// API-call trace of cached-program execution is byte-equal to the
+// parse-per-run path — including warm passes that run shared Programs.
+func TestCachedTraceBitIdentical(t *testing.T) {
+	plain := traceCorpus(t, 3, func(in *adscript.Interp, source string) error {
+		return in.RunSource(source)
+	})
+	cache := adscript.NewProgramCache(0, nil)
+	cached := traceCorpus(t, 3, func(in *adscript.Interp, source string) error {
+		return in.RunCached(cache, source)
+	})
+	if len(plain) == 0 {
+		t.Fatal("corpus produced no API calls")
+	}
+	if len(plain) != len(cached) {
+		t.Fatalf("trace length diverged: parse-per-run %d calls, cached %d", len(plain), len(cached))
+	}
+	for i := range plain {
+		if plain[i] != cached[i] {
+			t.Fatalf("trace diverges at call %d:\n  parse-per-run: %s\n  cached:        %s", i, plain[i], cached[i])
+		}
+	}
+	hits, misses, _ := cache.Stats()
+	if misses != int64(len(scriptCorpus())) {
+		t.Errorf("expected one parse per distinct source, got %d misses for %d sources", misses, len(scriptCorpus()))
+	}
+	if hits == 0 {
+		t.Error("warm passes produced no cache hits")
+	}
+}
+
+// TestProgramCacheConcurrent runs the corpus on many interpreters
+// sharing one cache (and the process-wide decode memo) — the crawler
+// farm + milking pool shape; primarily a -race target.
+func TestProgramCacheConcurrent(t *testing.T) {
+	cache := adscript.NewProgramCache(0, nil)
+	corpus := scriptCorpus()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			in := adscript.NewInterp()
+			for p := 0; p < 3; p++ {
+				for _, src := range corpus {
+					in.Reset()
+					var handlers []adscript.Value
+					installStubHost(in, &handlers)
+					if err := in.RunCached(cache, src); err != nil {
+						errs <- err
+						return
+					}
+					for _, h := range handlers {
+						if _, err := in.Call(h); err != nil {
+							errs <- err
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits, misses, _ := cache.Stats()
+	if hits+misses != int64(8*3*len(corpus)) {
+		t.Errorf("cache traffic mismatch: hits %d + misses %d != %d", hits, misses, 8*3*len(corpus))
+	}
+}
+
+// TestScopePoolingClosureCapture pins the correctness condition of the
+// scope freelist: a closure created inside a loop body captures that
+// iteration's scope, so recycled scopes must never be ones a closure
+// still references.
+func TestScopePoolingClosureCapture(t *testing.T) {
+	in := adscript.NewInterp()
+	err := in.RunSource(`
+		let fs = [];
+		let i = 0;
+		while (i < 3) {
+			let x = i;
+			push(fs, function() { return x; });
+			i = i + 1;
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := in.Globals.Get("fs")
+	if !ok {
+		t.Fatal("fs not defined")
+	}
+	arr := v.(*adscript.Array)
+	if len(arr.Elems) != 3 {
+		t.Fatalf("want 3 closures, got %d", len(arr.Elems))
+	}
+	for want, fn := range arr.Elems {
+		got, err := in.Call(fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != float64(want) {
+			t.Errorf("closure %d returned %v, want %d (captured scope was recycled)", want, got, want)
+		}
+	}
+}
+
+// TestBuiltinShadowingStaysLocal pins the frozen-builtin-root contract:
+// a script overwriting a builtin name shadows it in its own globals and
+// never leaks into other interpreters.
+func TestBuiltinShadowingStaysLocal(t *testing.T) {
+	a := adscript.NewInterp()
+	if err := a.RunSource(`len = 42; let x = len;`); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Globals.Get("x"); v != float64(42) {
+		t.Fatalf("shadowed builtin not visible locally: got %v", v)
+	}
+	b := adscript.NewInterp()
+	if err := b.RunSource(`let n = len("abcd");`); err != nil {
+		t.Fatalf("builtin polluted across interpreters: %v", err)
+	}
+	if v, _ := b.Globals.Get("n"); v != float64(4) {
+		t.Fatalf("len builtin broken after shadowing elsewhere: got %v", v)
+	}
+	a.Reset()
+	if err := a.RunSource(`let n = len("ab");`); err != nil {
+		t.Fatalf("builtin not restored by Reset: %v", err)
+	}
+}
+
+// TestDecodeMemoMatchesDecodeString cross-checks the memoized decode
+// against the pure function, including repeat hits.
+func TestDecodeMemoMatchesDecodeString(t *testing.T) {
+	in := adscript.NewInterp()
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < 20; i++ {
+			plain := fmt.Sprintf("http://host-%d.club/p/%d?q=%d", i, i*7, i)
+			key := byte(3 + i*5)
+			enc := adscript.EncodeString(plain, key)
+			if err := in.RunSource(fmt.Sprintf(`let out = dec("%s", %d);`, enc, key)); err != nil {
+				t.Fatal(err)
+			}
+			v, _ := in.Globals.Get("out")
+			if v != plain {
+				t.Fatalf("dec(%q, %d) = %v, want %q", enc, key, v, plain)
+			}
+			in.Reset()
+		}
+	}
+}

@@ -128,6 +128,10 @@ type Options struct {
 	// byte-identical with or without it; nil disables memoization (the
 	// fused fast path is still used).
 	Capture *screenshot.Cache
+	// Scripts, when non-nil, is the shared compile-once program cache
+	// consulted before parsing any page script. Execution is trace-
+	// identical with or without it; nil parses per run.
+	Scripts *adscript.ProgramCache
 }
 
 func (o *Options) fillDefaults() {
@@ -240,9 +244,15 @@ func (b *Browser) navigate(tab *Tab, u urlx.URL, referrer, cause string) {
 	}
 	b.logEvent(Event{Kind: EvNavigation, Tab: tab.ID, From: from, To: u.String(), Cause: cause})
 
-	// Reset page state.
+	// Reset page state. The tab's interpreter is reused across page
+	// loads — unless a script is mid-flight on it (a handler calling
+	// location.assign lands here): resetting the environment under the
+	// still-running handler would pull its globals away, so the old
+	// interpreter is abandoned to finish on its own environment.
 	tab.Doc = nil
-	tab.interp = nil
+	if tab.interp != nil && tab.interp.Active() {
+		tab.interp = nil
+	}
 	tab.listeners = map[string][]listenerEntry{}
 	tab.beforeUnload = nil
 	tab.timeouts = nil
@@ -334,11 +344,15 @@ func (b *Browser) fetch(u urlx.URL, referrer string) (*webtx.Response, error) {
 // runPageScripts executes the document's scripts and then any queued
 // timers.
 func (b *Browser) runPageScripts(tab *Tab) {
-	tab.interp = adscript.NewInterp()
+	if tab.interp == nil {
+		tab.interp = adscript.NewInterp()
+		tab.interp.SetTracer(adscript.TracerFunc(func(c adscript.APICall) {
+			b.logEvent(Event{Kind: EvAPICall, Tab: tab.ID, From: tab.URL.String(), API: c})
+		}))
+	} else {
+		tab.interp.Reset()
+	}
 	b.installHostEnv(tab)
-	tab.interp.SetTracer(adscript.TracerFunc(func(c adscript.APICall) {
-		b.logEvent(Event{Kind: EvAPICall, Tab: tab.ID, From: tab.URL.String(), API: c})
-	}))
 	pageURL := tab.URL
 	for _, ref := range tab.Doc.Scripts {
 		if tab.blocked || tab.Doc == nil {
@@ -350,7 +364,7 @@ func (b *Browser) runPageScripts(tab *Tab) {
 		}
 		tab.interp.ScriptURL = pageURL.String()
 		tab.interp.ResetBudget()
-		if err := tab.interp.RunSource(ref.Code); err != nil {
+		if err := tab.interp.RunCached(b.opts.Scripts, ref.Code); err != nil {
 			b.logEvent(Event{Kind: EvError, Tab: tab.ID, From: pageURL.String(), Detail: "inline script: " + err.Error()})
 		}
 	}
@@ -380,7 +394,7 @@ func (b *Browser) runExternalScript(tab *Tab, pageURL urlx.URL, src string) {
 	prev := tab.interp.ScriptURL
 	tab.interp.ScriptURL = u.String()
 	tab.interp.ResetBudget()
-	if err := tab.interp.RunSource(resp.Body); err != nil {
+	if err := tab.interp.RunCached(b.opts.Scripts, resp.Body); err != nil {
 		b.logEvent(Event{Kind: EvError, Tab: tab.ID, From: u.String(), Detail: "script: " + err.Error()})
 	}
 	tab.interp.ScriptURL = prev

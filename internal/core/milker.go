@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/adscript"
 	"repro/internal/browser"
 	"repro/internal/btgraph"
 	"repro/internal/crawler"
@@ -128,6 +129,11 @@ type MilkerConfig struct {
 	// captures are repeats; verify hashes are byte-identical with or
 	// without the cache. Nil disables memoization.
 	Capture *screenshot.Cache
+	// Scripts is the shared compile-once program cache: milking runs the
+	// same campaign scripts hundreds of thousands of times, so parsing
+	// each source once dominates. API-call traces are byte-identical with
+	// or without it. Nil parses per script run.
+	Scripts *adscript.ProgramCache
 }
 
 // PaperMilkerConfig is the published setup.
@@ -247,6 +253,32 @@ type Milker struct {
 	met      milkMetrics
 	// start anchors the per-virtual-hour metric series; set by Run.
 	start time.Time
+
+	// The probe worker pool is persistent: started lazily on the first
+	// multi-worker fan-out and fed over jobs until Close. Spawning
+	// goroutines per batch was pure churn — a 14-day milking run issues
+	// ~1300 batches, and on small batches the spawn cost outweighed the
+	// work, making W8 slower than W1.
+	poolOnce  sync.Once
+	closeOnce sync.Once
+	jobs      chan milkJob
+}
+
+// milkJob is one probe batch broadcast to the persistent pool: every
+// participating worker pulls indices from the shared counter and writes
+// results positionally, so batch order never depends on scheduling.
+// Broadcasting the batch (one channel send per worker) instead of
+// enqueueing per probe keeps each worker running probes back to back —
+// per-probe handoffs interleave every worker's in-flight session state,
+// which on few-core hosts costs more in cache misses and GC scanning
+// than the probes themselves.
+type milkJob struct {
+	idxs    []int
+	sources []MilkSource
+	seen    map[string]bool
+	out     []milkProbe
+	next    *atomic.Int64
+	wg      *sync.WaitGroup
 }
 
 // milkMetrics are the milker's pre-resolved handles; all nil when
@@ -333,6 +365,7 @@ func (m *Milker) probe(src MilkSource, seen map[string]bool) milkProbe {
 		DeviceEmulation: src.UA.Mobile,
 		ViewportScale:   m.cfg.ViewportScale,
 		Capture:         m.cfg.Capture,
+		Scripts:         m.cfg.Scripts,
 	})
 	tab, err := client.Navigate(src.URL)
 	if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
@@ -358,14 +391,7 @@ func (m *Milker) probe(src MilkSource, seen map[string]bool) milkProbe {
 // milker_sessions_total{worker=N}.
 func (m *Milker) fanOut(idxs []int, sources []MilkSource, seen map[string]bool) []milkProbe {
 	out := make([]milkProbe, len(idxs))
-	workers := m.cfg.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(idxs) {
-		workers = len(idxs)
-	}
-	if workers <= 1 {
+	if m.cfg.Workers <= 1 || len(idxs) <= 1 {
 		ctr := m.cfg.Obs.Counter("milker_sessions_total", "worker=0")
 		for k, si := range idxs {
 			out[k] = m.probe(sources[si], seen)
@@ -373,25 +399,55 @@ func (m *Milker) fanOut(idxs []int, sources []MilkSource, seen map[string]bool) 
 		}
 		return out
 	}
+	m.startPool()
+	workers := m.cfg.Workers
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	wg.Add(workers)
+	job := milkJob{idxs: idxs, sources: sources, seen: seen, out: out, next: &next, wg: &wg}
 	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			ctr := m.cfg.Obs.Counter("milker_sessions_total", "worker="+strconv.Itoa(w))
-			for {
-				k := int(next.Add(1)) - 1
-				if k >= len(idxs) {
-					return
-				}
-				out[k] = m.probe(sources[idxs[k]], seen)
-				ctr.Inc()
-			}
-		}(w)
+		m.jobs <- job
 	}
 	wg.Wait()
 	return out
+}
+
+// startPool launches the persistent probe workers on first use.
+func (m *Milker) startPool() {
+	m.poolOnce.Do(func() {
+		workers := m.cfg.Workers
+		m.jobs = make(chan milkJob, workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				ctr := m.cfg.Obs.Counter("milker_sessions_total", "worker="+strconv.Itoa(w))
+				for j := range m.jobs {
+					for {
+						k := int(j.next.Add(1)) - 1
+						if k >= len(j.idxs) {
+							break
+						}
+						j.out[k] = m.probe(j.sources[j.idxs[k]], j.seen)
+						ctr.Inc()
+					}
+					j.wg.Done()
+				}
+			}(w)
+		}
+	})
+}
+
+// Close shuts the probe worker pool down. Idempotent; safe on a Milker
+// whose pool never started. Further fan-outs after Close would panic,
+// so call it only once milking is finished.
+func (m *Milker) Close() {
+	m.closeOnce.Do(func() {
+		if m.jobs != nil {
+			close(m.jobs)
+		}
+	})
 }
 
 // commit is the serial half of one milking session. Callers invoke it in

@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"repro/internal/adscript"
 	"repro/internal/crawler"
 	"repro/internal/gsb"
 	"repro/internal/obs"
@@ -38,6 +39,12 @@ type PipelineConfig struct {
 	Capture *screenshot.Cache
 	// DisableCapture forces uncached captures even when Capture is nil.
 	DisableCapture bool
+	// Scripts is the compile-once program cache shared by the crawl and
+	// milking stages. NewPipeline creates one (bound to Obs) when left
+	// nil; set DisableScriptCache to opt out for A/B benchmarking.
+	Scripts *adscript.ProgramCache
+	// DisableScriptCache forces parse-per-run even when Scripts is nil.
+	DisableScriptCache bool
 }
 
 // Pipeline is the end-to-end SEACMA system bound to one (synthetic) web.
@@ -134,6 +141,9 @@ func NewPipeline(cfg PipelineConfig, internet *webtx.Internet, clock *vclock.Clo
 	if cfg.Capture == nil && !cfg.DisableCapture {
 		cfg.Capture = screenshot.NewCache(0, cfg.Obs)
 	}
+	if cfg.Scripts == nil && !cfg.DisableScriptCache {
+		cfg.Scripts = adscript.NewProgramCache(0, cfg.Obs)
+	}
 	return &Pipeline{Cfg: cfg, Internet: internet, Clock: clock, Search: search, GSB: bl, VT: vt, Webcat: cats}
 }
 
@@ -163,6 +173,9 @@ func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
 	}
 	if ccfg.Capture == nil {
 		ccfg.Capture = p.Cfg.Capture
+	}
+	if ccfg.Scripts == nil {
+		ccfg.Scripts = p.Cfg.Scripts
 	}
 	farm := crawler.New(p.Internet, p.Clock, ccfg)
 	return farm.CrawlAll(tasks)
@@ -196,8 +209,12 @@ func (p *Pipeline) Milk(sessions []*crawler.Session, disc *DiscoveryResult) ([]M
 	if mcfg.Capture == nil {
 		mcfg.Capture = p.Cfg.Capture
 	}
+	if mcfg.Scripts == nil {
+		mcfg.Scripts = p.Cfg.Scripts
+	}
 	cands := ExtractMilkingSources(sessions, disc)
 	milker := NewMilker(p.Internet, p.Clock, p.GSB, p.VT, mcfg)
+	defer milker.Close()
 	verifySpan := p.Cfg.Obs.StartSpan("verify")
 	sources := milker.VerifySources(cands)
 	verifySpan.End()

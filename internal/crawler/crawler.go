@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adscript"
 	"repro/internal/browser"
 	"repro/internal/devtools"
 	"repro/internal/dom"
@@ -66,6 +67,10 @@ type Config struct {
 	// may share one instance; landing hashes are byte-identical with or
 	// without it. Nil disables memoization.
 	Capture *screenshot.Cache
+	// Scripts is the shared compile-once program cache. All workers may
+	// share one instance; API-call traces are byte-identical with or
+	// without it. Nil parses per script run.
+	Scripts *adscript.ProgramCache
 }
 
 func (c *Config) fillDefaults() {
@@ -291,6 +296,7 @@ func (c *Crawler) newClient(task Task, ua webtx.UserAgent) *devtools.Client {
 		FetchCost:       c.cfg.FetchCost,
 		ViewportScale:   c.cfg.ViewportScale,
 		Capture:         c.cfg.Capture,
+		Scripts:         c.cfg.Scripts,
 	})
 }
 

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/adscript"
 	"repro/internal/browser"
 	"repro/internal/dom"
 	"repro/internal/imaging"
@@ -47,6 +48,9 @@ type ClientConfig struct {
 	// Capture shares a content-addressed capture cache across clients;
 	// nil leaves captures unmemoized (identical output either way).
 	Capture *screenshot.Cache
+	// Scripts shares a compile-once program cache across clients; nil
+	// parses per script run (identical traces either way).
+	Scripts *adscript.ProgramCache
 }
 
 // Client is one automation session over one browser.
@@ -67,6 +71,7 @@ func NewClient(internet *webtx.Internet, clock *vclock.Clock, cfg ClientConfig) 
 		FetchCost:       cfg.FetchCost,
 		ViewportScale:   cfg.ViewportScale,
 		Capture:         cfg.Capture,
+		Scripts:         cfg.Scripts,
 	}
 	return &Client{cfg: cfg, b: browser.New(internet, clock, opts)}
 }
