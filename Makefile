@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench-obs bench-baseline bench-check
+.PHONY: all build vet test test-race check bench-obs bench-baseline bench-check profile-milk
 
 all: check
 
@@ -47,6 +47,10 @@ bench-obs:
 # -benchtime 1x keeps a baseline run under a minute; these are
 # regression sentinels, not statistically tight measurements.
 BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_
+# The hashing/rng kernel sentinels run at a higher benchtime: they are
+# microseconds-to-milliseconds each, so 1x would mostly measure timer
+# noise. BenchmarkRngSplit_ lives in internal/rng, hence the extra dir.
+KERNEL_BENCH_PATTERN = BenchmarkHashKernel_|BenchmarkRngSplit_
 BENCH_BASELINE = BENCH_pipeline.json
 
 # Record the current cost of the contract benches into $(BENCH_BASELINE).
@@ -56,6 +60,7 @@ BENCH_BASELINE = BENCH_pipeline.json
 # extra keys.
 bench-baseline:
 	$(GO) test -run XXX -bench '$(BENCH_PATTERN)' -benchtime 1x -benchmem . | tee BENCH_pipeline.txt
+	$(GO) test -run XXX -bench '$(KERNEL_BENCH_PATTERN)' -benchtime 100x -benchmem . ./internal/rng/ | tee -a BENCH_pipeline.txt
 	awk 'BEGIN { print "{"; first = 1 } \
 	     /^Benchmark/ { \
 	       name = $$1; sub(/-[0-9]+$$/, "", name); \
@@ -83,3 +88,15 @@ bench-check:
 	  exit (now + 0 > limit) ? 1 : 0 }' \
 	  || { echo "FAIL: end-to-end pipeline bench regressed >20%"; exit 1; }
 	@echo "bench-check OK"
+
+# Profile the milking stage (the pipeline's hot loop) and print where
+# the time and allocations go, so the next perf PR starts from evidence
+# instead of guessing. Leaves milk_cpu.prof / milk_mem.prof behind for
+# interactive pprof sessions.
+profile-milk:
+	$(GO) test -run XXX -bench 'BenchmarkMilking_W1$$' -benchtime 1x \
+		-cpuprofile milk_cpu.prof -memprofile milk_mem.prof .
+	@echo "=== cpu top-10 ==="
+	$(GO) tool pprof -top -nodecount=10 repro.test milk_cpu.prof
+	@echo "=== alloc_space top-10 ==="
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space repro.test milk_mem.prof

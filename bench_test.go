@@ -25,6 +25,7 @@ import (
 	"repro/internal/btgraph"
 	"repro/internal/core"
 	"repro/internal/crawler"
+	"repro/internal/imaging"
 	"repro/internal/phash"
 	"repro/internal/rng"
 	"repro/internal/screenshot"
@@ -404,6 +405,56 @@ func BenchmarkCapturePath_Warm(b *testing.B) {
 	b.StopTimer()
 	hits, misses, _ := cache.Stats()
 	b.ReportMetric(100*float64(hits)/float64(hits+misses), "cache-hit-pct")
+}
+
+// BenchmarkHashKernel_Naive measures the retained reference hash path —
+// clone, mutate with Noise, grayscale, box-filter twice — on a
+// default-viewport attack capture. This is the cost the fused kernel
+// replaces (and the oracle the property tests compare it against).
+func BenchmarkHashKernel_Naive(b *testing.B) {
+	tmpl := secamp.NewTemplate(secamp.FakeSoftware, 0, rng.New(8))
+	img := screenshot.Render(tmpl.BuildDoc("http://x.club/l", 1), screenshot.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := img.Clone()
+		n.Noise(2, uint64(i)|1)
+		_ = phash.DHash(n)
+	}
+}
+
+// BenchmarkHashKernel_Fused measures the fused single-pass kernel on
+// the same capture: inline xorshift noise + Rec.601 luminance + both
+// dual-grid accumulations, no intermediate buffers. Distinct seed per
+// iteration keeps the noise-plane cache out of the measurement — this
+// is the steady-state cold-capture cost.
+func BenchmarkHashKernel_Fused(b *testing.B) {
+	tmpl := secamp.NewTemplate(secamp.FakeSoftware, 0, rng.New(8))
+	img := screenshot.Render(tmpl.BuildDoc("http://x.club/l", 1), screenshot.Options{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = phash.DHashNoisy(img, 2, uint64(i)|1)
+	}
+}
+
+// BenchmarkHashKernel_FusedPlaneHit measures the kernel when the noise
+// plane is cached (repeated seed past the admission gate): the serial
+// xorshift recurrence is replaced by table reads.
+func BenchmarkHashKernel_FusedPlaneHit(b *testing.B) {
+	tmpl := secamp.NewTemplate(secamp.FakeSoftware, 0, rng.New(8))
+	img := screenshot.Render(tmpl.BuildDoc("http://x.club/l", 1), screenshot.Options{})
+	nc := imaging.NewNoiseCache(0)
+	phash.DHashNoisyCached(img, 2, 42, nc) // first sighting
+	phash.DHashNoisyCached(img, 2, 42, nc) // admitted: plane built
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = phash.DHashNoisyCached(img, 2, 42, nc)
+	}
+	b.StopTimer()
+	hits, _, _, _ := nc.Stats()
+	b.ReportMetric(float64(hits)/float64(b.N)*100, "plane-hit-pct")
 }
 
 // benchScriptSource builds a representative obfuscated ad script — the

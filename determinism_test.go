@@ -18,12 +18,13 @@ import (
 // parallelize.
 func reportBytes(t *testing.T, workers int) []byte {
 	t.Helper()
-	return reportBytesCfg(t, workers, false)
+	return reportBytesCfg(t, workers, false, false)
 }
 
 // reportBytesCfg additionally allows forcing the parse-per-run script
-// path, for the cache-on/cache-off invariance contract.
-func reportBytesCfg(t *testing.T, workers int, disableScriptCache bool) []byte {
+// path and the inline (plane-cache-free) hash kernel, for the
+// cache-on/cache-off invariance contracts.
+func reportBytesCfg(t *testing.T, workers int, disableScriptCache, disableNoisePlanes bool) []byte {
 	t.Helper()
 	cfg := seacma.QuickExperimentConfig()
 	cfg.Crawler.Workers = 1
@@ -40,6 +41,10 @@ func reportBytesCfg(t *testing.T, workers int, disableScriptCache bool) []byte {
 	if disableScriptCache {
 		exp.Pipeline.Cfg.Scripts = nil
 		exp.Pipeline.Cfg.DisableScriptCache = true
+	}
+	if disableNoisePlanes {
+		exp.Pipeline.Cfg.DisableNoisePlanes = true
+		exp.Pipeline.Cfg.Capture.DisableNoisePlanes()
 	}
 	res, err := exp.Run()
 	if err != nil {
@@ -90,8 +95,8 @@ func TestReportDeterministicWithScriptCacheOnOff(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full pipeline run")
 	}
-	cached := reportBytesCfg(t, 4, false)
-	uncached := reportBytesCfg(t, 4, true)
+	cached := reportBytesCfg(t, 4, false, false)
+	uncached := reportBytesCfg(t, 4, true, false)
 	if !bytes.Equal(cached, uncached) {
 		a, b := string(cached), string(uncached)
 		i := 0
@@ -106,6 +111,40 @@ func TestReportDeterministicWithScriptCacheOnOff(t *testing.T) {
 			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
 	}
 	if len(cached) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestReportDeterministicWithNoisePlanesOnOff is the same invariance
+// contract for the noise-plane cache behind the fused hash kernel: the
+// end-to-end report must be byte-identical whether capture noise comes
+// from cached delta planes or the inline xorshift stream — and it must
+// hold across worker counts at the same time (planes off at 1 worker vs
+// planes on at 8), so kernel selection can never interact with
+// scheduling.
+func TestReportDeterministicWithNoisePlanesOnOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	planes := reportBytesCfg(t, 4, false, false)
+	inline := reportBytesCfg(t, 4, false, true)
+	crossed := reportBytesCfg(t, 1, false, true)
+	for name, other := range map[string][]byte{"inline-4w": inline, "inline-1w": crossed} {
+		if !bytes.Equal(planes, other) {
+			a, b := string(planes), string(other)
+			i := 0
+			for i < len(a) && i < len(b) && a[i] == b[i] {
+				i++
+			}
+			lo := i - 80
+			if lo < 0 {
+				lo = 0
+			}
+			t.Fatalf("report diverges from %s at byte %d:\n  planes: ...%s\n  %s: ...%s",
+				name, i, a[lo:min(i+80, len(a))], name, b[lo:min(i+80, len(b))])
+		}
+	}
+	if len(planes) == 0 {
 		t.Fatal("empty report")
 	}
 }

@@ -39,6 +39,11 @@ type PipelineConfig struct {
 	Capture *screenshot.Cache
 	// DisableCapture forces uncached captures even when Capture is nil.
 	DisableCapture bool
+	// DisableNoisePlanes drops the noise-plane cache inside the capture
+	// cache, pinning the hash kernel to its inline path. Reports are
+	// byte-identical either way; the knob exists so the determinism
+	// suite and A/B benches can prove it.
+	DisableNoisePlanes bool
 	// Scripts is the compile-once program cache shared by the crawl and
 	// milking stages. NewPipeline creates one (bound to Obs) when left
 	// nil; set DisableScriptCache to opt out for A/B benchmarking.
@@ -140,6 +145,9 @@ func NewPipeline(cfg PipelineConfig, internet *webtx.Internet, clock *vclock.Clo
 	search *websearch.Engine, bl *gsb.Blacklist, vt *vtsim.Service, cats *webcat.Service) *Pipeline {
 	if cfg.Capture == nil && !cfg.DisableCapture {
 		cfg.Capture = screenshot.NewCache(0, cfg.Obs)
+	}
+	if cfg.DisableNoisePlanes {
+		cfg.Capture.DisableNoisePlanes()
 	}
 	if cfg.Scripts == nil && !cfg.DisableScriptCache {
 		cfg.Scripts = adscript.NewProgramCache(0, cfg.Obs)

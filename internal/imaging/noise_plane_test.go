@@ -1,0 +1,183 @@
+package imaging
+
+import "testing"
+
+func testImage(w, h int, seed uint64) *Image {
+	im := New(w, h)
+	s := seed | 1
+	for i := range im.Pix {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		im.Pix[i] = byte(s)
+	}
+	return im
+}
+
+func TestBuildPlaneMatchesNoiseStream(t *testing.T) {
+	// The plane must replay exactly the stream Noise consumes: applying
+	// plane deltas to an image must equal Noise on a clone.
+	for _, amp := range []int{1, 2, 3, 7} {
+		im := testImage(64, 48, 11)
+		want := im.Clone()
+		want.Noise(amp, 99)
+		plane := BuildPlane(99, 64*48, amp)
+		lut := AddClampLUT(amp)
+		for p, i := 0, 0; i+3 < len(im.Pix); p, i = p+1, i+4 {
+			q := 3 * p
+			im.Pix[i] = lut[int(im.Pix[i])+int(plane[q])+amp]
+			im.Pix[i+1] = lut[int(im.Pix[i+1])+int(plane[q+1])+amp]
+			im.Pix[i+2] = lut[int(im.Pix[i+2])+int(plane[q+2])+amp]
+		}
+		for i := range im.Pix {
+			if im.Pix[i] != want.Pix[i] {
+				t.Fatalf("amp %d: pixel byte %d: %d != %d", amp, i, im.Pix[i], want.Pix[i])
+			}
+		}
+	}
+}
+
+func TestNoisyGrayIntoCachedBitIdentical(t *testing.T) {
+	nc := NewNoiseCache(0)
+	for _, amp := range []int{0, 1, 2, 5} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			im := testImage(40, 30, seed*13)
+			want := im.NoisyGrayInto(make([]byte, 40*30), amp, seed)
+			// Three rounds walk the admission states: miss, build, hit.
+			for round := 0; round < 3; round++ {
+				got := im.NoisyGrayIntoCached(make([]byte, 40*30), amp, seed, nc)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("amp %d seed %d round %d: byte %d differs", amp, seed, round, i)
+					}
+				}
+			}
+		}
+	}
+	if hits, _, _, _ := nc.Stats(); hits == 0 {
+		t.Fatal("expected plane-cache hits on the third rounds")
+	}
+}
+
+func TestNoiseCachedBitIdentical(t *testing.T) {
+	nc := NewNoiseCache(0)
+	for round := 0; round < 3; round++ {
+		a := testImage(32, 32, 7)
+		b := a.Clone()
+		a.Noise(2, 1234)
+		b.NoiseCached(2, 1234, nc)
+		for i := range a.Pix {
+			if a.Pix[i] != b.Pix[i] {
+				t.Fatalf("round %d: byte %d differs", round, i)
+			}
+		}
+	}
+}
+
+func TestNoiseCacheNilSafe(t *testing.T) {
+	var nc *NoiseCache
+	if p, build := nc.Lookup(1, 100, 2); p != nil || build {
+		t.Fatal("nil cache must miss without admission")
+	}
+	nc.Store(1, 100, 2, make([]int8, 300))
+	if nc.Bytes() != 0 || nc.BytesPeak() != 0 || nc.Entries() != 0 {
+		t.Fatal("nil cache must report zero state")
+	}
+	im := testImage(16, 16, 3)
+	want := im.Clone()
+	want.Noise(2, 5)
+	im.NoiseCached(2, 5, nil)
+	for i := range im.Pix {
+		if im.Pix[i] != want.Pix[i] {
+			t.Fatal("nil-cache NoiseCached diverged from Noise")
+		}
+	}
+}
+
+func TestNoiseCacheAdmissionAndEviction(t *testing.T) {
+	nc := NewNoiseCache(4 * 300) // room for four 100-pixel planes
+	lookups := func(seed uint64) (hit bool, build bool) {
+		p, b := nc.Lookup(seed, 100, 2)
+		return p != nil, b
+	}
+	if hit, build := lookups(1); hit || build {
+		t.Fatal("first sighting must not admit")
+	}
+	if hit, build := lookups(1); hit || !build {
+		t.Fatal("second sighting must admit")
+	}
+	nc.Store(1, 100, 2, BuildPlane(1, 100, 2))
+	if hit, _ := lookups(1); !hit {
+		t.Fatal("stored plane must hit")
+	}
+	// Filling past the byte budget evicts FIFO.
+	for seed := uint64(2); seed <= 8; seed++ {
+		nc.Lookup(seed, 100, 2)
+		nc.Lookup(seed, 100, 2)
+		nc.Store(seed, 100, 2, BuildPlane(seed, 100, 2))
+	}
+	if nc.Bytes() > 4*300 {
+		t.Fatalf("cache over byte budget: %d", nc.Bytes())
+	}
+	if _, _, ev, _ := nc.Stats(); ev == 0 {
+		t.Fatal("expected evictions")
+	}
+	if nc.BytesPeak() < nc.Bytes() {
+		t.Fatal("peak below current bytes")
+	}
+	if hit, _ := lookups(1); hit {
+		t.Fatal("oldest plane should have been evicted")
+	}
+}
+
+func TestNoiseCacheRejectsOversizeAmp(t *testing.T) {
+	nc := NewNoiseCache(0)
+	nc.Lookup(1, 10, PlaneMaxAmp+1)
+	if _, build := nc.Lookup(1, 10, PlaneMaxAmp+1); build {
+		t.Fatal("amp beyond plane encoding must never admit")
+	}
+}
+
+// TestNoiseJumpMatchesStepping pins the GF(2) jump tables to the scalar
+// recurrence: Apply must land on exactly the state `draws` sequential
+// steps reach, from arbitrary (including degenerate) start states.
+func TestNoiseJumpMatchesStepping(t *testing.T) {
+	for _, draws := range []int{1, 3, 27, 3 * 37, 3 * 256, 3 * 1024} {
+		j := JumpFor(draws)
+		for _, s0 := range []uint64{1, 3, 0xdeadbeef, ^uint64(0), 1 << 63, 0x9e3779b97f4a7c15} {
+			want := s0
+			for k := 0; k < draws; k++ {
+				want = noiseStep(want)
+			}
+			if got := j.Apply(s0); got != want {
+				t.Fatalf("draws=%d s0=%#x: jump %#x != stepped %#x", draws, s0, got, want)
+			}
+		}
+		if j2 := JumpFor(draws); j2 != j {
+			t.Fatalf("draws=%d: cache returned a different table", draws)
+		}
+	}
+	// Zero is M's fixed point (linearity).
+	if got := JumpFor(5).Apply(0); got != 0 {
+		t.Fatalf("jump of zero state: %#x", got)
+	}
+}
+
+func TestClampLUTs(t *testing.T) {
+	lut5 := ClampLUT5()
+	for v := 0; v <= 255; v++ {
+		for d := -2; d <= 2; d++ {
+			if got, want := lut5[v+d+2], clampByte(v+d); got != want {
+				t.Fatalf("lut5[%d+%d]: %d != %d", v, d, got, want)
+			}
+		}
+	}
+	lut := AddClampLUT(7)
+	for v := 0; v <= 255; v++ {
+		for d := -7; d <= 7; d++ {
+			if got, want := lut[v+d+7], clampByte(v+d); got != want {
+				t.Fatalf("lut7[%d+%d]: %d != %d", v, d, got, want)
+			}
+		}
+	}
+}

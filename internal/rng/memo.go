@@ -1,0 +1,266 @@
+package rng
+
+// Seed-state memoization. Seeding math/rand's additive lagged-Fibonacci
+// generator runs a 607-round multiplicative scramble (seedrand) and
+// allocates its 607-word state vector — measurably the costliest part of
+// Split on the pipeline's hot paths, where the same child seeds recur
+// constantly (GSB polls per domain, campaign host streams, hour-bucketed
+// capture draws). The memo removes both costs for repeated seeds:
+//
+//   - The freshly seeded generator state is recovered, without touching
+//     math/rand internals, from its own first 607 outputs: each output
+//     overwrites exactly the state word it was produced into (vec[feed] =
+//     vec[feed] + vec[tap]), and 607 consecutive draws visit every feed
+//     position exactly once, so after 607 draws the state vector IS the
+//     output sequence laid out in feed order — with tap and feed back at
+//     their post-seed positions.
+//
+//   - A memo hit returns a replaySource: a ~50-byte handle that serves
+//     the first 607 draws straight out of the shared immutable snapshot
+//     (during that window the generator's writes are identities, so no
+//     private state is needed) and materializes a private copy of the
+//     vector only if a caller ever draws past the replay window. Most
+//     split streams draw far fewer than 607 values, so a hit costs two
+//     small allocations instead of the 4.8 KB state vector plus the
+//     seedrand rounds.
+//
+// Seeds are admitted to the memo on their second sighting: the pipeline
+// derives many single-use seeds (per-request slot draws keyed on the
+// virtual clock), and snapshotting those would trade one 4.8 KB
+// allocation for two. First-sighting seeds pay exactly the status quo.
+//
+// Streams are bit-identical to rand.New(rand.NewSource(seed)) — enforced
+// by property tests — so memoization can never move a report byte.
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	// rngLen and rngTap mirror math/rand's generator geometry: a 607-word
+	// additive generator with taps 273 words apart. The feed index starts
+	// rngLen-rngTap words in. These are fixed by the math/rand stream
+	// compatibility promise (Go 1 keeps seeded sequences stable).
+	rngLen  = 607
+	rngTap  = 273
+	rngFeed = rngLen - rngTap
+
+	// Memo bounds. Snapshots cost 4856 bytes each; the default bound
+	// keeps the memo under ~20 MB. The sighting filter is 8 bytes per
+	// seed and gets a wider bound.
+	defaultMaxSnapshots = 4096
+	defaultMaxSeen      = 1 << 16
+
+	// SnapshotBytes is the size of one memoized seed state, exported so
+	// the observability layer can gauge memo memory without reaching
+	// into the package.
+	SnapshotBytes = rngLen * 8
+)
+
+// seedState is the canonical post-seed generator state: the value the
+// 607-word vector holds immediately after seeding, which equals the
+// generator's first 607 outputs laid out in feed order. Immutable once
+// built; shared by every replaySource for its seed.
+type seedState [rngLen]uint64
+
+// buildSnapshot recovers the post-seed state of rand.NewSource(seed) by
+// draining its first 607 outputs. Draw k lands in feed position
+// (rngFeed - k) mod rngLen.
+func buildSnapshot(seed int64) *seedState {
+	src := rand.NewSource(seed).(rand.Source64)
+	var st seedState
+	for k := 1; k <= rngLen; k++ {
+		st[(rngFeed-k+rngLen)%rngLen] = src.Uint64()
+	}
+	return &st
+}
+
+// replaySource is a rand.Source64 positioned at the start of a seed's
+// stream, backed by a shared snapshot. The first rngLen draws replay the
+// snapshot read-only; past that the additive recurrence needs writable
+// state and the snapshot is copied once into vec.
+type replaySource struct {
+	snap      *seedState // shared, immutable
+	vec       *seedState // private; nil until a draw passes the replay window
+	tap, feed int
+	replay    int // snapshot reads remaining before materialization
+}
+
+func newReplaySource(snap *seedState) *replaySource {
+	return &replaySource{snap: snap, tap: 0, feed: rngFeed, replay: rngLen}
+}
+
+func (r *replaySource) Uint64() uint64 {
+	r.tap--
+	if r.tap < 0 {
+		r.tap += rngLen
+	}
+	r.feed--
+	if r.feed < 0 {
+		r.feed += rngLen
+	}
+	if r.replay > 0 {
+		// Within the replay window vec[feed] already holds the sum this
+		// draw would store, so the state write is an identity and the
+		// shared snapshot can be read directly.
+		r.replay--
+		return r.snap[r.feed]
+	}
+	if r.vec == nil {
+		v := *r.snap
+		r.vec = &v
+	}
+	x := r.vec[r.feed] + r.vec[r.tap]
+	r.vec[r.feed] = x
+	return x
+}
+
+func (r *replaySource) Int63() int64 {
+	return int64(r.Uint64() &^ (1 << 63))
+}
+
+// Seed repositions the source at the start of the given seed's stream,
+// going back through the memo like New.
+func (r *replaySource) Seed(seed int64) {
+	*r = *newReplaySource(snapshotFor(seed))
+}
+
+// seedMemo is the process-wide snapshot store. Both maps are FIFO-bounded.
+type seedMemo struct {
+	mu    sync.Mutex
+	seen  map[int64]struct{}
+	seenQ memoFifo
+	snaps map[int64]*seedState
+	snapQ memoFifo
+
+	maxSeen, maxSnaps int
+
+	hits, misses, stores, evictions atomic.Int64
+}
+
+// memoFifo is a slice-backed queue with amortised O(1) pops.
+type memoFifo struct {
+	items []int64
+	head  int
+}
+
+func (q *memoFifo) push(v int64) { q.items = append(q.items, v) }
+
+func (q *memoFifo) pop() (int64, bool) {
+	if q.head >= len(q.items) {
+		return 0, false
+	}
+	v := q.items[q.head]
+	q.head++
+	if q.head > 64 && q.head*2 > len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return v, true
+}
+
+var memo = &seedMemo{
+	seen:     map[int64]struct{}{},
+	snaps:    map[int64]*seedState{},
+	maxSeen:  defaultMaxSeen,
+	maxSnaps: defaultMaxSnapshots,
+}
+
+// sourceFor returns a rand.Source positioned at the start of seed's
+// stream: a snapshot replayer on a memo hit, a plain math/rand source on
+// a first sighting. Second sightings build and store the snapshot.
+func sourceFor(seed int64) rand.Source {
+	memo.mu.Lock()
+	if st, ok := memo.snaps[seed]; ok {
+		memo.mu.Unlock()
+		memo.hits.Add(1)
+		return newReplaySource(st)
+	}
+	memo.misses.Add(1)
+	if _, again := memo.seen[seed]; !again {
+		memo.seen[seed] = struct{}{}
+		memo.seenQ.push(seed)
+		for len(memo.seen) > memo.maxSeen {
+			old, ok := memo.seenQ.pop()
+			if !ok {
+				break
+			}
+			delete(memo.seen, old)
+		}
+		memo.mu.Unlock()
+		return rand.NewSource(seed)
+	}
+	memo.mu.Unlock()
+
+	// Second sighting: snapshot outside the lock (a racing builder for
+	// the same seed produces an identical snapshot; last store wins).
+	st := buildSnapshot(seed)
+	memo.mu.Lock()
+	if _, ok := memo.snaps[seed]; !ok {
+		memo.snapQ.push(seed)
+	}
+	memo.snaps[seed] = st
+	for len(memo.snaps) > memo.maxSnaps {
+		old, ok := memo.snapQ.pop()
+		if !ok {
+			break
+		}
+		if _, present := memo.snaps[old]; present {
+			delete(memo.snaps, old)
+			memo.evictions.Add(1)
+		}
+	}
+	memo.mu.Unlock()
+	memo.stores.Add(1)
+	return newReplaySource(st)
+}
+
+// snapshotFor returns the snapshot for seed, building (and memoizing) it
+// if absent. Used by replaySource.Seed, which has already paid for a
+// snapshot once and so skips the sighting filter.
+func snapshotFor(seed int64) *seedState {
+	memo.mu.Lock()
+	if st, ok := memo.snaps[seed]; ok {
+		memo.mu.Unlock()
+		memo.hits.Add(1)
+		return st
+	}
+	memo.mu.Unlock()
+	memo.misses.Add(1)
+	st := buildSnapshot(seed)
+	memo.mu.Lock()
+	if _, ok := memo.snaps[seed]; !ok {
+		memo.snapQ.push(seed)
+	}
+	memo.snaps[seed] = st
+	for len(memo.snaps) > memo.maxSnaps {
+		old, ok := memo.snapQ.pop()
+		if !ok {
+			break
+		}
+		if _, present := memo.snaps[old]; present {
+			delete(memo.snaps, old)
+			memo.evictions.Add(1)
+		}
+	}
+	memo.mu.Unlock()
+	memo.stores.Add(1)
+	return st
+}
+
+// MemoStats reports cumulative seed-memo traffic: hits (seedings served
+// from a snapshot), misses, snapshots stored, and snapshots evicted.
+func MemoStats() (hits, misses, stores, evictions int64) {
+	return memo.hits.Load(), memo.misses.Load(), memo.stores.Load(), memo.evictions.Load()
+}
+
+// MemoBytes reports the memo's current snapshot memory.
+func MemoBytes() int64 {
+	memo.mu.Lock()
+	n := len(memo.snaps)
+	memo.mu.Unlock()
+	return int64(n) * SnapshotBytes
+}

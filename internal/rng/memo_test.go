@@ -1,0 +1,194 @@
+package rng
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// drainRef draws n values from a plain (memo-free) math/rand source.
+func drainRef(seed int64, n int) []uint64 {
+	src := rand.NewSource(seed).(rand.Source64)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = src.Uint64()
+	}
+	return out
+}
+
+// TestReplaySourceBitIdentical is the memo's core property: a
+// replaySource must reproduce rand.NewSource's stream exactly — through
+// the replay window (first 607 draws), across the materialization
+// boundary, and deep into the private-state recurrence.
+func TestReplaySourceBitIdentical(t *testing.T) {
+	const draws = 3*rngLen + 17 // several windows past materialization
+	for _, seed := range []int64{0, 1, -1, 42, 1 << 40, -987654321, 7777777} {
+		want := drainRef(seed, draws)
+		rs := newReplaySource(buildSnapshot(seed))
+		for i, w := range want {
+			if got := rs.Uint64(); got != w {
+				t.Fatalf("seed %d draw %d: got %#x want %#x", seed, i, got, w)
+			}
+		}
+	}
+}
+
+func TestReplaySourceInt63Matches(t *testing.T) {
+	seed := int64(12345)
+	ref := rand.NewSource(seed)
+	rs := newReplaySource(buildSnapshot(seed))
+	for i := 0; i < 2*rngLen; i++ {
+		if got, want := rs.Int63(), ref.Int63(); got != want {
+			t.Fatalf("draw %d: got %d want %d", i, got, want)
+		}
+	}
+}
+
+// TestReplaySourcesShareSnapshot checks that two replayers on one
+// snapshot do not perturb each other: the shared window is read-only and
+// materialization is private.
+func TestReplaySourcesShareSnapshot(t *testing.T) {
+	seed := int64(555)
+	snap := buildSnapshot(seed)
+	a, b := newReplaySource(snap), newReplaySource(snap)
+	want := drainRef(seed, 2*rngLen)
+	// Interleave and run a past its window while b lags inside its own.
+	for i := 0; i < 2*rngLen; i++ {
+		if got := a.Uint64(); got != want[i] {
+			t.Fatalf("a draw %d diverged", i)
+		}
+		if i%3 == 0 {
+			if got := b.Uint64(); got != want[i/3] {
+				t.Fatalf("b draw %d diverged", i/3)
+			}
+		}
+	}
+}
+
+// TestNewThroughMemoBitIdentical exercises the full New path: first
+// sighting (plain source), second (snapshot build), third (memo hit)
+// must all produce the reference stream.
+func TestNewThroughMemoBitIdentical(t *testing.T) {
+	seed := int64(424242424242)
+	want := drainRef(seed, rngLen+50)
+	for round := 0; round < 3; round++ {
+		s := New(seed)
+		for i, w := range want {
+			if got := s.Int63(); got != int64(w&^(1<<63)) {
+				t.Fatalf("round %d draw %d diverged", round, i)
+			}
+		}
+	}
+}
+
+// TestMemoSplitStreamsMatch drives the high-level Source API through the
+// memo: repeated Splits of the same name must yield identical streams,
+// and rand.Rand-derived values (Float64, Intn, Perm) must match a
+// memo-free reference generator.
+func TestMemoSplitStreamsMatch(t *testing.T) {
+	root := New(987)
+	a := root.Split("campaign/x")
+	b := New(987).Split("campaign/x")
+	ref := rand.New(rand.NewSource(a.Seed()))
+	for i := 0; i < 100; i++ {
+		av, bv, rv := a.Float64(), b.Float64(), ref.Float64()
+		if av != bv || av != rv {
+			t.Fatalf("draw %d: %v %v %v", i, av, bv, rv)
+		}
+	}
+	p1 := a.Perm(17)
+	p2 := b.Perm(17)
+	rp := ref.Perm(17)
+	for i := range p1 {
+		if p1[i] != p2[i] || p1[i] != rp[i] {
+			t.Fatalf("perm diverged at %d", i)
+		}
+	}
+}
+
+func TestMemoStatsMove(t *testing.T) {
+	h0, _, _, _ := MemoStats()
+	seed := int64(31337133713)
+	New(seed) // first sighting
+	New(seed) // builds snapshot
+	New(seed) // hit
+	h1, _, _, _ := MemoStats()
+	if h1 <= h0 {
+		t.Fatalf("expected memo hits to advance: %d -> %d", h0, h1)
+	}
+	if MemoBytes() <= 0 {
+		t.Fatal("expected non-zero memo bytes after a store")
+	}
+}
+
+func TestMemoEvictionBounds(t *testing.T) {
+	m := &seedMemo{
+		seen:     map[int64]struct{}{},
+		snaps:    map[int64]*seedState{},
+		maxSeen:  8,
+		maxSnaps: 4,
+	}
+	old := memo
+	memo = m
+	defer func() { memo = old }()
+
+	for seed := int64(0); seed < 16; seed++ {
+		sourceFor(seed)
+		sourceFor(seed) // second sighting stores a snapshot
+	}
+	if len(m.snaps) > m.maxSnaps {
+		t.Fatalf("snapshot map over bound: %d > %d", len(m.snaps), m.maxSnaps)
+	}
+	if len(m.seen) > m.maxSeen {
+		t.Fatalf("seen map over bound: %d > %d", len(m.seen), m.maxSeen)
+	}
+	if m.evictions.Load() == 0 {
+		t.Fatal("expected evictions")
+	}
+	// Streams stay correct for evicted and resident seeds alike.
+	for seed := int64(0); seed < 16; seed++ {
+		want := drainRef(seed, 10)
+		src := sourceFor(seed).(rand.Source64)
+		for i, w := range want {
+			if got := src.Uint64(); got != w {
+				t.Fatalf("seed %d draw %d diverged after eviction", seed, i)
+			}
+		}
+	}
+}
+
+func TestReplaySourceSeedRepositions(t *testing.T) {
+	rs := newReplaySource(buildSnapshot(1))
+	rs.Uint64()
+	rs.Seed(2)
+	want := drainRef(2, 20)
+	for i, w := range want {
+		if got := rs.Uint64(); got != w {
+			t.Fatalf("draw %d after Seed: got %#x want %#x", i, got, w)
+		}
+	}
+}
+
+func BenchmarkRngSplit_Cold(b *testing.B) {
+	// Unique names defeat the memo: every split pays the full math/rand
+	// seeding scramble, the status-quo cost.
+	root := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root.Split("cold/" + strconv.Itoa(i))
+	}
+}
+
+func BenchmarkRngSplit_Memo(b *testing.B) {
+	// One repeated name: after the warmup sightings every split is a
+	// memo hit served from the shared snapshot.
+	root := New(1)
+	root.Split("gsb/domain")
+	root.Split("gsb/domain")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		root.Split("gsb/domain")
+	}
+}
