@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race check bench-obs bench-baseline bench-check profile-milk
+.PHONY: all build vet test test-race serve-smoke check bench-obs bench-baseline bench-check profile-milk
 
 all: check
 
@@ -24,14 +24,23 @@ test:
 # the capture fast path shared across worker pools (internal/imaging
 # buffer pools, internal/screenshot capture cache, internal/phash fused
 # hashing), the script fast path (internal/adscript program cache +
-# decode memo, internal/browser per-tab interpreter reuse), plus the
-# root package (worker-count determinism contract on the serialized
+# decode memo, internal/browser per-tab interpreter reuse), the service
+# job engine (internal/serve store + worker pool + HTTP handlers), plus
+# the root package (worker-count determinism contract on the serialized
 # report).
 test-race:
 	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/... \
 		./internal/cluster/... ./internal/vclock/... \
 		./internal/imaging/... ./internal/screenshot/... ./internal/phash/... \
-		./internal/adscript/... ./internal/browser/... .
+		./internal/adscript/... ./internal/browser/... ./internal/serve/... .
+
+# Service-mode smoke test (also part of plain `make test`): boot the
+# real seacma-serve daemon on a random port, submit the example job
+# spec (examples/serve/job.json) over HTTP, poll it to completion, and
+# byte-compare the served report against the one-shot pipeline run,
+# then drain and check for goroutine leaks.
+serve-smoke:
+	$(GO) test -run 'TestServeSmoke' -v ./cmd/seacma-serve/
 
 check: build vet test test-race
 

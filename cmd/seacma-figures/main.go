@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -28,24 +29,51 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	var (
-		out  = flag.String("out", "figures", "output directory")
-		seed = flag.Int64("seed", 1, "template seed")
-	)
-	flag.Parse()
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
-	src := rng.New(*seed)
+}
+
+// figuresConfig is the assembled run configuration; split from flag
+// parsing so tests can cover the -flag → config mapping.
+type figuresConfig struct {
+	out  string
+	seed int64
+}
+
+// parseFlags maps the command line onto a figuresConfig.
+func parseFlags(args []string) (*figuresConfig, error) {
+	fs := flag.NewFlagSet("seacma-figures", flag.ContinueOnError)
+	var (
+		out  = fs.String("out", "figures", "output directory")
+		seed = fs.Int64("seed", 1, "template seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return &figuresConfig{out: *out, seed: *seed}, nil
+}
+
+func run(args []string, stdout io.Writer) error {
+	fc, err := parseFlags(args)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(fc.out, 0o755); err != nil {
+		return err
+	}
+	src := rng.New(fc.seed)
 
 	// Figures 5 & 6: one exemplar per SE category.
 	for i, cat := range secamp.AllCategories {
 		tmpl := secamp.NewTemplate(cat, i, src.Split(cat.Key()))
 		doc := tmpl.BuildDoc("http://example.club/landing", uint64(i)+1)
 		img := screenshot.Render(doc, screenshot.Options{})
-		writePNG(*out, fmt.Sprintf("fig6-%s.png", cat.Key()), img)
+		if err := writePNG(fc.out, fmt.Sprintf("fig6-%s.png", cat.Key()), img); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("wrote %d category exemplars (Figures 5/6)\n", len(secamp.AllCategories))
+	fmt.Fprintf(stdout, "wrote %d category exemplars (Figures 5/6)\n", len(secamp.AllCategories))
 
 	// The benign cluster families of Section 4.3.
 	kinds := []struct {
@@ -60,9 +88,11 @@ func main() {
 	for _, k := range kinds {
 		f := secamp.NewBenignFamily("fig-"+k.name, k.kind, 5, src)
 		img := screenshot.Render(f.DocForTest(0), screenshot.Options{})
-		writePNG(*out, fmt.Sprintf("benign-%s.png", k.name), img)
+		if err := writePNG(fc.out, fmt.Sprintf("benign-%s.png", k.name), img); err != nil {
+			return err
+		}
 	}
-	fmt.Printf("wrote %d benign family exemplars\n", len(kinds))
+	fmt.Fprintf(stdout, "wrote %d benign family exemplars\n", len(kinds))
 
 	// Figure 1/3/4: a live mini world, one crawl, one milking timeline.
 	w := worldgen.Build(worldgen.TinyConfig())
@@ -87,10 +117,12 @@ func main() {
 		}
 	}
 	if graphText == "" {
-		log.Fatal("no SE attack reached; try another seed")
+		return fmt.Errorf("no SE attack reached; try another seed")
 	}
-	writeText(*out, "fig3-backtracking-graph.txt", graphText)
-	fmt.Println("wrote fig3-backtracking-graph.txt")
+	if err := writeText(fc.out, "fig3-backtracking-graph.txt", graphText); err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "wrote fig3-backtracking-graph.txt")
 
 	timeline := fmt.Sprintf("milking %s every 15 minutes:\n", upstream)
 	seen := map[string]bool{}
@@ -108,23 +140,25 @@ func main() {
 		}
 		w.Clock.Advance(15 * time.Minute)
 	}
-	writeText(*out, "fig4-milking-timeline.txt", timeline)
-	fmt.Printf("wrote fig4-milking-timeline.txt (%d distinct domains in a day)\n", len(seen))
+	if err := writeText(fc.out, "fig4-milking-timeline.txt", timeline); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote fig4-milking-timeline.txt (%d distinct domains in a day)\n", len(seen))
+	return nil
 }
 
-func writePNG(dir, name string, img *imaging.Image) {
+func writePNG(dir, name string, img *imaging.Image) error {
 	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	defer f.Close()
 	if err := img.EncodePNG(f); err != nil {
-		log.Fatal(err)
+		f.Close()
+		return err
 	}
+	return f.Close()
 }
 
-func writeText(dir, name, text string) {
-	if err := os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644); err != nil {
-		log.Fatal(err)
-	}
+func writeText(dir, name, text string) error {
+	return os.WriteFile(filepath.Join(dir, name), []byte(text), 0o644)
 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseFlags(t *testing.T) {
+	fc, err := parseFlags([]string{"-out", "artifacts", "-seed", "7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.out != "artifacts" || fc.seed != 7 {
+		t.Fatalf("out/seed = %q/%d", fc.out, fc.seed)
+	}
+	fc, err = parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.out != "figures" || fc.seed != 1 {
+		t.Fatalf("defaults = %q/%d", fc.out, fc.seed)
+	}
+	if _, err := parseFlags([]string{"-nope"}); err == nil {
+		t.Fatal("unknown flag must error")
+	}
+}
+
+func TestRunWritesFigures(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-out", dir, "-seed", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig6-tech-support.png",
+		"benign-parked.png",
+		"fig3-backtracking-graph.txt",
+		"fig4-milking-timeline.txt",
+	} {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("missing artefact %s: %v", name, err)
+			continue
+		}
+		if fi.Size() == 0 {
+			t.Errorf("artefact %s is empty", name)
+		}
+	}
+	if !strings.Contains(out.String(), "fig4-milking-timeline.txt") {
+		t.Fatalf("run output missing summary lines:\n%s", out.String())
+	}
+}
+
+func TestRunBadOutputDir(t *testing.T) {
+	// A file where the output directory should be must surface as an
+	// error, not a log.Fatal.
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "taken")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-out", blocker}, &strings.Builder{}); err == nil {
+		t.Fatal("run into a non-directory must error")
+	}
+}

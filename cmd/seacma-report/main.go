@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"repro"
-	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/profiling"
 )
@@ -104,8 +103,7 @@ func run(args []string, stdout, stderr io.Writer) (retErr error) {
 
 	if rc.jsonFile != "" {
 		reportSpan := rc.exp.Obs.StartSpan("report")
-		patterns := core.PatternSetFromSeeds(exp.Pipeline.Cfg.Seeds)
-		rep := core.BuildReport(res.RunResult, patterns, exp.World.GSB, exp.World.Webcat, exp.World.Clock.Now())
+		rep := res.Report()
 		reportSpan.End()
 		f, err := os.Create(rc.jsonFile)
 		if err != nil {

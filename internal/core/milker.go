@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -525,6 +526,17 @@ func interactForDownloads(client *devtools.Client, tab *browser.Tab) {
 // cfg.Workers workers and committed serially in source order, so the
 // result is identical for every worker count.
 func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
+	return m.RunContext(context.Background(), sources)
+}
+
+// RunContext is Run with cancellation. Cancellation is observed at
+// virtual-tick granularity: once ctx is done every recurring timer
+// declines to re-arm, the pending probe batch is dropped, the final
+// sweep is skipped, and ctx.Err() is returned with the partial result.
+// For a never-cancelled context the behaviour (and the result bytes)
+// are identical to Run — the ctx checks sit outside the probe/commit
+// work and cannot reorder it.
+func (m *Milker) RunContext(ctx context.Context, sources []MilkSource) (*MilkingResult, error) {
 	if m.cfg.MaxSources > 0 && len(sources) > m.cfg.MaxSources {
 		sources = sources[:m.cfg.MaxSources]
 	}
@@ -548,6 +560,9 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	for i := range sources {
 		i := i
 		if err := m.clock.Every(m.cfg.MilkInterval, horizon, func(now time.Time) bool {
+			if ctx.Err() != nil {
+				return false
+			}
 			m.met.milks.Inc()
 			m.hourly("milker_milks_hourly", now).Inc()
 			pending = append(pending, i)
@@ -560,6 +575,9 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	// domain. Runs inline in the callback pass — before any same-instant
 	// milking commits — exactly as the serial scheduler ordered it.
 	if err := m.clock.Every(m.cfg.GSBInterval, gsbHorizon, func(now time.Time) bool {
+		if ctx.Err() != nil {
+			return false
+		}
 		hourlyPolls := m.hourly("milker_gsb_polls_hourly", now)
 		w := 0
 		for _, di := range unlisted {
@@ -583,6 +601,10 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 		for _, fn := range batch {
 			fn(now)
 		}
+		if ctx.Err() != nil {
+			pending = pending[:0]
+			return
+		}
 		if len(pending) == 0 {
 			return
 		}
@@ -599,6 +621,9 @@ func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	}
 	m.clock.AdvanceToBatched(gsbHorizon.Add(time.Minute), runBatch)
 	res.End = horizon
+	if err := ctx.Err(); err != nil {
+		return res, Errorf("milker: cancelled: %v", err)
+	}
 
 	// Final sweep two months after milking ended.
 	finalAt := horizon.Add(m.cfg.FinalLookupAfter)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/adscript"
@@ -163,6 +164,14 @@ func (p *Pipeline) Reverse() (hosts []string, byHost map[string][]string) {
 
 // Crawl runs step ③ over the two IP-vantage groups.
 func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
+	sessions, _ := p.CrawlContext(context.Background(), byHost)
+	return sessions
+}
+
+// CrawlContext is Crawl with cancellation: no new session starts after
+// ctx is done, and ctx.Err() is returned with the sessions completed so
+// far (unstarted slots filtered out).
+func (p *Pipeline) CrawlContext(ctx context.Context, byHost map[string][]string) ([]*crawler.Session, error) {
 	defer p.Cfg.Obs.StartSpan("crawl").End()
 	inst, res := GroupPublishers(byHost, p.Cfg.Seeds)
 	var tasks []crawler.Task
@@ -186,7 +195,17 @@ func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
 		ccfg.Scripts = p.Cfg.Scripts
 	}
 	farm := crawler.New(p.Internet, p.Clock, ccfg)
-	return farm.CrawlAll(tasks)
+	sessions, err := farm.CrawlAllContext(ctx, tasks)
+	if err != nil {
+		kept := sessions[:0]
+		for _, s := range sessions {
+			if s != nil {
+				kept = append(kept, s)
+			}
+		}
+		return kept, err
+	}
+	return sessions, nil
 }
 
 // Discover runs step ⑤.
@@ -210,6 +229,13 @@ func (p *Pipeline) Attribute(sessions []*crawler.Session) []Attribution {
 
 // Milk runs step ⑥: candidate extraction, source verification, tracking.
 func (p *Pipeline) Milk(sessions []*crawler.Session, disc *DiscoveryResult) ([]MilkSource, *MilkingResult, error) {
+	return p.MilkContext(context.Background(), sessions, disc)
+}
+
+// MilkContext is Milk with cancellation, observed between source
+// verification and tracking and at every virtual tick of the tracking
+// loop.
+func (p *Pipeline) MilkContext(ctx context.Context, sessions []*crawler.Session, disc *DiscoveryResult) ([]MilkSource, *MilkingResult, error) {
 	mcfg := p.Cfg.Milker
 	if mcfg.Obs == nil {
 		mcfg.Obs = p.Cfg.Obs
@@ -229,27 +255,48 @@ func (p *Pipeline) Milk(sessions []*crawler.Session, disc *DiscoveryResult) ([]M
 	if len(sources) == 0 {
 		return nil, nil, Errorf("no milkable sources verified from %d candidates", len(cands))
 	}
+	if err := ctx.Err(); err != nil {
+		return sources, nil, err
+	}
 	milkSpan := p.Cfg.Obs.StartSpan("milk")
-	res, err := milker.Run(sources)
+	res, err := milker.RunContext(ctx, sources)
 	milkSpan.End()
 	return sources, res, err
 }
 
 // Run executes the full pipeline (milking included).
 func (p *Pipeline) Run() (*RunResult, error) {
+	return p.RunContext(context.Background())
+}
+
+// RunContext executes the full pipeline under ctx. Cancellation is
+// observed between stages and inside the two long-running loops (crawl
+// session feed, milking virtual ticks); a cancelled run returns
+// ctx.Err() and the partial result must be discarded.
+func (p *Pipeline) RunContext(ctx context.Context) (*RunResult, error) {
 	out := &RunResult{}
 	out.PublisherHosts, out.NetworksByHost = p.Reverse()
 	if len(out.PublisherHosts) == 0 {
 		return nil, Errorf("seed reversal found no publishers")
 	}
-	out.Sessions = p.Crawl(out.NetworksByHost)
+	sessions, err := p.CrawlContext(ctx, out.NetworksByHost)
+	if err != nil {
+		return nil, err
+	}
+	out.Sessions = sessions
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	disc, err := p.Discover(out.Sessions)
 	if err != nil {
 		return nil, err
 	}
 	out.Discovery = disc
 	out.Attributions = p.Attribute(out.Sessions)
-	sources, milking, err := p.Milk(out.Sessions, disc)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sources, milking, err := p.MilkContext(ctx, out.Sessions, disc)
 	if err != nil {
 		return nil, err
 	}

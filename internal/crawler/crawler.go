@@ -8,6 +8,7 @@
 package crawler
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"sync"
@@ -193,6 +194,16 @@ func (c *Crawler) Config() Config { return c.cfg }
 // CrawlAll runs every (task, UA) session across the worker pool and
 // returns all session records, in deterministic (task, UA) order.
 func (c *Crawler) CrawlAll(tasks []Task) []*Session {
+	out, _ := c.CrawlAllContext(context.Background(), tasks)
+	return out
+}
+
+// CrawlAllContext is CrawlAll with cancellation: once ctx is done no new
+// session is started (in-flight sessions finish — a session is seconds
+// of virtual work, not wall time), the pool is drained, and ctx.Err() is
+// returned alongside the sessions completed so far. Unstarted slots stay
+// nil, so callers that keep a partial result must filter them.
+func (c *Crawler) CrawlAllContext(ctx context.Context, tasks []Task) ([]*Session, error) {
 	type job struct {
 		idx  int
 		task Task
@@ -213,15 +224,19 @@ func (c *Crawler) CrawlAll(tasks []Task) []*Session {
 		}()
 	}
 	i := 0
+feed:
 	for _, t := range tasks {
 		for _, ua := range c.cfg.UserAgents {
+			if ctx.Err() != nil {
+				break feed
+			}
 			jobs <- job{idx: i, task: t, ua: ua}
 			i++
 		}
 	}
 	close(jobs)
 	wg.Wait()
-	return out
+	return out, ctx.Err()
 }
 
 // RunSession crawls one publisher with one UA.

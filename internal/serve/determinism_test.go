@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro"
+	"repro/internal/obs"
+)
+
+// TestJobReportMatchesOneShot is the service-mode determinism contract:
+// for the same spec, a job's report (the bytes /v1/jobs/{id}/report
+// serves) is byte-identical to the one-shot library/CLI run — at one
+// worker AND at eight, and regardless of cache warmth from earlier jobs
+// on the same daemon.
+func TestJobReportMatchesOneShot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline runs")
+	}
+	base := JobSpec{Tiny: true, Seed: 1, Days: 1, MaxSources: 40}
+
+	// One-shot reference: cold caches, no sharing.
+	exp := seacma.NewExperiment(SpecExperimentConfig(base))
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := res.Report().WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+
+	// One owner for both jobs: the second run hits caches warmed by the
+	// first, which must not change a single byte.
+	owner := NewPipelineOwner(obs.New())
+	for _, workers := range []int{1, 8} {
+		spec := base
+		spec.Workers = workers
+		jr, err := owner.Run(context.Background(), spec, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !bytes.Equal(jr.ReportJSON, want.Bytes()) {
+			t.Errorf("workers=%d: job report diverges from one-shot (%d vs %d bytes)",
+				workers, len(jr.ReportJSON), want.Len())
+		}
+		if len(jr.Campaigns) == 0 {
+			t.Errorf("workers=%d: no campaign summaries", workers)
+		}
+	}
+}
+
+// TestRunnerCancellation submits the real pipeline with an
+// already-cancelled context and verifies it aborts with a context error
+// instead of completing.
+func TestRunnerCancellation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	owner := NewPipelineOwner(obs.New())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := owner.Run(ctx, JobSpec{Tiny: true, Seed: 1, Days: 1, MaxSources: 40}, nil); err == nil {
+		t.Fatal("cancelled run must not succeed")
+	}
+}
+
+// TestRunnerUnknownNetwork verifies a typoed network name fails fast.
+func TestRunnerUnknownNetwork(t *testing.T) {
+	owner := NewPipelineOwner(obs.New())
+	_, err := owner.Run(context.Background(), JobSpec{Tiny: true, Networks: []string{"no-such-net"}}, nil)
+	if err == nil || !bytes.Contains([]byte(err.Error()), []byte("no-such-net")) {
+		t.Fatalf("unknown network err = %v", err)
+	}
+}

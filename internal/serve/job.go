@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// JobSpec is the request body of POST /v1/jobs: everything that
+// identifies one pipeline run. The zero value is a valid spec (default
+// world, seed 1); the spec is echoed back in job views so a client can
+// always reconstruct what a job computed.
+type JobSpec struct {
+	// Seed is the world seed (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Tiny selects the smoke-scale world (seconds per job) instead of
+	// the 1/8-scale default.
+	Tiny bool `json:"tiny,omitempty"`
+	// Workers parallelizes the milking and discovery stages (their
+	// output is byte-identical for any value; 0 = per-stage defaults).
+	// The crawl farm always runs one worker — see SpecExperimentConfig.
+	Workers int `json:"workers,omitempty"`
+	// Days overrides the milking horizon in virtual days (0 = config
+	// default: 14 full-scale, 2 tiny).
+	Days int `json:"days,omitempty"`
+	// MaxSources bounds the milking sources (default 300, matching the
+	// one-shot seacma-report CLI).
+	MaxSources int `json:"max_sources,omitempty"`
+	// SkipMilking stops after discovery and attribution.
+	SkipMilking bool `json:"skip_milking,omitempty"`
+	// MaxPublishers bounds the crawl pool (0 = all).
+	MaxPublishers int `json:"max_publishers,omitempty"`
+	// Networks restricts the analyst seed list to the named ad networks
+	// (empty = all seed networks). Unknown names fail the job.
+	Networks []string `json:"networks,omitempty"`
+}
+
+// Validate rejects specs whose values are out of range before a job is
+// created, so bad submissions fail with 400 instead of a failed job.
+func (s JobSpec) Validate() error {
+	if s.Seed < 0 {
+		return fmt.Errorf("seed must be >= 0 (got %d)", s.Seed)
+	}
+	if s.Workers < 0 || s.Workers > 64 {
+		return fmt.Errorf("workers must be in [0,64] (got %d)", s.Workers)
+	}
+	if s.Days < 0 || s.Days > 60 {
+		return fmt.Errorf("days must be in [0,60] (got %d)", s.Days)
+	}
+	if s.MaxSources < 0 {
+		return fmt.Errorf("max_sources must be >= 0 (got %d)", s.MaxSources)
+	}
+	if s.MaxPublishers < 0 {
+		return fmt.Errorf("max_publishers must be >= 0 (got %d)", s.MaxPublishers)
+	}
+	for _, n := range s.Networks {
+		if n == "" {
+			return fmt.Errorf("networks must not contain empty names")
+		}
+	}
+	return nil
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Finished reports whether the state is terminal.
+func (s JobState) Finished() bool { return s == StateDone || s == StateFailed }
+
+// PhaseMark records one pipeline stage transition of a running job. The
+// names match the obs span names (reverse, crawl, discover, attribute,
+// milk), so progress and the span log correlate.
+type PhaseMark struct {
+	Name      string    `json:"name"`
+	StartedAt time.Time `json:"started_at"`
+}
+
+// CampaignSummary is the queryable record of one discovered SE campaign.
+type CampaignSummary struct {
+	// Key is the global campaign address: "<job id>/<campaign id>".
+	Key        string   `json:"key"`
+	JobID      string   `json:"job_id"`
+	ID         int      `json:"id"`
+	Category   string   `json:"category"`
+	Attacks    int      `json:"attacks"`
+	Domains    []string `json:"domains"`
+	RepHash    string   `json:"rep_hash"`
+	ScamPhones []string `json:"scam_phones,omitempty"`
+}
+
+// ClusterSummary is the queryable record of one cluster, SE or benign.
+type ClusterSummary struct {
+	Key             string  `json:"key"`
+	JobID           string  `json:"job_id"`
+	ID              int     `json:"id"`
+	SE              bool    `json:"se"`
+	Category        string  `json:"category,omitempty"`
+	Pages           int     `json:"pages"`
+	Domains         int     `json:"domains"`
+	MeanParkedScore float64 `json:"mean_parked_score"`
+}
+
+// JobResult is everything a completed job retains for the query
+// endpoints. The full RunResult (sessions, events, rasters) is
+// deliberately dropped once these are built, so a long-lived daemon's
+// memory is bounded by report size, not crawl size.
+type JobResult struct {
+	Report core.Report
+	// ReportJSON is the report serialized exactly as the one-shot CLIs
+	// write it; the /report endpoint returns these bytes verbatim so
+	// the byte-identity contract survives any future handler changes.
+	ReportJSON []byte
+	Campaigns  []CampaignSummary
+	Clusters   []ClusterSummary
+}
+
+// Job is one submitted pipeline run. All fields are guarded by the
+// owning Store's mutex; handlers read through View snapshots.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	state     JobState
+	phase     string
+	phases    []PhaseMark
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancelled bool
+	cancel    func()
+	result    *JobResult
+}
+
+// JobView is the JSON projection of a Job at one instant.
+type JobView struct {
+	ID          string      `json:"id"`
+	State       JobState    `json:"state"`
+	Spec        JobSpec     `json:"spec"`
+	Phase       string      `json:"phase,omitempty"`
+	Phases      []PhaseMark `json:"phases,omitempty"`
+	Error       string      `json:"error,omitempty"`
+	SubmittedAt time.Time   `json:"submitted_at"`
+	StartedAt   *time.Time  `json:"started_at,omitempty"`
+	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
+	Campaigns   int         `json:"campaigns,omitempty"`
+	Clusters    int         `json:"clusters,omitempty"`
+	ReportURL   string      `json:"report_url,omitempty"`
+}
+
+// view snapshots the job; caller holds the store mutex.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:          j.ID,
+		State:       j.state,
+		Spec:        j.Spec,
+		Phase:       j.phase,
+		Phases:      append([]PhaseMark(nil), j.phases...),
+		Error:       j.err,
+		SubmittedAt: j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.StartedAt = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.FinishedAt = &t
+	}
+	if j.result != nil {
+		v.Campaigns = len(j.result.Campaigns)
+		v.Clusters = len(j.result.Clusters)
+		v.ReportURL = "/v1/jobs/" + j.ID + "/report"
+	}
+	return v
+}

@@ -1,0 +1,156 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"repro"
+	"repro/internal/adscript"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/screenshot"
+)
+
+// PipelineOwner is the daemon's long-lived pipeline context: the obs
+// registry and the two content-addressed caches shared by every job.
+// Sharing is safe because both caches are proven behaviour-invariant
+// (reports are byte-identical with them on, off, or shared) and
+// concurrency-safe (they already back the crawl and milking pools).
+type PipelineOwner struct {
+	Obs     *obs.Registry
+	Capture *screenshot.Cache
+	Scripts *adscript.ProgramCache
+}
+
+// NewPipelineOwner builds the shared context, binding both caches to
+// the daemon registry so capture_*/script_* metrics aggregate across
+// jobs at /metrics.
+func NewPipelineOwner(reg *obs.Registry) *PipelineOwner {
+	return &PipelineOwner{
+		Obs:     reg,
+		Capture: screenshot.NewCache(0, reg),
+		Scripts: adscript.NewProgramCache(0, reg),
+	}
+}
+
+// SpecExperimentConfig maps a job spec onto the experiment
+// configuration, mirroring the seacma-report CLI flag mapping so a
+// job's report is byte-identical to `seacma-report -seed N [-tiny]
+// -workers 1 -json`. The crawl farm is pinned to one worker — crawl
+// session order is the only scheduling-dependent stage, so pinning it
+// makes a job's identity (spec → report bytes) hold at every Workers
+// value; milking and discovery parallelize freely under their
+// byte-identical-output contract.
+func SpecExperimentConfig(spec JobSpec) seacma.ExperimentConfig {
+	cfg := seacma.DefaultExperimentConfig()
+	if spec.Tiny {
+		cfg = seacma.QuickExperimentConfig()
+	}
+	cfg.World.Seed = spec.Seed
+	if cfg.World.Seed <= 0 {
+		cfg.World.Seed = 1
+	}
+	cfg.Milker.MaxSources = 300
+	if spec.MaxSources > 0 {
+		cfg.Milker.MaxSources = spec.MaxSources
+	}
+	if spec.Days > 0 {
+		cfg.Milker.Duration = time.Duration(spec.Days) * 24 * time.Hour
+	}
+	cfg.SkipMilking = spec.SkipMilking
+	cfg.MaxPublishers = spec.MaxPublishers
+	cfg.Crawler.Workers = 1
+	if spec.Workers > 0 {
+		cfg.Milker.Workers = spec.Workers
+		cfg.Discovery.Workers = spec.Workers
+	}
+	return cfg
+}
+
+// Run executes one job against the shared pipeline context. It is the
+// store's production Runner.
+func (o *PipelineOwner) Run(ctx context.Context, spec JobSpec, onPhase func(string)) (*JobResult, error) {
+	cfg := SpecExperimentConfig(spec)
+	cfg.Obs = o.Obs
+	cfg.Capture = o.Capture
+	cfg.Scripts = o.Scripts
+	exp := seacma.NewExperiment(cfg)
+	if len(spec.Networks) > 0 {
+		kept, err := filterSeeds(exp.Pipeline.Cfg.Seeds, spec.Networks)
+		if err != nil {
+			return nil, err
+		}
+		exp.Pipeline.Cfg.Seeds = kept
+	}
+	res, err := exp.RunPhased(ctx, onPhase)
+	if err != nil {
+		return nil, err
+	}
+	return buildJobResult(res)
+}
+
+// filterSeeds keeps only the named seed networks, failing on unknown
+// names so a typo surfaces as a failed job with a clear reason.
+func filterSeeds(seeds []core.SeedNetwork, names []string) ([]core.SeedNetwork, error) {
+	byName := make(map[string]core.SeedNetwork, len(seeds))
+	for _, s := range seeds {
+		byName[s.Name] = s
+	}
+	var kept []core.SeedNetwork
+	for _, n := range names {
+		s, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown seed network %q", n)
+		}
+		kept = append(kept, s)
+	}
+	return kept, nil
+}
+
+// buildJobResult projects a finished run onto what the query endpoints
+// retain: the serialized report plus campaign/cluster summaries. The
+// heavyweight RunResult (sessions, events) is released afterwards.
+func buildJobResult(res *seacma.Result) (*JobResult, error) {
+	rep := res.Report()
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("serialize report: %w", err)
+	}
+	out := &JobResult{Report: rep, ReportJSON: buf.Bytes()}
+	disc := res.Discovery
+	for _, c := range disc.Campaigns() {
+		out.Campaigns = append(out.Campaigns, CampaignSummary{
+			ID:         c.ID,
+			Category:   string(c.Category),
+			Attacks:    c.AttackCount(disc.Observations),
+			Domains:    append([]string(nil), c.Domains...),
+			RepHash:    c.Rep.String(),
+			ScamPhones: append([]string(nil), c.Signals.ScamPhones...),
+		})
+	}
+	for _, c := range disc.Clusters {
+		out.Clusters = append(out.Clusters, ClusterSummary{
+			ID:              c.ID,
+			SE:              c.Category != core.CatBenign,
+			Category:        string(c.Category),
+			Pages:           c.Signals.Pages,
+			Domains:         len(c.Domains),
+			MeanParkedScore: c.Signals.MeanParkedScore(),
+		})
+	}
+	return out, nil
+}
+
+// stampKeys fills the job-scoped keys once the job ID is known.
+func (r *JobResult) stampKeys(jobID string) {
+	for i := range r.Campaigns {
+		r.Campaigns[i].JobID = jobID
+		r.Campaigns[i].Key = fmt.Sprintf("%s/%d", jobID, r.Campaigns[i].ID)
+	}
+	for i := range r.Clusters {
+		r.Clusters[i].JobID = jobID
+		r.Clusters[i].Key = fmt.Sprintf("%s/%d", jobID, r.Clusters[i].ID)
+	}
+}

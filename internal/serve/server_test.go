@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// newTestServer wires a Server around the given runner with a fresh
+// registry and registers cleanup that drains the pool.
+func newTestServer(t *testing.T, runner Runner) (*Server, *httptest.Server, *obs.Registry) {
+	t.Helper()
+	reg := obs.New()
+	srv := New(Config{Workers: 2, QueueCap: 8, Obs: reg, Runner: runner, Version: "test"})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		drainStore(t, srv.Store())
+	})
+	return srv, ts, reg
+}
+
+// do issues a request and returns status + body.
+func do(t *testing.T, method, url string, body string) (int, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func decodeView(t *testing.T, b []byte) JobView {
+	t.Helper()
+	var v JobView
+	if err := json.Unmarshal(b, &v); err != nil {
+		t.Fatalf("decode job view: %v (%s)", err, b)
+	}
+	return v
+}
+
+func TestAPISubmitAndQuery(t *testing.T) {
+	srv, ts, _ := newTestServer(t, instantRunner)
+
+	code, body := do(t, "POST", ts.URL+"/v1/jobs", `{"seed": 5, "tiny": true}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", code, body)
+	}
+	v := decodeView(t, body)
+	if v.ID == "" || v.Spec.Seed != 5 || !v.Spec.Tiny {
+		t.Fatalf("submit view = %+v", v)
+	}
+	waitState(t, srv.Store(), v.ID, StateDone)
+
+	code, body = do(t, "GET", ts.URL+"/v1/jobs/"+v.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("get job status %d", code)
+	}
+	got := decodeView(t, body)
+	if got.State != StateDone || got.Campaigns != 1 {
+		t.Fatalf("job view = %+v", got)
+	}
+
+	code, body = do(t, "GET", ts.URL+"/v1/jobs", "")
+	if code != http.StatusOK || !strings.Contains(string(body), v.ID) {
+		t.Fatalf("list status %d: %s", code, body)
+	}
+
+	code, body = do(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/report", "")
+	if code != http.StatusOK || string(body) != `{"report":"seed-5"}` {
+		t.Fatalf("report = %d %q", code, body)
+	}
+
+	code, body = do(t, "GET", ts.URL+"/v1/campaigns", "")
+	if code != http.StatusOK || !strings.Contains(string(body), v.ID+"/0") {
+		t.Fatalf("campaigns = %d %s", code, body)
+	}
+	code, body = do(t, "GET", ts.URL+"/v1/campaigns/"+v.ID+"/0", "")
+	if code != http.StatusOK || !strings.Contains(string(body), `"tech_support"`) {
+		t.Fatalf("campaign by key = %d %s", code, body)
+	}
+	code, body = do(t, "GET", ts.URL+"/v1/clusters?job="+v.ID, "")
+	if code != http.StatusOK || !strings.Contains(string(body), `"se": true`) {
+		t.Fatalf("clusters = %d %s", code, body)
+	}
+}
+
+func TestAPIErrorPaths(t *testing.T) {
+	srv, ts, _ := newTestServer(t, instantRunner)
+
+	// Malformed JSON → 400 with a JSON error body.
+	code, body := do(t, "POST", ts.URL+"/v1/jobs", `{"seed": `)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "bad job spec") {
+		t.Fatalf("bad JSON = %d %s", code, body)
+	}
+	// Unknown fields → 400 (catches client typos like "max_source").
+	code, body = do(t, "POST", ts.URL+"/v1/jobs", `{"max_source": 10}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "max_source") {
+		t.Fatalf("unknown field = %d %s", code, body)
+	}
+	// Out-of-range spec → 400 via Validate.
+	code, body = do(t, "POST", ts.URL+"/v1/jobs", `{"workers": 100}`)
+	if code != http.StatusBadRequest || !strings.Contains(string(body), "workers") {
+		t.Fatalf("invalid spec = %d %s", code, body)
+	}
+	// Unknown job → 404 everywhere.
+	for _, path := range []string{"/v1/jobs/job-999999", "/v1/jobs/job-999999/report", "/v1/campaigns/job-999999/0"} {
+		if code, _ := do(t, "GET", ts.URL+path, ""); code != http.StatusNotFound {
+			t.Fatalf("GET %s = %d, want 404", path, code)
+		}
+	}
+	if code, _ := do(t, "POST", ts.URL+"/v1/jobs/job-999999/cancel", ""); code != http.StatusNotFound {
+		t.Fatalf("cancel unknown = %d, want 404", code)
+	}
+	// Non-integer campaign ID → 400.
+	if code, _ := do(t, "GET", ts.URL+"/v1/campaigns/job-000001/zero", ""); code != http.StatusBadRequest {
+		t.Fatalf("bad campaign id = %d, want 400", code)
+	}
+
+	// Cancelling a finished job → 409.
+	code, body = do(t, "POST", ts.URL+"/v1/jobs", `{}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	v := decodeView(t, body)
+	waitState(t, srv.Store(), v.ID, StateDone)
+	if code, _ = do(t, "POST", ts.URL+"/v1/jobs/"+v.ID+"/cancel", ""); code != http.StatusConflict {
+		t.Fatalf("cancel finished = %d, want 409", code)
+	}
+}
+
+func TestAPIReportLifecycle(t *testing.T) {
+	br := newBlockingRunner()
+	srv, ts, _ := newTestServer(t, br.run)
+
+	code, body := do(t, "POST", ts.URL+"/v1/jobs", `{"seed": 3}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	v := decodeView(t, body)
+	<-br.started
+	waitState(t, srv.Store(), v.ID, StateRunning)
+
+	// Running job: report not ready → 409 + Retry-After.
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+v.ID+"/report", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict || resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("running report = %d (Retry-After %q)", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+
+	// Cancel over the API: DELETE is an alias for POST .../cancel.
+	code, body = do(t, "DELETE", ts.URL+"/v1/jobs/"+v.ID, "")
+	if code != http.StatusOK {
+		t.Fatalf("DELETE cancel = %d %s", code, body)
+	}
+	failed := waitState(t, srv.Store(), v.ID, StateFailed)
+	if !strings.HasPrefix(failed.Error, "cancelled:") {
+		t.Fatalf("cancelled job error = %q", failed.Error)
+	}
+	// Failed job: report is gone for good → 410.
+	if code, _ = do(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/report", ""); code != http.StatusGone {
+		t.Fatalf("failed report = %d, want 410", code)
+	}
+}
+
+func TestAPIVersionMetricsHealth(t *testing.T) {
+	_, ts, _ := newTestServer(t, instantRunner)
+
+	code, body := do(t, "GET", ts.URL+"/v1/version", "")
+	if code != http.StatusOK {
+		t.Fatalf("version = %d", code)
+	}
+	var vi struct {
+		Service   string `json:"service"`
+		Version   string `json:"version"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal(body, &vi); err != nil {
+		t.Fatal(err)
+	}
+	if vi.Service != "seacma-serve" || vi.Version != "test" || !strings.HasPrefix(vi.GoVersion, "go") {
+		t.Fatalf("version info = %+v", vi)
+	}
+
+	if _, body = do(t, "POST", ts.URL+"/v1/jobs", `{}`); len(body) == 0 {
+		t.Fatal("submit returned empty body")
+	}
+	code, body = do(t, "GET", ts.URL+"/metrics", "")
+	if code != http.StatusOK || !strings.Contains(string(body), "serve_jobs_submitted_total") {
+		t.Fatalf("metrics JSON = %d %s", code, body)
+	}
+	code, body = do(t, "GET", ts.URL+"/metrics?format=text", "")
+	if code != http.StatusOK || !strings.Contains(string(body), "serve_jobs_submitted_total") {
+		t.Fatalf("metrics text = %d %s", code, body)
+	}
+
+	code, body = do(t, "GET", ts.URL+"/healthz", "")
+	if code != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
+		t.Fatalf("healthz = %d %s", code, body)
+	}
+}
+
+func TestAPIMetricsDisabled(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueCap: 1, Runner: instantRunner})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer drainStore(t, srv.Store())
+	if code, _ := do(t, "GET", ts.URL+"/metrics", ""); code != http.StatusNotFound {
+		t.Fatalf("metrics without registry = %d, want 404", code)
+	}
+}
+
+// TestAPIShutdown covers the graceful-shutdown contract at the HTTP
+// layer: during and after drain, submissions get 503 and healthz turns
+// unhealthy, while polling and reports keep working.
+func TestAPIShutdown(t *testing.T) {
+	br := newBlockingRunner()
+	reg := obs.New()
+	srv := New(Config{Workers: 1, QueueCap: 4, Obs: reg, Runner: br.run})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	code, body := do(t, "POST", ts.URL+"/v1/jobs", `{"seed": 1}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	v := decodeView(t, body)
+	<-br.started
+
+	waitState(t, srv.Store(), v.ID, StateRunning)
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for !srv.Store().Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if code, _ = do(t, "POST", ts.URL+"/v1/jobs", `{"seed": 2}`); code != http.StatusServiceUnavailable {
+		t.Fatalf("submit during drain = %d, want 503", code)
+	}
+	code, body = do(t, "GET", ts.URL+"/healthz", "")
+	if code != http.StatusServiceUnavailable || !strings.Contains(string(body), "draining") {
+		t.Fatalf("healthz during drain = %d %s", code, body)
+	}
+	// Polling still works mid-drain.
+	if code, _ = do(t, "GET", ts.URL+"/v1/jobs/"+v.ID, ""); code != http.StatusOK {
+		t.Fatalf("poll during drain = %d", code)
+	}
+
+	close(br.release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	// After a graceful drain the in-flight job completed and its report
+	// is still queryable.
+	if v, _ := srv.Store().Get(v.ID); v.State != StateDone {
+		t.Fatalf("job after drain = %q, want done", v.State)
+	}
+	if code, _ = do(t, "GET", ts.URL+"/v1/jobs/"+v.ID+"/report", ""); code != http.StatusOK {
+		t.Fatalf("report after drain = %d", code)
+	}
+}

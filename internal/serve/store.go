@@ -1,0 +1,334 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Runner executes one job: build the world, run the pipeline under ctx,
+// and return the retained result. onPhase is invoked as each pipeline
+// stage begins (never concurrently for one job).
+type Runner func(ctx context.Context, spec JobSpec, onPhase func(phase string)) (*JobResult, error)
+
+// Store errors, mapped onto HTTP statuses by the server.
+var (
+	// ErrNotFound: no job with that ID (404).
+	ErrNotFound = errors.New("job not found")
+	// ErrDraining: the store no longer accepts submissions (503).
+	ErrDraining = errors.New("store is draining")
+	// ErrQueueFull: the bounded queue is at capacity (503).
+	ErrQueueFull = errors.New("job queue is full")
+	// ErrFinished: the job already reached a terminal state (409).
+	ErrFinished = errors.New("job already finished")
+)
+
+// Store is the async job engine: a registry of jobs plus a bounded
+// worker pool that executes them. All job-state transitions happen
+// under one mutex; the pipeline work itself runs outside it.
+type Store struct {
+	runner Runner
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string // submission order, for stable listings
+	nextID   int
+	draining bool
+	running  int
+
+	metSubmitted *obs.Counter // serve_jobs_submitted_total
+	metCompleted *obs.Counter // serve_jobs_completed_total
+	metFailed    *obs.Counter // serve_jobs_failed_total
+	metInflight  *obs.Gauge   // serve_jobs_inflight (queued + running)
+}
+
+// NewStore starts a store with the given worker-pool size and queue
+// bound (defaults 2 and 16). The registry may be nil.
+func NewStore(workers, queueCap int, runner Runner, reg *obs.Registry) *Store {
+	if workers <= 0 {
+		workers = 2
+	}
+	if queueCap <= 0 {
+		queueCap = 16
+	}
+	s := &Store{
+		runner:       runner,
+		queue:        make(chan *Job, queueCap),
+		jobs:         map[string]*Job{},
+		metSubmitted: reg.Counter("serve_jobs_submitted_total"),
+		metCompleted: reg.Counter("serve_jobs_completed_total"),
+		metFailed:    reg.Counter("serve_jobs_failed_total"),
+		metInflight:  reg.Gauge("serve_jobs_inflight"),
+	}
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for job := range s.queue {
+				s.runJob(job)
+			}
+		}()
+	}
+	return s
+}
+
+// Submit validates the spec, registers a queued job and hands it to the
+// worker pool. The queue send happens under the mutex, so the capacity
+// check cannot race with other submitters.
+func (s *Store) Submit(spec JobSpec) (JobView, error) {
+	if err := spec.Validate(); err != nil {
+		return JobView{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return JobView{}, ErrDraining
+	}
+	s.nextID++
+	job := &Job{
+		ID:        fmt.Sprintf("job-%06d", s.nextID),
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+	}
+	select {
+	case s.queue <- job:
+	default:
+		s.nextID--
+		return JobView{}, ErrQueueFull
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.metSubmitted.Inc()
+	s.metInflight.Add(1)
+	return job.view(), nil
+}
+
+// runJob executes one dequeued job on a pool worker.
+func (s *Store) runJob(job *Job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	s.mu.Lock()
+	if job.cancelled {
+		// Cancelled while queued: Cancel already marked it failed;
+		// nothing to run.
+		s.mu.Unlock()
+		return
+	}
+	job.state = StateRunning
+	job.started = time.Now()
+	job.cancel = cancel
+	s.running++
+	s.mu.Unlock()
+
+	onPhase := func(name string) {
+		s.mu.Lock()
+		job.phase = name
+		job.phases = append(job.phases, PhaseMark{Name: name, StartedAt: time.Now()})
+		s.mu.Unlock()
+	}
+	result, err := s.runner(ctx, job.Spec, onPhase)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running--
+	s.metInflight.Add(-1)
+	job.cancel = nil
+	job.phase = ""
+	job.finished = time.Now()
+	switch {
+	case err != nil:
+		job.state = StateFailed
+		if ctx.Err() != nil {
+			job.err = "cancelled: " + err.Error()
+		} else {
+			job.err = err.Error()
+		}
+		s.metFailed.Inc()
+	case result == nil:
+		job.state = StateFailed
+		job.err = "runner returned no result"
+		s.metFailed.Inc()
+	default:
+		job.state = StateDone
+		result.stampKeys(job.ID)
+		job.result = result
+		s.metCompleted.Inc()
+	}
+}
+
+// Get returns a snapshot of one job.
+func (s *Store) Get(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	return job.view(), nil
+}
+
+// List returns snapshots of every job in submission order.
+func (s *Store) List() []JobView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobView, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].view())
+	}
+	return out
+}
+
+// Report returns the serialized report of a completed job. ErrNotFound
+// for unknown IDs; ErrFinished-family semantics are up to the caller —
+// a nil slice with nil error means the job exists but has no report
+// yet (still queued/running) or failed.
+func (s *Store) Report(id string) ([]byte, JobState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return nil, "", ErrNotFound
+	}
+	if job.result == nil {
+		return nil, job.state, nil
+	}
+	return job.result.ReportJSON, job.state, nil
+}
+
+// Cancel stops a job: a queued job is marked failed immediately (the
+// pool skips it), a running job has its context cancelled and fails
+// once the pipeline observes it. Finished jobs return ErrFinished.
+func (s *Store) Cancel(id string) (JobView, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, ErrNotFound
+	}
+	switch job.state {
+	case StateQueued:
+		job.cancelled = true
+		job.state = StateFailed
+		job.err = "cancelled before start"
+		job.finished = time.Now()
+		s.metFailed.Inc()
+		s.metInflight.Add(-1)
+	case StateRunning:
+		if !job.cancelled {
+			job.cancelled = true
+			job.cancel()
+		}
+	default:
+		return JobView{}, ErrFinished
+	}
+	return job.view(), nil
+}
+
+// CancelAll cancels every queued and running job (forced shutdown).
+func (s *Store) CancelAll() {
+	for _, v := range s.List() {
+		if !v.State.Finished() {
+			_, _ = s.Cancel(v.ID)
+		}
+	}
+}
+
+// Campaigns returns every campaign discovered by completed jobs, in job
+// submission order. jobID filters to one job ("" = all).
+func (s *Store) Campaigns(jobID string) []CampaignSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []CampaignSummary
+	for _, id := range s.order {
+		if jobID != "" && id != jobID {
+			continue
+		}
+		if res := s.jobs[id].result; res != nil {
+			out = append(out, res.Campaigns...)
+		}
+	}
+	return out
+}
+
+// Campaign resolves one campaign by its "<job>/<id>" key.
+func (s *Store) Campaign(jobID string, campaignID int) (CampaignSummary, error) {
+	for _, c := range s.Campaigns(jobID) {
+		if c.ID == campaignID {
+			return c, nil
+		}
+	}
+	return CampaignSummary{}, ErrNotFound
+}
+
+// Clusters returns every cluster (SE and benign) of completed jobs.
+func (s *Store) Clusters(jobID string) []ClusterSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []ClusterSummary
+	for _, id := range s.order {
+		if jobID != "" && id != jobID {
+			continue
+		}
+		if res := s.jobs[id].result; res != nil {
+			out = append(out, res.Clusters...)
+		}
+	}
+	return out
+}
+
+// Inflight returns the number of jobs not yet in a terminal state.
+func (s *Store) Inflight() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, job := range s.jobs {
+		if !job.state.Finished() {
+			n++
+		}
+	}
+	return n
+}
+
+// Draining reports whether the store has stopped accepting submissions.
+func (s *Store) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain stops intake and waits for the pool to run the queue dry:
+// queued and running jobs complete normally. If ctx expires first,
+// every unfinished job is cancelled and Drain keeps waiting (the
+// pipeline observes cancellation within one virtual tick), returning
+// ctx.Err() to record that the drain was forced. Idempotent.
+func (s *Store) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.CancelAll()
+		<-done
+		return ctx.Err()
+	}
+}

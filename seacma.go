@@ -23,12 +23,15 @@
 package seacma
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/adnet"
+	"repro/internal/adscript"
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/obs"
+	"repro/internal/screenshot"
 	"repro/internal/webcat"
 	"repro/internal/worldgen"
 )
@@ -80,6 +83,15 @@ type ExperimentConfig struct {
 	// webtx request counts by IP class. NewExperiment binds it to the
 	// world's virtual clock. Nil = zero-overhead no-op.
 	Obs *obs.Registry
+	// Capture, when non-nil, is the content-addressed capture cache the
+	// pipeline uses instead of creating its own. A long-lived owner (the
+	// seacma-serve daemon) passes one instance to every experiment so
+	// render→dhash work is shared across jobs; the cache is
+	// content-addressed, so sharing never changes any result.
+	Capture *screenshot.Cache
+	// Scripts is the analogous shared compile-once ad-script program
+	// cache.
+	Scripts *adscript.ProgramCache
 }
 
 // DefaultExperimentConfig is the 1/8-scale default world with the
@@ -137,6 +149,8 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 		Milker:        cfg.Milker,
 		MaxPublishers: cfg.MaxPublishers,
 		Obs:           cfg.Obs,
+		Capture:       cfg.Capture,
+		Scripts:       cfg.Scripts,
 	}, w.Internet, w.Clock, w.Search, w.GSB, w.VT, w.Webcat)
 	return &Experiment{Cfg: cfg, World: w, Pipeline: p}
 }
@@ -171,26 +185,65 @@ type Result struct {
 // Run executes the full pipeline. With SkipMilking the milking stage is
 // omitted and Milking stays nil.
 func (e *Experiment) Run() (*Result, error) {
-	if e.Cfg.SkipMilking {
-		out := &core.RunResult{}
-		out.PublisherHosts, out.NetworksByHost = e.Pipeline.Reverse()
-		if len(out.PublisherHosts) == 0 {
-			return nil, core.Errorf("seed reversal found no publishers")
+	return e.RunPhased(context.Background(), nil)
+}
+
+// RunPhased executes the pipeline under ctx, invoking onPhase (when
+// non-nil) as each Figure-2 stage begins. The phase names match the obs
+// span names — reverse, crawl, discover, attribute, milk — so a
+// progress consumer (the seacma-serve job engine) can correlate them
+// with the span log. Cancellation is observed between stages, in the
+// crawl session feed and at every milking virtual tick; a cancelled run
+// returns ctx.Err() and no Result.
+func (e *Experiment) RunPhased(ctx context.Context, onPhase func(phase string)) (*Result, error) {
+	phase := func(name string) {
+		if onPhase != nil {
+			onPhase(name)
 		}
-		out.Sessions = e.Pipeline.Crawl(out.NetworksByHost)
-		disc, err := e.Pipeline.Discover(out.Sessions)
-		if err != nil {
-			return nil, err
-		}
-		out.Discovery = disc
-		out.Attributions = e.Pipeline.Attribute(out.Sessions)
-		return &Result{RunResult: out, exp: e}, nil
 	}
-	out, err := e.Pipeline.Run()
+	out := &core.RunResult{}
+	phase("reverse")
+	out.PublisherHosts, out.NetworksByHost = e.Pipeline.Reverse()
+	if len(out.PublisherHosts) == 0 {
+		return nil, core.Errorf("seed reversal found no publishers")
+	}
+	phase("crawl")
+	sessions, err := e.Pipeline.CrawlContext(ctx, out.NetworksByHost)
 	if err != nil {
 		return nil, err
 	}
+	out.Sessions = sessions
+	phase("discover")
+	disc, err := e.Pipeline.Discover(out.Sessions)
+	if err != nil {
+		return nil, err
+	}
+	out.Discovery = disc
+	phase("attribute")
+	out.Attributions = e.Pipeline.Attribute(out.Sessions)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if !e.Cfg.SkipMilking {
+		phase("milk")
+		sources, milking, err := e.Pipeline.MilkContext(ctx, out.Sessions, disc)
+		if err != nil {
+			return nil, err
+		}
+		out.Sources = sources
+		out.Milking = milking
+	}
 	return &Result{RunResult: out, exp: e}, nil
+}
+
+// Report assembles the full machine-readable report of the run — every
+// table plus the headline scalars — exactly as the one-shot CLIs write
+// it. GeneratedAt is the world's virtual clock, so the same seed and
+// configuration serialize to byte-identical JSON no matter where or
+// when the run executed.
+func (r *Result) Report() core.Report {
+	patterns := core.PatternSetFromSeeds(r.exp.Pipeline.Cfg.Seeds)
+	return core.BuildReport(r.RunResult, patterns, r.exp.World.GSB, r.exp.World.Webcat, r.exp.World.Clock.Now())
 }
 
 // Table1 builds the paper's Table 1 from the run.
