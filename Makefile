@@ -25,12 +25,13 @@ test:
 # buffer pools, internal/screenshot capture cache, internal/phash fused
 # hashing), the script fast path (internal/adscript program cache +
 # decode memo, internal/browser per-tab interpreter reuse), the service
-# job engine (internal/serve store + worker pool + HTTP handlers), plus
-# the root package (worker-count determinism contract on the serialized
-# report).
+# job engine (internal/serve store + worker pool + HTTP handlers), the
+# sharded blacklist (internal/gsb concurrent observe/lookup under the
+# pipelined poller), plus the root package (worker-count determinism
+# contract on the serialized report).
 test-race:
 	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/... \
-		./internal/cluster/... ./internal/vclock/... \
+		./internal/cluster/... ./internal/vclock/... ./internal/gsb/... \
 		./internal/imaging/... ./internal/screenshot/... ./internal/phash/... \
 		./internal/adscript/... ./internal/browser/... ./internal/serve/... .
 
@@ -83,7 +84,12 @@ bench-baseline:
 	@echo "wrote $(BENCH_BASELINE)"
 
 # Re-run the end-to-end pipeline bench and fail if it regressed more
-# than 20% against the recorded baseline.
+# than 20% against the recorded baseline, then check the milking
+# stage's parallel efficiency: on a multi-core host the pipelined
+# scheduler must make W8 at least 2x faster than W1. The efficiency
+# guard is skipped on hosts with fewer than 4 CPUs — probes cannot
+# overlap commits without cores to run them on, so the ratio is
+# meaningless there.
 bench-check:
 	@test -f $(BENCH_BASELINE) || { echo "no $(BENCH_BASELINE); run make bench-baseline first"; exit 1; }
 	$(GO) test -run XXX -bench 'BenchmarkFigure2_PipelineEndToEnd$$' -benchtime 1x . | tee BENCH_check.txt
@@ -96,6 +102,21 @@ bench-check:
 	  printf "e2e baseline %s ns/op, current %s ns/op, limit %.0f ns/op\n", base, now, limit; \
 	  exit (now + 0 > limit) ? 1 : 0 }' \
 	  || { echo "FAIL: end-to-end pipeline bench regressed >20%"; exit 1; }
+	@cpus=$$(nproc 2>/dev/null || echo 1); \
+	if [ "$$cpus" -lt 4 ]; then \
+	  echo "SKIP: parallel-efficiency guard needs >=4 CPUs (have $$cpus)"; \
+	else \
+	  $(GO) test -run XXX -bench 'BenchmarkMilking_W[18]$$' -benchtime 1x . | tee BENCH_milk.txt; \
+	  w1=$$(awk '$$1 ~ /^BenchmarkMilking_W1(-[0-9]+)?$$/ { print $$3 }' BENCH_milk.txt); \
+	  w8=$$(awk '$$1 ~ /^BenchmarkMilking_W8(-[0-9]+)?$$/ { print $$3 }' BENCH_milk.txt); \
+	  rm -f BENCH_milk.txt; \
+	  if [ -z "$$w1" ] || [ -z "$$w8" ]; then echo "could not extract milking ns/op (w1=$$w1 w8=$$w8)"; exit 1; fi; \
+	  awk -v w1="$$w1" -v w8="$$w8" 'BEGIN { \
+	    ratio = w1 / w8; \
+	    printf "milking W1 %s ns/op, W8 %s ns/op, speedup %.2fx (need >=2x)\n", w1, w8, ratio; \
+	    exit (ratio < 2.0) ? 1 : 0 }' \
+	    || { echo "FAIL: Milking_W8 not >=2x faster than W1 — pipelined scheduler lost its parallel efficiency"; exit 1; }; \
+	fi
 	@echo "bench-check OK"
 
 # Profile the milking stage (the pipeline's hot loop) and print where
@@ -109,3 +130,5 @@ profile-milk:
 	$(GO) tool pprof -top -nodecount=10 repro.test milk_cpu.prof
 	@echo "=== alloc_space top-10 ==="
 	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space repro.test milk_mem.prof
+	@echo "=== alloc_objects top-10 (alloc-site breakdown by count) ==="
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_objects repro.test milk_mem.prof

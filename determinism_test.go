@@ -59,6 +59,56 @@ func reportBytesCfg(t *testing.T, workers int, disableScriptCache, disableNoiseP
 	return buf.Bytes()
 }
 
+// reportBytesLockstep forces the milking scheduler back into strict
+// lock-step (probe wave and commit of each batch strictly alternate,
+// no tick coalescing, no probe/commit overlap) — the A/B reference for
+// the pipelined scheduler's equivalence contract.
+func reportBytesLockstep(t *testing.T, workers int) []byte {
+	t.Helper()
+	cfg := seacma.QuickExperimentConfig()
+	cfg.Crawler.Workers = 1
+	cfg.Milker.Workers = workers
+	cfg.Discovery.Workers = workers
+	cfg.Milker.Duration = 6 * time.Hour
+	cfg.Milker.GSBExtra = 6 * time.Hour
+	cfg.Milker.FinalLookupAfter = 24 * time.Hour
+	cfg.Milker.MaxSources = 40
+	cfg.Milker.DisablePipeline = true
+
+	exp := seacma.NewExperiment(cfg)
+	res, err := exp.Run()
+	if err != nil {
+		t.Fatalf("lockstep workers=%d: %v", workers, err)
+	}
+	patterns := core.PatternSetFromSeeds(exp.Pipeline.Cfg.Seeds)
+	rep := core.BuildReport(res.RunResult, patterns, exp.World.GSB, exp.World.Webcat, exp.World.Clock.Now())
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatalf("lockstep workers=%d: serialize: %v", workers, err)
+	}
+	return buf.Bytes()
+}
+
+// assertSameReport fails with the first divergent byte and its context
+// when two serialized reports differ.
+func assertSameReport(t *testing.T, labelA, labelB string, a, b []byte) {
+	t.Helper()
+	if bytes.Equal(a, b) {
+		return
+	}
+	sa, sb := string(a), string(b)
+	i := 0
+	for i < len(sa) && i < len(sb) && sa[i] == sb[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	t.Fatalf("report diverges at byte %d:\n  %s: ...%s\n  %s: ...%s",
+		i, labelA, sa[lo:min(i+80, len(sa))], labelB, sb[lo:min(i+80, len(sb))])
+}
+
 // TestReportDeterministicAcrossWorkerCounts is the parallelism
 // contract: the same seed must produce a byte-identical report whether
 // same-tick milking sessions and clustering neighbourhoods are computed
@@ -83,6 +133,40 @@ func TestReportDeterministicAcrossWorkerCounts(t *testing.T) {
 			i, a[lo:min(i+80, len(a))], b[lo:min(i+80, len(b))])
 	}
 	if len(serial) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
+// TestReportDeterministicAcrossOddWorkerCounts extends the contract to
+// worker counts that do not divide typical batch sizes evenly: W3 and
+// W5 leave ragged tails on the probe fan-out, which is exactly where an
+// off-by-one in the pipelined scheduler's group replay would surface.
+func TestReportDeterministicAcrossOddWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	base := reportBytes(t, 1)
+	if len(base) == 0 {
+		t.Fatal("empty report")
+	}
+	for _, w := range []int{3, 5} {
+		assertSameReport(t, "workers=1", "workers="+string(rune('0'+w)), base, reportBytes(t, w))
+	}
+}
+
+// TestReportDeterministicPipelinedVsLockstep is the scheduler
+// equivalence contract: overlapping batch N+1's probes with batch N's
+// commits (and coalescing consecutive milking ticks into one fan-out
+// group) must be observationally identical to the strict lock-step
+// schedule — same report, byte for byte, at the same worker count.
+func TestReportDeterministicPipelinedVsLockstep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	pipelined := reportBytes(t, 4)
+	lockstep := reportBytesLockstep(t, 4)
+	assertSameReport(t, "pipelined", "lockstep", pipelined, lockstep)
+	if len(pipelined) == 0 {
 		t.Fatal("empty report")
 	}
 }

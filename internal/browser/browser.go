@@ -154,6 +154,16 @@ type Browser struct {
 	opts     Options
 	tabs     []*Tab
 	events   []Event
+	// pinned, when non-zero, is the session-visible time: every request
+	// timestamp, log event, and capture seed reads it instead of the live
+	// clock. The pipelined milker pins each probe to its tick instant so
+	// overlapped execution observes exactly the time a lock-step run
+	// would (the clock may already have advanced past the tick).
+	pinned time.Time
+	// spare is one tab retained across ResetSession for reuse: its
+	// interpreter, listener map, and host environment survive, cutting
+	// the per-session allocation churn of single-tab probe sessions.
+	spare *Tab
 }
 
 // Tab is one open page.
@@ -168,6 +178,7 @@ type Tab struct {
 
 	browser      *Browser
 	interp       *adscript.Interp
+	env          *hostEnv // cached host-API objects, rebuilt when interp changes
 	listeners    map[string][]listenerEntry
 	beforeUnload []adscript.Value
 	timeouts     []timeoutEntry
@@ -208,8 +219,52 @@ func (b *Browser) Tabs() []*Tab { return b.tabs }
 // Events returns the instrumentation log.
 func (b *Browser) Events() []Event { return b.events }
 
+// PinTime fixes the session-visible time at t: fetches, event
+// timestamps, and capture noise seeds all read t until the pin changes.
+// A zero t unpins, returning the session to the live virtual clock.
+// Pinning lets a scheduler run this session concurrently with clock
+// advancement while it behaves exactly as if it ran at t.
+func (b *Browser) PinTime(t time.Time) { b.pinned = t }
+
+// now is the session-visible time: the pin when set, else the clock.
+func (b *Browser) now() time.Time {
+	if !b.pinned.IsZero() {
+		return b.pinned
+	}
+	return b.clock.Now()
+}
+
+// ResetSession clears per-session state — tabs, the event log, any time
+// pin — so the Browser can serve a fresh session without reallocating.
+// One healthy tab (not wedged, interpreter idle) is retained and handed
+// back by the next Visit, preserving its interpreter and host
+// environment across sessions.
+func (b *Browser) ResetSession() {
+	b.events = b.events[:0]
+	b.pinned = time.Time{}
+	for _, t := range b.tabs {
+		if !t.blocked && (t.interp == nil || !t.interp.Active()) {
+			b.spare = t
+			break
+		}
+	}
+	for i := range b.tabs {
+		b.tabs[i] = nil
+	}
+	b.tabs = b.tabs[:0]
+}
+
+// Reset re-arms the browser for a new session under new options,
+// reusing buffers, tab, and interpreter state where safe. Equivalent to
+// a fresh New apart from allocation churn.
+func (b *Browser) Reset(opts Options) {
+	opts.fillDefaults()
+	b.opts = opts
+	b.ResetSession()
+}
+
 func (b *Browser) logEvent(e Event) {
-	e.Time = b.clock.Now()
+	e.Time = b.now()
 	b.events = append(b.events, e)
 }
 
@@ -225,9 +280,32 @@ func (b *Browser) Visit(rawURL string) (*Tab, error) {
 }
 
 func (b *Browser) newTab() *Tab {
+	if s := b.spare; s != nil {
+		b.spare = nil
+		s.resetForReuse(len(b.tabs))
+		b.tabs = append(b.tabs, s)
+		return s
+	}
 	tab := &Tab{ID: len(b.tabs), browser: b, listeners: map[string][]listenerEntry{}}
 	b.tabs = append(b.tabs, tab)
 	return tab
+}
+
+// resetForReuse returns a recycled tab to its just-opened state. The
+// interpreter and cached host environment are kept (runPageScripts
+// resets interpreter globals per load); Downloads is dropped rather
+// than truncated because callers may hold the previous slice.
+func (t *Tab) resetForReuse(id int) {
+	t.ID = id
+	t.URL = urlx.URL{}
+	t.Doc = nil
+	t.Status = 0
+	t.Downloads = nil
+	clear(t.listeners)
+	t.beforeUnload = nil
+	t.timeouts = nil
+	t.blocked = false
+	t.suppressRef = false
 }
 
 // navigate drives the full load pipeline for one tab.
@@ -253,7 +331,10 @@ func (b *Browser) navigate(tab *Tab, u urlx.URL, referrer, cause string) {
 	if tab.interp != nil && tab.interp.Active() {
 		tab.interp = nil
 	}
-	tab.listeners = map[string][]listenerEntry{}
+	// Clear in place: handler slices already pulled out of the map (the
+	// click dispatcher snapshots before calling) stay valid, and the map
+	// storage is reused across the session's page loads.
+	clear(tab.listeners)
 	tab.beforeUnload = nil
 	tab.timeouts = nil
 	tab.suppressRef = false
@@ -337,7 +418,7 @@ func (b *Browser) fetch(u urlx.URL, referrer string) (*webtx.Response, error) {
 		Referrer:  referrer,
 		UserAgent: b.opts.UserAgent,
 		ClientIP:  b.opts.ClientIP,
-		Time:      b.clock.Now(),
+		Time:      b.now(),
 	})
 }
 
@@ -537,7 +618,7 @@ func (b *Browser) captureOpts(tab *Tab) (screenshot.Options, error) {
 	return screenshot.Options{
 		Width: w, Height: h,
 		NoiseAmp:  2,
-		NoiseSeed: hashURL(tab.URL.String()) ^ uint64(b.clock.Now().UnixNano()/int64(time.Hour)),
+		NoiseSeed: hashURL(tab.URL.String()) ^ uint64(b.now().UnixNano()/int64(time.Hour)),
 	}, nil
 }
 

@@ -9,15 +9,66 @@ import (
 	"repro/internal/urlx"
 )
 
-// installHostEnv builds the page's script environment: window, document,
+// hostEnv is a tab's built host-API surface, cached across page loads.
+// The host-function closures capture the tab and interpreter pointers,
+// so the cache is valid exactly as long as the tab keeps the same
+// interpreter (navigate abandons a mid-flight interpreter, which
+// invalidates it). Scripts can write through to host objects
+// (window.foo = 1, or clobbering a method), so each install restores
+// every object's field map from the pristine base snapshot before
+// re-setting the per-load dynamic values.
+type hostEnv struct {
+	in   *adscript.Interp
+	objs map[string]*adscript.Object          // global name -> object
+	base map[string]map[string]adscript.Value // global name -> pristine fields
+}
+
+// installHostEnv exposes the page's script environment: window, document,
 // navigator, history, notification and screen objects whose methods are
 // host functions traced by the interpreter. The shape mirrors the browser
 // APIs the paper lists as ad-delivery mechanisms (Section 3.4): window
 // .open, location navigations, history.pushState/replaceState,
 // addEventListener, setTimeout, plus the page-locking APIs of Section 3.2.
+// The objects are built once per (tab, interpreter) and reused: repeat
+// installs restore fields from the base snapshot instead of
+// reconstructing ~30 host-function closures per page load.
 func (b *Browser) installHostEnv(tab *Tab) {
+	if tab.env == nil || tab.env.in != tab.interp {
+		tab.env = b.buildHostEnv(tab)
+	}
+	env := tab.env
+	for name, obj := range env.objs {
+		fields := obj.Fields
+		clear(fields)
+		for k, v := range env.base[name] {
+			fields[k] = v
+		}
+	}
+	// Per-load / per-options dynamic values.
+	env.objs["location"].Set("href", tab.URL.String())
+	env.objs["document"].Set("title", tab.Doc.Title)
+	env.objs["navigator"].Set("userAgent", b.opts.UserAgent.Header)
+	// DevTools automation exposes webdriver=true; the paper's patched
+	// build removes the flag. Stealth reproduces the patch.
+	env.objs["navigator"].Set("webdriver", !b.opts.Stealth)
+	w, h := float64(1024), float64(768)
+	if b.opts.DeviceEmulation {
+		w, h = float64(b.opts.UserAgent.ScreenW), float64(b.opts.UserAgent.ScreenH)
+	}
+	env.objs["screen"].Set("width", w).Set("height", h)
+
+	g := tab.interp.Globals
+	for name, obj := range env.objs {
+		g.Define(name, obj)
+	}
+}
+
+// buildHostEnv constructs the host objects and snapshots their pristine
+// fields. Dynamic values (location.href, document.title, navigator.*,
+// screen.*) are set by installHostEnv after every restore, so the
+// snapshot only needs the invariant parts.
+func (b *Browser) buildHostEnv(tab *Tab) *hostEnv {
 	in := tab.interp
-	g := in.Globals
 
 	hf := func(name string, fn func(args []adscript.Value) (adscript.Value, error)) *adscript.HostFunc {
 		return &adscript.HostFunc{Name: name, Fn: fn}
@@ -79,7 +130,6 @@ func (b *Browser) installHostEnv(tab *Tab) {
 	}))
 
 	location := adscript.NewObject()
-	location.Set("href", tab.URL.String())
 	location.Set("assign", hf("location.assign", func(args []adscript.Value) (adscript.Value, error) {
 		target, ok := str(args, 0)
 		if !ok {
@@ -97,13 +147,10 @@ func (b *Browser) installHostEnv(tab *Tab) {
 		return nil, nil
 	}))
 	win.Set("location", location)
-	g.Define("window", win)
-	g.Define("location", location)
 
 	// --- document ---
 	docObj := adscript.NewObject()
 	docObj.Set("referrer", "")
-	docObj.Set("title", tab.Doc.Title)
 	docObj.Set("loadScript", hf("document.loadScript", func(args []adscript.Value) (adscript.Value, error) {
 		src, ok := str(args, 0)
 		if !ok {
@@ -153,15 +200,9 @@ func (b *Browser) installHostEnv(tab *Tab) {
 		b.jsDownload(tab, target)
 		return nil, nil
 	}))
-	g.Define("document", docObj)
 
-	// --- navigator ---
+	// --- navigator (userAgent/webdriver set per install) ---
 	nav := adscript.NewObject()
-	nav.Set("userAgent", b.opts.UserAgent.Header)
-	// DevTools automation exposes webdriver=true; the paper's patched
-	// build removes the flag. Stealth reproduces the patch.
-	nav.Set("webdriver", !b.opts.Stealth)
-	g.Define("navigator", nav)
 
 	// --- history ---
 	hist := adscript.NewObject()
@@ -181,7 +222,6 @@ func (b *Browser) installHostEnv(tab *Tab) {
 		b.jsNavigate(tab, target, CausePushState)
 		return nil, nil
 	}))
-	g.Define("history", hist)
 
 	// --- notification (the Chrome push-notification lure surface) ---
 	notif := adscript.NewObject()
@@ -189,18 +229,27 @@ func (b *Browser) installHostEnv(tab *Tab) {
 		// The crawler records the permission request but never grants it.
 		return "default", nil
 	}))
-	g.Define("notification", notif)
 
-	// --- screen (device emulation) ---
+	// --- screen (dimensions set per install from device emulation) ---
 	scr := adscript.NewObject()
-	if b.opts.DeviceEmulation {
-		scr.Set("width", float64(b.opts.UserAgent.ScreenW))
-		scr.Set("height", float64(b.opts.UserAgent.ScreenH))
-	} else {
-		scr.Set("width", float64(1024))
-		scr.Set("height", float64(768))
+
+	env := &hostEnv{
+		in: in,
+		objs: map[string]*adscript.Object{
+			"window": win, "location": location, "document": docObj,
+			"navigator": nav, "history": hist, "notification": notif,
+			"screen": scr,
+		},
+		base: map[string]map[string]adscript.Value{},
 	}
-	g.Define("screen", scr)
+	for name, obj := range env.objs {
+		snap := make(map[string]adscript.Value, len(obj.Fields))
+		for k, v := range obj.Fields {
+			snap[k] = v
+		}
+		env.base[name] = snap
+	}
+	return env
 }
 
 // handleDialog implements the modal-dialog instrumentation: bypassed

@@ -135,6 +135,13 @@ type MilkerConfig struct {
 	// each source once dominates. API-call traces are byte-identical with
 	// or without it. Nil parses per script run.
 	Scripts *adscript.ProgramCache
+	// DisablePipeline forces the lock-step scheduler: each virtual tick
+	// is probed and committed synchronously before the clock moves, with
+	// no probe/commit overlap and no multi-tick coalescing. The
+	// pipelined scheduler is report-identical by construction (see
+	// DESIGN.md); the knob exists for A/B verification and as an escape
+	// hatch.
+	DisablePipeline bool
 }
 
 // PaperMilkerConfig is the published setup.
@@ -260,26 +267,43 @@ type Milker struct {
 	// goroutines per batch was pure churn — a 14-day milking run issues
 	// ~1300 batches, and on small batches the spawn cost outweighed the
 	// work, making W8 slower than W1.
-	poolOnce  sync.Once
-	closeOnce sync.Once
-	jobs      chan milkJob
+	poolOnce   sync.Once
+	closeOnce  sync.Once
+	jobs       chan milkJob
+	workerCtrs []*obs.Counter // milker_sessions_total{worker=N}
+
+	// Client pool: probe sessions reset-and-reuse devtools clients (and
+	// their browsers, tabs, interpreters, and host environments) instead
+	// of constructing them per probe — the probe path's dominant
+	// allocation source. Guarded by clientMu because probes on different
+	// workers acquire and release concurrently.
+	clientMu sync.Mutex
+	clients  []*devtools.Client
+
+	// Pipelined-commit state. At most one commit group is in flight:
+	// flush waits for the previous group to drain before dispatching the
+	// next, so global commit order equals lock-step order. commitWG is
+	// Add/Wait'ed only on the scheduler goroutine.
+	commitWG     sync.WaitGroup
+	commitBusy   atomic.Bool
+	commitFinish atomic.Int64 // wall nanos when the last group drained
+	pollBuf      []bool       // reusable verdict buffer for poll fan-out
 }
 
-// milkJob is one probe batch broadcast to the persistent pool: every
-// participating worker pulls indices from the shared counter and writes
-// results positionally, so batch order never depends on scheduling.
-// Broadcasting the batch (one channel send per worker) instead of
-// enqueueing per probe keeps each worker running probes back to back —
-// per-probe handoffs interleave every worker's in-flight session state,
-// which on few-core hosts costs more in cache misses and GC scanning
-// than the probes themselves.
+// milkJob is one work batch broadcast to the persistent pool: every
+// participating worker pulls indices from the shared counter and runs
+// the batch closure, which writes results positionally, so batch
+// outcome never depends on scheduling. Broadcasting the batch (one
+// channel send per worker) instead of enqueueing per item keeps each
+// worker running items back to back — per-item handoffs interleave
+// every worker's in-flight state, which on few-core hosts costs more in
+// cache misses and GC scanning than the work itself.
 type milkJob struct {
-	idxs    []int
-	sources []MilkSource
-	seen    map[string]bool
-	out     []milkProbe
-	next    *atomic.Int64
-	wg      *sync.WaitGroup
+	n    int
+	run  func(k int)
+	ctrs []*obs.Counter // per-worker progress counters; nil = uncounted
+	next *atomic.Int64
+	wg   *sync.WaitGroup
 }
 
 // milkMetrics are the milker's pre-resolved handles; all nil when
@@ -290,18 +314,33 @@ type milkMetrics struct {
 	gsbPolls   *obs.Counter // milker_gsb_polls_total: blacklist lookups
 	vtSubmits  *obs.Counter // milker_vt_submissions_total
 	verified   *obs.Counter // milker_verified_match_total
+	// Pipeline health (wall-clock): how long the scheduler stalled
+	// waiting for commits to drain, how long the committer sat idle
+	// waiting for the next probed group, and the high-watermark pipeline
+	// depth (2 = probe/commit overlap actually occurred).
+	probeStall  *obs.Counter // milker_probe_stall_ns_total
+	commitStall *obs.Counter // milker_commit_stall_ns_total
+	depth       *obs.Gauge   // milker_pipeline_depth
 }
 
 // NewMilker builds a Milker.
 func NewMilker(internet *webtx.Internet, clock *vclock.Clock, bl *gsb.Blacklist, vt *vtsim.Service, cfg MilkerConfig) *Milker {
 	cfg.fillDefaults()
-	return &Milker{internet: internet, clock: clock, gsb: bl, vt: vt, cfg: cfg, met: milkMetrics{
-		milks:      cfg.Obs.Counter("milker_milks_total"),
-		newDomains: cfg.Obs.Counter("milker_new_domains_total"),
-		gsbPolls:   cfg.Obs.Counter("milker_gsb_polls_total"),
-		vtSubmits:  cfg.Obs.Counter("milker_vt_submissions_total"),
-		verified:   cfg.Obs.Counter("milker_verified_match_total"),
+	m := &Milker{internet: internet, clock: clock, gsb: bl, vt: vt, cfg: cfg, met: milkMetrics{
+		milks:       cfg.Obs.Counter("milker_milks_total"),
+		newDomains:  cfg.Obs.Counter("milker_new_domains_total"),
+		gsbPolls:    cfg.Obs.Counter("milker_gsb_polls_total"),
+		vtSubmits:   cfg.Obs.Counter("milker_vt_submissions_total"),
+		verified:    cfg.Obs.Counter("milker_verified_match_total"),
+		probeStall:  cfg.Obs.Counter("milker_probe_stall_ns_total"),
+		commitStall: cfg.Obs.Counter("milker_commit_stall_ns_total"),
+		depth:       cfg.Obs.Gauge("milker_pipeline_depth"),
 	}}
+	m.workerCtrs = make([]*obs.Counter, m.cfg.Workers)
+	for w := range m.workerCtrs {
+		m.workerCtrs[w] = cfg.Obs.Counter("milker_sessions_total", "worker="+strconv.Itoa(w))
+	}
+	return m
 }
 
 // hourly returns the per-virtual-hour series counter for name: the same
@@ -326,15 +365,17 @@ func (m *Milker) hourly(name string, now time.Time) *obs.Counter {
 // so the kept set is independent of the worker count.
 func (m *Milker) VerifySources(cands []MilkSource) []MilkSource {
 	m.cfg.Obs.Counter("milker_verify_visits_total").Add(int64(len(cands)))
-	idxs := make([]int, len(cands))
-	for i := range idxs {
-		idxs[i] = i
-	}
-	probes := m.fanOut(idxs, cands, nil)
+	probes := make([]milkProbe, len(cands))
+	m.runParallel(len(cands), m.workerCtrs, func(k int) {
+		probes[k] = m.probe(cands[k], nil, time.Time{})
+	})
 	var out []MilkSource
 	for i, p := range probes {
+		if p.client != nil {
+			m.releaseClient(p.client)
+		}
 		if m.cfg.MaxSources > 0 && len(out) >= m.cfg.MaxSources {
-			break
+			continue // cap reached; keep draining retained clients
 		}
 		if p.ok && p.hashed && phash.Distance(p.hash, cands[i].RepHash) <= m.cfg.VerifyBits {
 			out = append(out, cands[i])
@@ -343,9 +384,36 @@ func (m *Milker) VerifySources(cands []MilkSource) []MilkSource {
 	return out
 }
 
+// seenSet is the set of attack hosts already committed. Probes consult
+// it concurrently (a stale read only costs a redundant screenshot hash;
+// the committer re-checks authoritatively), the single committer writes
+// it.
+type seenSet struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+func newSeenSet() *seenSet { return &seenSet{m: map[string]bool{}} }
+
+func (s *seenSet) has(h string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.RLock()
+	v := s.m[h]
+	s.mu.RUnlock()
+	return v
+}
+
+func (s *seenSet) add(h string) {
+	s.mu.Lock()
+	s.m[h] = true
+	s.mu.Unlock()
+}
+
 // milkProbe is the parallel half of one milking session: navigation,
 // rendering and hashing — work whose outcome depends only on the source
-// and the (frozen, same-tick) virtual clock, never on sibling sessions.
+// and the probe's pinned virtual instant, never on sibling sessions.
 type milkProbe struct {
 	ok     bool // navigation landed on an off-source OK page
 	host   string
@@ -355,19 +423,58 @@ type milkProbe struct {
 	hashed bool // screenshot hash computed (host unseen at probe time)
 }
 
-// probe loads a milking source. seen (read-only during a probe wave; nil
-// to always hash) skips screenshot work for hosts already discovered
-// before this tick — the dominant case in steady-state milking.
-func (m *Milker) probe(src MilkSource, seen map[string]bool) milkProbe {
-	var p milkProbe
-	client := devtools.NewClient(m.internet, m.clock, devtools.ClientConfig{
+// clientConfig is the automation profile for one source's sessions.
+func (m *Milker) clientConfig(src MilkSource) devtools.ClientConfig {
+	return devtools.ClientConfig{
 		UserAgent: src.UA, ClientIP: src.ClientIP,
 		StealthPatch: true, DialogBypass: true,
 		DeviceEmulation: src.UA.Mobile,
 		ViewportScale:   m.cfg.ViewportScale,
 		Capture:         m.cfg.Capture,
 		Scripts:         m.cfg.Scripts,
-	})
+	}
+}
+
+// acquireClient hands out a pooled client re-armed for cfg, building a
+// fresh one only when the pool is dry.
+func (m *Milker) acquireClient(cfg devtools.ClientConfig) *devtools.Client {
+	m.clientMu.Lock()
+	var c *devtools.Client
+	if n := len(m.clients); n > 0 {
+		c = m.clients[n-1]
+		m.clients[n-1] = nil
+		m.clients = m.clients[:n-1]
+	}
+	m.clientMu.Unlock()
+	if c == nil {
+		return devtools.NewClient(m.internet, m.clock, cfg)
+	}
+	c.Reset(cfg)
+	return c
+}
+
+func (m *Milker) releaseClient(c *devtools.Client) {
+	m.clientMu.Lock()
+	m.clients = append(m.clients, c)
+	m.clientMu.Unlock()
+}
+
+// probe loads a milking source at the pinned virtual instant (zero =
+// live clock). seen (nil to always hash) skips screenshot work for
+// hosts already discovered — the dominant case in steady-state milking.
+// The session client comes from the pool; it is released here unless
+// the probe hit a verified-fresh page, in which case it rides along in
+// p.client/p.tab for the commit phase (phone harvest, download clicks),
+// whose owner releases it.
+func (m *Milker) probe(src MilkSource, seen *seenSet, pinAt time.Time) milkProbe {
+	var p milkProbe
+	client := m.acquireClient(m.clientConfig(src))
+	client.PinTime(pinAt)
+	defer func() {
+		if p.client == nil {
+			m.releaseClient(client)
+		}
+	}()
 	tab, err := client.Navigate(src.URL)
 	if err != nil || tab.Status != webtx.StatusOK || tab.Doc == nil {
 		return p
@@ -376,62 +483,69 @@ func (m *Milker) probe(src MilkSource, seen map[string]bool) milkProbe {
 	if err != nil || tab.URL.Host == srcURL.Host {
 		return p
 	}
-	p.ok, p.host, p.client, p.tab = true, tab.URL.Host, client, tab
-	if seen == nil || !seen[p.host] {
+	p.ok, p.host = true, tab.URL.Host
+	if !seen.has(p.host) {
 		if h, err := client.Browser().ScreenshotHash(tab); err == nil {
 			p.hash, p.hashed = h, true
 		}
 	}
+	if p.hashed && phash.Distance(p.hash, src.RepHash) <= m.cfg.VerifyBits {
+		p.client, p.tab = client, tab
+	}
 	return p
 }
 
-// fanOut probes the sources at the given indices across the worker
-// pool, returning results positionally. Probes perform only
-// order-independent work, so which worker handles which probe cannot
-// influence any result; per-worker session counts are exported as
-// milker_sessions_total{worker=N}.
-func (m *Milker) fanOut(idxs []int, sources []MilkSource, seen map[string]bool) []milkProbe {
-	out := make([]milkProbe, len(idxs))
-	if m.cfg.Workers <= 1 || len(idxs) <= 1 {
-		ctr := m.cfg.Obs.Counter("milker_sessions_total", "worker=0")
-		for k, si := range idxs {
-			out[k] = m.probe(sources[si], seen)
-			ctr.Inc()
+// runParallel fans run(0..n-1) out across the worker pool, or runs
+// serially for one worker / one item. ctrs, when non-nil, receives one
+// increment per item on the executing worker's counter (the serial path
+// counts as worker 0). Batch closures must perform only
+// order-independent work: which worker handles which item can never
+// influence a result.
+func (m *Milker) runParallel(n int, ctrs []*obs.Counter, run func(k int)) {
+	if n == 0 {
+		return
+	}
+	if m.cfg.Workers <= 1 || n <= 1 {
+		for k := 0; k < n; k++ {
+			run(k)
+			if ctrs != nil {
+				ctrs[0].Inc()
+			}
 		}
-		return out
+		return
 	}
 	m.startPool()
 	workers := m.cfg.Workers
-	if workers > len(idxs) {
-		workers = len(idxs)
+	if workers > n {
+		workers = n
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
-	job := milkJob{idxs: idxs, sources: sources, seen: seen, out: out, next: &next, wg: &wg}
+	job := milkJob{n: n, run: run, ctrs: ctrs, next: &next, wg: &wg}
 	for w := 0; w < workers; w++ {
 		m.jobs <- job
 	}
 	wg.Wait()
-	return out
 }
 
-// startPool launches the persistent probe workers on first use.
+// startPool launches the persistent workers on first use.
 func (m *Milker) startPool() {
 	m.poolOnce.Do(func() {
 		workers := m.cfg.Workers
 		m.jobs = make(chan milkJob, workers)
 		for w := 0; w < workers; w++ {
 			go func(w int) {
-				ctr := m.cfg.Obs.Counter("milker_sessions_total", "worker="+strconv.Itoa(w))
 				for j := range m.jobs {
 					for {
 						k := int(j.next.Add(1)) - 1
-						if k >= len(j.idxs) {
+						if k >= j.n {
 							break
 						}
-						j.out[k] = m.probe(j.sources[j.idxs[k]], j.seen)
-						ctr.Inc()
+						j.run(k)
+						if j.ctrs != nil {
+							j.ctrs[w].Inc()
+						}
 					}
 					j.wg.Done()
 				}
@@ -451,19 +565,24 @@ func (m *Milker) Close() {
 	})
 }
 
-// commit is the serial half of one milking session. Callers invoke it in
-// ascending source order for each tick, which fixes first-discovery of
-// seenHosts, GSB lag bookkeeping, download sequencing and result-slice
-// order — everything the probe phase deliberately leaves untouched.
-func (m *Milker) commit(src MilkSource, p milkProbe, now time.Time, res *MilkingResult, seenHosts map[string]bool, unlisted *[]int) {
+// commit is the serial half of one milking session. The single
+// committer invokes it in (tick, source) order, which fixes
+// first-discovery of seen hosts, GSB lag bookkeeping, download
+// sequencing and result-slice order — everything the probe phase
+// deliberately leaves untouched. A client retained by the probe is
+// returned to the pool here on every path.
+func (m *Milker) commit(src MilkSource, p milkProbe, now time.Time, res *MilkingResult, seen *seenSet, unlisted *[]int) {
+	if p.client != nil {
+		defer m.releaseClient(p.client)
+	}
 	res.Sessions++
 	if !p.ok {
 		return
 	}
-	if seenHosts[p.host] {
+	if seen.has(p.host) {
 		return
 	}
-	seenHosts[p.host] = true
+	seen.add(p.host)
 
 	// Never-before-seen domain: verify it still shows the campaign's
 	// attack, then record and blacklist-check it.
@@ -517,25 +636,139 @@ func interactForDownloads(client *devtools.Client, tab *browser.Tab) {
 	}
 }
 
+// milkTick is one virtual milking instant and the sources due at it.
+type milkTick struct {
+	now time.Time
+	due []int
+}
+
+// probeReq flattens one (tick, source) pair for the worker pool.
+type probeReq struct {
+	si int
+	at time.Time
+}
+
+// milkGroup is one coalesced run of consecutive milking ticks: the unit
+// the pipelined scheduler probes as a whole and commits as a whole. Two
+// groups ping-pong through the scheduler — one accumulating/probing
+// while the other commits — so group storage is allocated once per run.
+type milkGroup struct {
+	ticks  []milkTick
+	reqs   []probeReq
+	probes []milkProbe
+}
+
+func (g *milkGroup) addDue(now time.Time, si int) {
+	if n := len(g.ticks); n == 0 || !g.ticks[n-1].now.Equal(now) {
+		if n < cap(g.ticks) {
+			// Revive a prior tick slot to reuse its due slice.
+			g.ticks = g.ticks[:n+1]
+			g.ticks[n].now = now
+			g.ticks[n].due = g.ticks[n].due[:0]
+		} else {
+			g.ticks = append(g.ticks, milkTick{now: now})
+		}
+	}
+	t := &g.ticks[len(g.ticks)-1]
+	t.due = append(t.due, si)
+}
+
+func (g *milkGroup) reset() { g.ticks = g.ticks[:0] }
+
+// buildReqs flattens the group's ticks into the positional worklist the
+// pool consumes, and sizes the probe output to match. Same-instant
+// timer callbacks fire in scheduling order, which is already ascending
+// source order; the sort makes the commit-order contract explicit
+// rather than inherited.
+func (g *milkGroup) buildReqs() {
+	g.reqs = g.reqs[:0]
+	for i := range g.ticks {
+		t := &g.ticks[i]
+		sort.Ints(t.due)
+		for _, si := range t.due {
+			g.reqs = append(g.reqs, probeReq{si: si, at: t.now})
+		}
+	}
+	if cap(g.probes) < len(g.reqs) {
+		g.probes = make([]milkProbe, len(g.reqs))
+	} else {
+		g.probes = g.probes[:len(g.reqs)]
+		for i := range g.probes {
+			g.probes[i] = milkProbe{}
+		}
+	}
+}
+
+// waitInflight blocks until the in-flight commit group (if any) has
+// fully drained. Scheduler goroutine only.
+func (m *Milker) waitInflight() { m.commitWG.Wait() }
+
+// pollUnlisted looks up every yet-unlisted domain at now and compacts
+// the unlisted index. The lookups are pure reads of the sharded
+// blacklist, so with enough of them pending they fan out across the
+// worker pool; the verdict merge stays serial in domain order either
+// way, so the bookkeeping is schedule-independent.
+func (m *Milker) pollUnlisted(unlisted *[]int, res *MilkingResult, now time.Time) {
+	ul := *unlisted
+	hourlyPolls := m.hourly("milker_gsb_polls_hourly", now)
+	const pollFanoutMin = 64
+	var verdicts []bool
+	if m.cfg.Workers > 1 && len(ul) >= pollFanoutMin {
+		if cap(m.pollBuf) < len(ul) {
+			m.pollBuf = make([]bool, len(ul))
+		}
+		verdicts = m.pollBuf[:len(ul)]
+		m.runParallel(len(ul), nil, func(k int) {
+			verdicts[k] = m.gsb.Lookup(res.Domains[ul[k]].Host, now)
+		})
+	}
+	w := 0
+	for k, di := range ul {
+		d := &res.Domains[di]
+		m.met.gsbPolls.Inc()
+		hourlyPolls.Inc()
+		listed := false
+		if verdicts != nil {
+			listed = verdicts[k]
+		} else {
+			listed = m.gsb.Lookup(d.Host, now)
+		}
+		if listed {
+			d.GSBListedAt = now
+		} else {
+			ul[w] = di
+			w++
+		}
+	}
+	*unlisted = ul[:w]
+}
+
 // Run executes the full tracking experiment on the virtual clock:
 // milking every MilkInterval for Duration, GSB polling every GSBInterval
 // until Duration+GSBExtra, and a final lookup at
 // Duration+FinalLookupAfter (files are rescanned then too).
 //
-// Sessions due at the same virtual instant are probed concurrently by
-// cfg.Workers workers and committed serially in source order, so the
-// result is identical for every worker count.
+// The scheduler is pipelined: sources due in one coalesced group of
+// ticks are probed across cfg.Workers workers while the previous
+// group's sessions commit serially in (tick, source) order, and every
+// probe is pinned to its tick's virtual instant. The lookahead gate —
+// groups never extend across a blacklist-poll instant, and a poll waits
+// for in-flight commits to drain — keeps every cross-batch dependency
+// lock-step, so the result is byte-identical for every worker count and
+// with the pipeline disabled (see DESIGN.md).
 func (m *Milker) Run(sources []MilkSource) (*MilkingResult, error) {
 	return m.RunContext(context.Background(), sources)
 }
 
 // RunContext is Run with cancellation. Cancellation is observed at
-// virtual-tick granularity: once ctx is done every recurring timer
-// declines to re-arm, the pending probe batch is dropped, the final
-// sweep is skipped, and ctx.Err() is returned with the partial result.
-// For a never-cancelled context the behaviour (and the result bytes)
-// are identical to Run — the ctx checks sit outside the probe/commit
-// work and cannot reorder it.
+// group granularity: once ctx is done every recurring timer declines to
+// re-arm, pending (un-probed) ticks are dropped whole, the final sweep
+// is skipped, and ctx.Err() is returned with the partial result. A
+// group that already started committing always finishes committing —
+// the partial result never contains a partially-committed batch. For a
+// never-cancelled context the behaviour (and the result bytes) are
+// identical to Run — the ctx checks sit outside the probe/commit work
+// and cannot reorder it.
 func (m *Milker) RunContext(ctx context.Context, sources []MilkSource) (*MilkingResult, error) {
 	if m.cfg.MaxSources > 0 && len(sources) > m.cfg.MaxSources {
 		sources = sources[:m.cfg.MaxSources]
@@ -545,18 +778,20 @@ func (m *Milker) RunContext(ctx context.Context, sources []MilkSource) (*Milking
 	if len(sources) == 0 {
 		return res, Errorf("milker: no sources")
 	}
-	seenHosts := map[string]bool{}
+	seen := newSeenSet()
 	// unlisted indexes the res.Domains entries still awaiting a positive
 	// blacklist verdict, so each poll touches only those instead of
-	// rescanning every domain ever milked (the old O(domains × ticks)
-	// loop re-examined listed domains forever).
+	// rescanning every domain ever milked.
 	var unlisted []int
 	horizon := m.clock.Now().Add(m.cfg.Duration)
 	gsbHorizon := horizon.Add(m.cfg.GSBExtra)
 
-	// Timer callbacks only enqueue; the batch runner below fans the
-	// enqueued sources out once every same-instant callback has run.
-	var pending []int
+	// Two groups ping-pong: cur accumulates due ticks (timer callbacks
+	// only record; flush fans out), spare is whichever buffer the last
+	// dispatched commit no longer needs.
+	var bufs [2]milkGroup
+	cur, spare := &bufs[0], &bufs[1]
+
 	for i := range sources {
 		i := i
 		if err := m.clock.Every(m.cfg.MilkInterval, horizon, func(now time.Time) bool {
@@ -565,61 +800,115 @@ func (m *Milker) RunContext(ctx context.Context, sources []MilkSource) (*Milking
 			}
 			m.met.milks.Inc()
 			m.hourly("milker_milks_hourly", now).Inc()
-			pending = append(pending, i)
+			cur.addDue(now, i)
 			return true
 		}); err != nil {
 			return nil, Errorf("milker: schedule: %v", err)
 		}
 	}
 	// Blacklist polling: every GSBInterval, look up every yet-unlisted
-	// domain. Runs inline in the callback pass — before any same-instant
-	// milking commits — exactly as the serial scheduler ordered it.
+	// domain. The poll reads domains the committer writes, so it first
+	// drains the in-flight commit group — the poll side of the lookahead
+	// gate (the flush side never coalesces ticks across a poll instant,
+	// so everything due before this instant has already been dispatched).
 	if err := m.clock.Every(m.cfg.GSBInterval, gsbHorizon, func(now time.Time) bool {
 		if ctx.Err() != nil {
 			return false
 		}
-		hourlyPolls := m.hourly("milker_gsb_polls_hourly", now)
-		w := 0
-		for _, di := range unlisted {
-			d := &res.Domains[di]
-			m.met.gsbPolls.Inc()
-			hourlyPolls.Inc()
-			if m.gsb.Lookup(d.Host, now) {
-				d.GSBListedAt = now
-			} else {
-				unlisted[w] = di
-				w++
-			}
-		}
-		unlisted = unlisted[:w]
+		m.waitInflight()
+		m.pollUnlisted(&unlisted, res, now)
 		return true
 	}); err != nil {
 		return nil, Errorf("milker: gsb schedule: %v", err)
 	}
 
-	runBatch := func(now time.Time, batch []func(now time.Time)) {
-		for _, fn := range batch {
-			fn(now)
+	pollAligned := func(at time.Time) bool {
+		d := at.Sub(m.start)
+		return d > 0 && d%m.cfg.GSBInterval == 0 && !at.After(gsbHorizon)
+	}
+	// maxCoalescedTicks bounds how many milking instants fuse into one
+	// group: enough to amortize fan-out overhead on small worker pools,
+	// small enough to keep probe/commit overlap fine-grained.
+	const maxCoalescedTicks = 4
+	coalesce := func(next time.Time) bool {
+		if m.cfg.DisablePipeline {
+			return false
 		}
-		if ctx.Err() != nil {
-			pending = pending[:0]
-			return
-		}
-		if len(pending) == 0 {
-			return
-		}
-		due := pending
-		pending = pending[:0]
-		// Same-instant callbacks fire in scheduling order, which is
-		// already ascending source order; the sort makes the commit
-		// order contract explicit rather than inherited.
-		sort.Ints(due)
-		probes := m.fanOut(due, sources, seenHosts)
-		for k, si := range due {
-			m.commit(sources[si], probes[k], now, res, seenHosts, &unlisted)
+		return !pollAligned(next) && len(cur.ticks) < maxCoalescedTicks
+	}
+
+	// commitGroup replays the group serially in (tick, source) order —
+	// the exact order the lock-step scheduler commits in.
+	commitGroup := func(g *milkGroup) {
+		k := 0
+		for i := range g.ticks {
+			t := &g.ticks[i]
+			for _, si := range t.due {
+				m.commit(sources[si], g.probes[k], t.now, res, seen, &unlisted)
+				k++
+			}
 		}
 	}
-	m.clock.AdvanceToBatched(gsbHorizon.Add(time.Minute), runBatch)
+
+	flush := func() {
+		g := cur
+		if ctx.Err() != nil {
+			// Drop the whole un-probed group: cancellation never emits a
+			// partially-committed batch.
+			g.reset()
+			return
+		}
+		if len(g.ticks) == 0 {
+			return
+		}
+		g.buildReqs()
+		if m.commitBusy.Load() {
+			m.met.depth.SetMax(2)
+		} else {
+			m.met.depth.SetMax(1)
+		}
+		// Probe phase: fans out across the pool while the previous
+		// group's commits may still be draining — the pipeline overlap.
+		// Probes read only state commits never change within a group
+		// window (stale seen reads are re-checked at commit).
+		probes, reqs := g.probes, g.reqs
+		m.runParallel(len(reqs), m.workerCtrs, func(k int) {
+			probes[k] = m.probe(sources[reqs[k].si], seen, reqs[k].at)
+		})
+		// Commit-side of the lookahead gate: at most one group commits
+		// at a time, so commit order equals lock-step order.
+		waitStart := time.Now()
+		m.waitInflight()
+		if d := time.Since(waitStart); d > 0 {
+			m.met.probeStall.Add(int64(d))
+		}
+		if m.cfg.DisablePipeline {
+			commitGroup(g)
+			g.reset()
+			return
+		}
+		// The drained buffer becomes the next accumulator; g belongs to
+		// the committer until the next wait.
+		cur = spare
+		spare = g
+		cur.reset()
+		if last := m.commitFinish.Load(); last != 0 {
+			if idle := time.Now().UnixNano() - last; idle > 0 {
+				m.met.commitStall.Add(idle)
+			}
+		}
+		m.commitBusy.Store(true)
+		m.commitWG.Add(1)
+		go func() {
+			commitGroup(g)
+			m.commitFinish.Store(time.Now().UnixNano())
+			m.commitBusy.Store(false)
+			m.commitWG.Done()
+		}()
+	}
+
+	m.clock.AdvanceToCoalesced(gsbHorizon.Add(time.Minute), coalesce, flush)
+	m.waitInflight()
 	res.End = horizon
 	if err := ctx.Err(); err != nil {
 		return res, Errorf("milker: cancelled: %v", err)

@@ -61,7 +61,11 @@ type Client struct {
 
 // NewClient opens a browser with the configured automation profile.
 func NewClient(internet *webtx.Internet, clock *vclock.Clock, cfg ClientConfig) *Client {
-	opts := browser.Options{
+	return &Client{cfg: cfg, b: browser.New(internet, clock, optsFor(cfg))}
+}
+
+func optsFor(cfg ClientConfig) browser.Options {
+	return browser.Options{
 		UserAgent:       cfg.UserAgent,
 		ClientIP:        cfg.ClientIP,
 		Stealth:         cfg.StealthPatch,
@@ -73,8 +77,21 @@ func NewClient(internet *webtx.Internet, clock *vclock.Clock, cfg ClientConfig) 
 		Capture:         cfg.Capture,
 		Scripts:         cfg.Scripts,
 	}
-	return &Client{cfg: cfg, b: browser.New(internet, clock, opts)}
 }
+
+// Reset re-arms the client for a new session under a (possibly
+// different) automation profile, reusing the underlying browser's
+// buffers and interpreter state. Pooled clients call this between
+// sessions instead of paying NewClient per session.
+func (c *Client) Reset(cfg ClientConfig) {
+	c.cfg = cfg
+	c.b.Reset(optsFor(cfg))
+}
+
+// PinTime fixes the session-visible time (zero unpins); see
+// browser.Browser.PinTime. Schedulers that overlap sessions with clock
+// advancement pin each session to its nominal instant.
+func (c *Client) PinTime(t time.Time) { c.b.PinTime(t) }
 
 // Navigate loads a URL in a new tab ("Page.navigate").
 func (c *Client) Navigate(url string) (*browser.Tab, error) {

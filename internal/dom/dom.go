@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Element is a node in a document tree.
@@ -139,6 +140,42 @@ type Document struct {
 	MetaRefresh *MetaRefresh
 	// Links are plain anchor targets on the page.
 	Links []string
+
+	// sealed marks the document immutable: a generator that builds a
+	// page once and shares it across concurrent sessions promises never
+	// to mutate the tree afterwards. Sealing lets consumers memoize
+	// values derived from the whole tree (the serialized source below,
+	// the render fingerprint via MemoFingerprint) instead of re-walking
+	// it on every visit.
+	sealed  bool
+	serOnce sync.Once
+	ser     string
+	fpOnce  sync.Once
+	fpA     uint64
+	fpB     uint64
+}
+
+// Seal marks the document immutable and returns it. Safe to call more
+// than once; there is no unseal.
+func (d *Document) Seal() *Document {
+	d.sealed = true
+	return d
+}
+
+// Sealed reports whether the document was sealed.
+func (d *Document) Sealed() bool { return d.sealed }
+
+// MemoFingerprint returns the (a, b) words computed by compute, cached
+// on the document after the first call when it is sealed. Unsealed
+// documents recompute every time. compute must be a pure function of
+// the document tree; internal/screenshot keys its capture cache on
+// this. Safe for concurrent use on sealed documents.
+func (d *Document) MemoFingerprint(compute func() (a, b uint64)) (a, b uint64) {
+	if !d.sealed {
+		return compute()
+	}
+	d.fpOnce.Do(func() { d.fpA, d.fpB = compute() })
+	return d.fpA, d.fpB
 }
 
 // ScriptRef points at script code to execute in the document's context.
@@ -213,7 +250,16 @@ func (d *Document) HitTest(x, y int) *Element {
 // Serialize renders the document as HTML-ish source. The websearch index
 // and the attribution source patterns match against this text, so the
 // serialisation must include script code and attribute values verbatim.
+// Sealed documents serialize once and return the cached string.
 func (d *Document) Serialize() string {
+	if !d.sealed {
+		return d.serialize()
+	}
+	d.serOnce.Do(func() { d.ser = d.serialize() })
+	return d.ser
+}
+
+func (d *Document) serialize() string {
 	var b strings.Builder
 	b.WriteString("<!doctype html><html><head><title>")
 	b.WriteString(d.Title)

@@ -19,6 +19,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/rng"
@@ -62,14 +63,29 @@ type entry struct {
 	detectedAt time.Time
 }
 
+// shardCount divides the domain space; a power of two so the shard
+// index is a mask of the domain hash. 16 shards cut lock contention
+// well below the milker's worker counts without bloating the struct.
+const shardCount = 16
+
+// shard holds one partition of the entry table. Entries are immutable
+// after insertion (the detection draw is fixed at observation), so
+// lookups take only the read lock.
+type shard struct {
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
 // Blacklist is the simulated Safe Browsing service. It is safe for
-// concurrent use.
+// concurrent use: the entry table is sharded by domain hash so the
+// milker's parallel poll fan-out and concurrent probe-side
+// observations stop serializing on one mutex, and the load counter is
+// atomic.
 type Blacklist struct {
-	mu       sync.Mutex
 	profiles map[string]DetectionProfile
 	src      *rng.Source
-	entries  map[string]*entry
-	lookups  int
+	shards   [shardCount]shard
+	lookups  atomic.Int64
 }
 
 // NewBlacklist returns a blacklist with the given per-category profiles
@@ -78,11 +94,24 @@ func NewBlacklist(profiles map[string]DetectionProfile, src *rng.Source) *Blackl
 	if profiles == nil {
 		profiles = DefaultProfiles
 	}
-	return &Blacklist{
+	b := &Blacklist{
 		profiles: profiles,
 		src:      src.Split("gsb"),
-		entries:  map[string]*entry{},
 	}
+	for i := range b.shards {
+		b.shards[i].entries = map[string]*entry{}
+	}
+	return b
+}
+
+// shardFor returns the shard owning domain (FNV-1a of the name).
+func (b *Blacklist) shardFor(domain string) *shard {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(domain); i++ {
+		h ^= uint64(domain[i])
+		h *= 1099511628211
+	}
+	return &b.shards[h&(shardCount-1)]
 }
 
 // ObserveMaliciousDomain tells the simulator a malicious domain of the
@@ -90,9 +119,11 @@ func NewBlacklist(profiles map[string]DetectionProfile, src *rng.Source) *Blackl
 // first observation fixes the detection draw. This is called by the world
 // generator (the omniscient side), never by the pipeline.
 func (b *Blacklist) ObserveMaliciousDomain(domain, category string, born time.Time) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if _, ok := b.entries[domain]; ok {
+	s := b.shardFor(domain)
+	s.mu.RLock()
+	_, ok := s.entries[domain]
+	s.mu.RUnlock()
+	if ok {
 		return
 	}
 	e := &entry{category: category, born: born}
@@ -100,7 +131,10 @@ func (b *Blacklist) ObserveMaliciousDomain(domain, category string, born time.Ti
 	// The detection draw is keyed per domain, not pulled from the shared
 	// sequential stream: domains can be observed in any order (parallel
 	// milking mints them concurrently) and must still receive the same
-	// detection fate and lag.
+	// detection fate and lag. The draw happens outside the shard lock —
+	// it is a pure function of (seed, domain), so a concurrent double
+	// observation computes the identical entry and first-write-wins
+	// below changes nothing.
 	src := b.src.Split(domain)
 	if src.Bool(p.DetectProb) {
 		e.detected = true
@@ -112,7 +146,11 @@ func (b *Blacklist) ObserveMaliciousDomain(domain, category string, born time.Ti
 			e.detectedAt = born.Add(time.Duration(lagDays * 24 * float64(time.Hour)))
 		}
 	}
-	b.entries[domain] = e
+	s.mu.Lock()
+	if _, ok := s.entries[domain]; !ok {
+		s.entries[domain] = e
+	}
+	s.mu.Unlock()
 }
 
 // logMeanFor converts a desired arithmetic mean of a log-normal with the
@@ -128,10 +166,11 @@ func logMeanFor(mean, sigma float64) float64 {
 // the pipeline-facing API (the paper polls it every 30 minutes during
 // milking).
 func (b *Blacklist) Lookup(domain string, t time.Time) bool {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.lookups++
-	e, ok := b.entries[domain]
+	b.lookups.Add(1)
+	s := b.shardFor(domain)
+	s.mu.RLock()
+	e, ok := s.entries[domain]
+	s.mu.RUnlock()
 	if !ok {
 		return false
 	}
@@ -143,9 +182,10 @@ func (b *Blacklist) Lookup(domain string, t time.Time) bool {
 // domains. Used by the measurement layer to reproduce the "GSB is more
 // than 7 days slower" result.
 func (b *Blacklist) DetectionLag(domain string) (time.Duration, bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	e, ok := b.entries[domain]
+	s := b.shardFor(domain)
+	s.mu.RLock()
+	e, ok := s.entries[domain]
+	s.mu.RUnlock()
 	if !ok || !e.detected {
 		return 0, false
 	}
@@ -154,18 +194,19 @@ func (b *Blacklist) DetectionLag(domain string) (time.Duration, bool) {
 
 // LookupCount returns the number of Lookup calls served (load accounting).
 func (b *Blacklist) LookupCount() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.lookups
+	return int(b.lookups.Load())
 }
 
 // ObservedDomains returns all observed domains, sorted; for tests.
 func (b *Blacklist) ObservedDomains() []string {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	out := make([]string, 0, len(b.entries))
-	for d := range b.entries {
-		out = append(out, d)
+	var out []string
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.RLock()
+		for d := range s.entries {
+			out = append(out, d)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -175,17 +216,20 @@ func (b *Blacklist) ObservedDomains() []string {
 // category that the blacklist will ever detect. Ground-truth metric for
 // calibration tests.
 func (b *Blacklist) EventualDetectionRate(category string) (float64, int) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
 	var total, detected int
-	for _, e := range b.entries {
-		if e.category != category {
-			continue
+	for i := range b.shards {
+		s := &b.shards[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			if e.category != category {
+				continue
+			}
+			total++
+			if e.detected {
+				detected++
+			}
 		}
-		total++
-		if e.detected {
-			detected++
-		}
+		s.mu.RUnlock()
 	}
 	if total == 0 {
 		return 0, 0

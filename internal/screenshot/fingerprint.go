@@ -22,11 +22,22 @@ const (
 
 // DocFingerprint computes the render-relevant content address of doc.
 // A nil document (or one without a root) maps to the zero fingerprint,
-// matching Render's blank-canvas behaviour.
+// matching Render's blank-canvas behaviour. Sealed documents (shared
+// immutable pages the attack side serves to every session) memoize the
+// walk on the document, so repeat captures of the same page skip the
+// tree traversal entirely.
 func DocFingerprint(doc *dom.Document) Fingerprint {
 	if doc == nil || doc.Root == nil {
 		return Fingerprint{}
 	}
+	a, b := doc.MemoFingerprint(func() (uint64, uint64) {
+		fp := docFingerprint(doc)
+		return fp.A, fp.B
+	})
+	return Fingerprint{A: a, B: b}
+}
+
+func docFingerprint(doc *dom.Document) Fingerprint {
 	fp := Fingerprint{A: fnvOffset, B: 0x243F6A8885A308D3}
 	doc.Root.Walk(func(el *dom.Element) bool {
 		fp.words(

@@ -75,6 +75,7 @@ type Campaign struct {
 
 	mu       sync.Mutex
 	minted   map[string]mintInfo // attack host -> info
+	pages    map[string]attackPage // attack host -> cached landing page
 	fileSeq  int
 	sessions int // TDS hits, for load stats
 }
@@ -83,6 +84,18 @@ type mintInfo struct {
 	idx  int
 	slot int
 	born time.Time
+}
+
+// attackPage is a cached landing-page response, valid for one path on
+// one attack host. The page content is a pure function of (host, path)
+// — templates, behaviour scripts, and download tokens all derive from
+// host-keyed splits — so the document is built once, sealed, and the
+// same Response served to every session until the domain's TTL burns
+// it. Sealing lets the browser side memoize the render fingerprint and
+// serialization instead of re-walking the tree per fetch.
+type attackPage struct {
+	path string
+	resp *webtx.Response
 }
 
 // New creates a campaign. index distinguishes same-category campaigns for
@@ -102,6 +115,7 @@ func New(id string, cat Category, index int, cfg Config, clock *vclock.Clock, sr
 		src:        csrc,
 		recorder:   rec,
 		minted:     map[string]mintInfo{},
+		pages:      map[string]attackPage{},
 	}
 	for i := 0; i < cfg.TDSCount; i++ {
 		c.TDSHosts = append(c.TDSHosts, fmt.Sprintf("%s%d.info", csrc.Token(7), csrc.Intn(1000)))
@@ -225,23 +239,43 @@ func (c *Campaign) serveAttack(req *webtx.Request) *webtx.Response {
 	if now.IsZero() {
 		now = c.clock.Now()
 	}
+	host := req.URL.Host
 	c.mu.Lock()
-	info, ok := c.minted[req.URL.Host]
-	c.mu.Unlock()
+	info, ok := c.minted[host]
 	if !ok {
+		c.mu.Unlock()
 		return webtx.NotFound()
 	}
 	ttl := time.Duration(c.Cfg.TTLFactor) * c.Cfg.RotationPeriod
 	if now.After(info.born.Add(ttl)) {
-		return webtx.Gone() // throw-away domain burned
+		// Throw-away domain burned; drop its cached page too — the host
+		// never serves content again.
+		delete(c.pages, host)
+		c.mu.Unlock()
+		return webtx.Gone()
 	}
 	if len(req.URL.Path) >= 4 && req.URL.Path[:4] == "/dl/" {
+		c.mu.Unlock()
 		return c.serveDownload()
 	}
-	pageURL := "http://" + req.URL.Host + req.URL.Path
-	doc := c.Template.BuildDoc(pageURL, hashHost(req.URL.Host))
-	c.attachBehaviour(doc, req.URL.Host)
-	return webtx.DocumentPage(doc)
+	if page, hit := c.pages[host]; hit && page.path == req.URL.Path {
+		c.mu.Unlock()
+		return page.resp
+	}
+	c.mu.Unlock()
+
+	// Build outside the lock: BuildDoc walks template geometry and is the
+	// expensive part. The page is a pure function of (host, path), so a
+	// concurrent double build produces an identical document and either
+	// copy may win the store below.
+	pageURL := "http://" + host + req.URL.Path
+	doc := c.Template.BuildDoc(pageURL, hashHost(host))
+	c.attachBehaviour(doc, host)
+	resp := webtx.DocumentPage(doc.Seal())
+	c.mu.Lock()
+	c.pages[host] = attackPage{path: req.URL.Path, resp: resp}
+	c.mu.Unlock()
+	return resp
 }
 
 // serveDownload mints a fresh polymorphic binary (Section 4.5: the

@@ -1,0 +1,193 @@
+package vclock
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestCoalescedGroupsAcrossInstants checks the multi-tick contract:
+// consecutive instants fuse into one group while coalesce approves, and
+// flush fires exactly at the boundaries — including the trailing one.
+func TestCoalescedGroupsAcrossInstants(t *testing.T) {
+	c := New()
+	horizon := Epoch.Add(2 * time.Hour)
+	var ran []string
+	if err := c.Every(15*time.Minute, horizon, func(now time.Time) bool {
+		ran = append(ran, "milk@"+now.Format("15:04"))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Every(30*time.Minute, horizon, func(now time.Time) bool {
+		ran = append(ran, "poll@"+now.Format("15:04"))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Groups break before every instant aligned to the 30-minute poll.
+	pollAligned := func(at time.Time) bool {
+		return at.Sub(Epoch)%(30*time.Minute) == 0
+	}
+	var groups [][]string
+	mark := 0
+	c.AdvanceToCoalesced(horizon,
+		func(next time.Time) bool { return !pollAligned(next) },
+		func() {
+			groups = append(groups, append([]string(nil), ran[mark:]...))
+			mark = len(ran)
+		})
+	// :15 alone (boundary before :30), then {:30, :45}, {1:00, 1:15}, ...
+	// At shared instants the poll callback runs first: its timer event
+	// was armed before the milk timer's re-arm, so it has the lower
+	// scheduling sequence — the same order serial AdvanceTo produces.
+	want := [][]string{
+		{"milk@00:15"},
+		{"poll@00:30", "milk@00:30", "milk@00:45"},
+		{"poll@01:00", "milk@01:00", "milk@01:15"},
+		{"poll@01:30", "milk@01:30", "milk@01:45"},
+		{"poll@02:00", "milk@02:00"},
+	}
+	if !reflect.DeepEqual(groups, want) {
+		t.Fatalf("groups:\n  got  %v\n  want %v", groups, want)
+	}
+	if !c.Now().Equal(horizon) {
+		t.Fatalf("clock at %v, want %v", c.Now(), horizon)
+	}
+}
+
+// TestCoalescedMatchesSerialOrder runs the milker-shaped schedule
+// through AdvanceTo and AdvanceToCoalesced and demands the identical
+// callback sequence: coalescing changes flush placement, never the
+// order events run in.
+func TestCoalescedMatchesSerialOrder(t *testing.T) {
+	build := func() (*Clock, *[]string) {
+		c := New()
+		var log []string
+		horizon := Epoch.Add(3 * time.Hour)
+		for _, spec := range []struct {
+			name  string
+			every time.Duration
+		}{{"a", 15 * time.Minute}, {"b", 15 * time.Minute}, {"gsb", 30 * time.Minute}} {
+			spec := spec
+			if err := c.Every(spec.every, horizon, func(now time.Time) bool {
+				log = append(log, spec.name+"@"+now.Format("15:04"))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return c, &log
+	}
+	serialClock, serialLog := build()
+	serialClock.AdvanceTo(Epoch.Add(4 * time.Hour))
+
+	coClock, coLog := build()
+	flushes := 0
+	coClock.AdvanceToCoalesced(Epoch.Add(4*time.Hour),
+		func(next time.Time) bool { return next.Sub(Epoch)%(30*time.Minute) != 0 },
+		func() { flushes++ })
+
+	if !reflect.DeepEqual(*serialLog, *coLog) {
+		t.Fatalf("serial %v\ncoalesced %v", *serialLog, *coLog)
+	}
+	if flushes == 0 {
+		t.Fatal("flush never ran")
+	}
+}
+
+// TestCoalescedSameInstantFollowUp checks that events scheduled at the
+// current instant stay inside the current group even when coalesce
+// rejects everything.
+func TestCoalescedSameInstantFollowUp(t *testing.T) {
+	c := New()
+	at := Epoch.Add(time.Minute)
+	var order []string
+	if err := c.At(at, func(now time.Time) {
+		order = append(order, "first")
+		_ = c.At(now, func(time.Time) { order = append(order, "follow-up") })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	flushed := []int{}
+	c.AdvanceToCoalesced(at.Add(time.Hour),
+		func(next time.Time) bool { return false },
+		func() { flushed = append(flushed, len(order)) })
+	if !reflect.DeepEqual(order, []string{"first", "follow-up"}) {
+		t.Fatalf("order %v", order)
+	}
+	// One flush, after both the event and its same-instant follow-up.
+	if !reflect.DeepEqual(flushed, []int{2}) {
+		t.Fatalf("flush marks %v, want [2]", flushed)
+	}
+}
+
+// TestCoalescedFlushMaySchedule checks that events scheduled from
+// inside flush are still picked up by the advancing loop.
+func TestCoalescedFlushMaySchedule(t *testing.T) {
+	c := New()
+	var order []string
+	if err := c.At(Epoch.Add(time.Minute), func(time.Time) { order = append(order, "tick") }); err != nil {
+		t.Fatal(err)
+	}
+	armed := false
+	c.AdvanceToCoalesced(Epoch.Add(time.Hour), nil, func() {
+		order = append(order, "flush")
+		if !armed {
+			armed = true
+			_ = c.At(c.Now().Add(time.Minute), func(time.Time) { order = append(order, "late") })
+		}
+	})
+	want := []string{"tick", "flush", "late", "flush"}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("order %v, want %v", order, want)
+	}
+}
+
+// TestCoalescedNoEventsNoFlush: advancing over an empty window must not
+// call flush and must still move the clock.
+func TestCoalescedNoEventsNoFlush(t *testing.T) {
+	c := New()
+	calls := 0
+	c.AdvanceToCoalesced(Epoch.Add(time.Hour), nil, func() { calls++ })
+	if calls != 0 {
+		t.Fatalf("flush ran %d times on an empty queue", calls)
+	}
+	if !c.Now().Equal(Epoch.Add(time.Hour)) {
+		t.Fatalf("clock at %v", c.Now())
+	}
+}
+
+// TestNextBatchPrimitive checks the popping primitive AdvanceToBatched
+// is built on: same-instant grouping, clock movement, and the !ok
+// leave-clock-alone contract.
+func TestNextBatchPrimitive(t *testing.T) {
+	c := New()
+	at := Epoch.Add(time.Minute)
+	for i := 0; i < 3; i++ {
+		if err := c.At(at, func(time.Time) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.At(at.Add(time.Second), func(time.Time) {}); err != nil {
+		t.Fatal(err)
+	}
+	now, batch, ok := c.NextBatch(at.Add(time.Hour))
+	if !ok || !now.Equal(at) || len(batch) != 3 {
+		t.Fatalf("first pop: ok=%v now=%v len=%d", ok, now, len(batch))
+	}
+	if !c.Now().Equal(at) {
+		t.Fatalf("clock at %v after pop, want %v", c.Now(), at)
+	}
+	now, batch, ok = c.NextBatch(at.Add(time.Hour))
+	if !ok || !now.Equal(at.Add(time.Second)) || len(batch) != 1 {
+		t.Fatalf("second pop: ok=%v now=%v len=%d", ok, now, len(batch))
+	}
+	before := c.Now()
+	if _, _, ok := c.NextBatch(at.Add(time.Hour)); ok {
+		t.Fatal("third pop should report no events")
+	}
+	if !c.Now().Equal(before) {
+		t.Fatalf("failed pop moved the clock to %v", c.Now())
+	}
+}

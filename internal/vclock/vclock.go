@@ -143,28 +143,14 @@ type BatchRunner func(now time.Time, batch []func(now time.Time))
 // schedule order (identical to AdvanceTo). Events scheduled by a batch
 // at the same instant are run as a follow-up batch at the same now.
 func (c *Clock) AdvanceToBatched(t time.Time, run BatchRunner) {
-	var batch []func(now time.Time)
+	var buf []func(now time.Time)
 	for {
-		c.mu.Lock()
-		if len(c.events) == 0 || c.events[0].at.After(t) {
-			if t.After(c.now) {
-				c.now = t
-			}
-			c.mu.Unlock()
+		now, batch, ok := c.nextBatch(t, buf)
+		if !ok {
+			c.finishAdvance(t)
 			return
 		}
-		e := heap.Pop(&c.events).(*event)
-		if e.at.After(c.now) {
-			c.now = e.at
-		}
-		batch = append(batch[:0], e.fn)
-		// Collect every other event due at the same instant, in seq
-		// order (the heap pops equal timestamps by ascending seq).
-		for len(c.events) > 0 && c.events[0].at.Equal(e.at) {
-			batch = append(batch, heap.Pop(&c.events).(*event).fn)
-		}
-		now := c.now
-		c.mu.Unlock()
+		buf = batch
 		if run == nil {
 			for _, fn := range batch {
 				fn(now)
@@ -172,6 +158,94 @@ func (c *Clock) AdvanceToBatched(t time.Time, run BatchRunner) {
 		} else {
 			run(now, batch)
 		}
+	}
+}
+
+// NextBatch pops the earliest same-instant group of events due at or
+// before limit, advances the clock to that instant, and returns the
+// callbacks in scheduling order (the order AdvanceTo would have run
+// them). ok is false — and the clock stays where it is — when nothing
+// is due by limit; callers then advance the remaining gap themselves
+// (AdvanceTo(limit) is a no-op pop plus the final move). The returned
+// slice is owned by the caller. This is the popping primitive both
+// batch advancers are built on.
+func (c *Clock) NextBatch(limit time.Time) (now time.Time, batch []func(now time.Time), ok bool) {
+	return c.nextBatch(limit, nil)
+}
+
+// nextBatch is NextBatch with caller-supplied slice capacity: buf is
+// truncated and reused, so a driving loop pops every batch of a long
+// run into one allocation.
+func (c *Clock) nextBatch(limit time.Time, buf []func(now time.Time)) (time.Time, []func(now time.Time), bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events) == 0 || c.events[0].at.After(limit) {
+		return time.Time{}, buf, false
+	}
+	e := heap.Pop(&c.events).(*event)
+	if e.at.After(c.now) {
+		c.now = e.at
+	}
+	batch := append(buf[:0], e.fn)
+	// Collect every other event due at the same instant, in seq order
+	// (the heap pops equal timestamps by ascending seq).
+	for len(c.events) > 0 && c.events[0].at.Equal(e.at) {
+		batch = append(batch, heap.Pop(&c.events).(*event).fn)
+	}
+	return c.now, batch, true
+}
+
+// finishAdvance moves the clock to t once no events remain due.
+func (c *Clock) finishAdvance(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.now = t
+	}
+	c.mu.Unlock()
+}
+
+// AdvanceToCoalesced is the multi-tick extension of AdvanceToBatched:
+// it pops same-instant batches up to t and runs each batch's callbacks
+// serially in schedule order (so self-re-arming timers enqueue their
+// next instant before the queue is examined again), but instead of
+// handing every instant to a runner it groups consecutive instants and
+// calls flush at group boundaries. After an instant's callbacks have
+// run, the next due instant extends the current group when
+// coalesce(next) returns true; otherwise flush is called before that
+// instant's callbacks run. Follow-up events scheduled at the current
+// instant always stay in the group (matching AdvanceToBatched's
+// same-instant follow-up batches). A trailing flush covers the final
+// group, and events scheduled by flush itself are picked up by the
+// loop. A nil coalesce never groups (flush after every instant).
+//
+// The milking engine drives its pipelined scheduler with this: timer
+// callbacks only record what is due, coalesce fuses consecutive
+// milking ticks that no blacklist-poll instant separates, and flush
+// fans the recorded ticks out to the worker pool.
+func (c *Clock) AdvanceToCoalesced(t time.Time, coalesce func(next time.Time) bool, flush func()) {
+	var buf []func(now time.Time)
+	open := false // a group has run callbacks and awaits flush
+	for {
+		now, batch, ok := c.nextBatch(t, buf)
+		if !ok {
+			if open {
+				flush()
+			}
+			c.finishAdvance(t)
+			return
+		}
+		buf = batch
+		for _, fn := range batch {
+			fn(now)
+		}
+		open = true
+		if next, okNext := c.NextEvent(); okNext && !next.After(t) {
+			if next.Equal(now) || (coalesce != nil && coalesce(next)) {
+				continue
+			}
+		}
+		flush()
+		open = false
 	}
 }
 
