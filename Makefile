@@ -27,13 +27,16 @@ test:
 # decode memo, internal/browser per-tab interpreter reuse), the service
 # job engine (internal/serve store + worker pool + HTTP handlers), the
 # sharded blacklist (internal/gsb concurrent observe/lookup under the
-# pipelined poller), plus the root package (worker-count determinism
-# contract on the serialized report).
+# pipelined poller), the incremental campaign store (internal/campstore
+# concurrent appenders/readers against one mutex-guarded store), plus
+# the root package (worker-count determinism contract on the serialized
+# report).
 test-race:
 	$(GO) test -race ./internal/obs/... ./internal/crawler/... ./internal/core/... \
 		./internal/cluster/... ./internal/vclock/... ./internal/gsb/... \
 		./internal/imaging/... ./internal/screenshot/... ./internal/phash/... \
-		./internal/adscript/... ./internal/browser/... ./internal/serve/... .
+		./internal/adscript/... ./internal/browser/... ./internal/serve/... \
+		./internal/campstore/... .
 
 # Service-mode smoke test (also part of plain `make test`): boot the
 # real seacma-serve daemon on a random port, submit the example job
@@ -53,10 +56,12 @@ bench-obs:
 # stage per worker count, cluster triage (which reports the
 # distance-calls metric of the multi-index), the capture fast path
 # (cold miss vs memoized hit, with allocs/op), and the script fast path
-# (parse-per-run vs cached program on a reused interpreter).
+# (parse-per-run vs cached program on a reused interpreter), and the
+# incremental campaign store (append / merge / full-rebuild, each
+# reporting its distance-calls).
 # -benchtime 1x keeps a baseline run under a minute; these are
 # regression sentinels, not statistically tight measurements.
-BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_
+BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_|BenchmarkIncrementalCluster_
 # The hashing/rng kernel sentinels run at a higher benchtime: they are
 # microseconds-to-milliseconds each, so 1x would mostly measure timer
 # noise. BenchmarkRngSplit_ lives in internal/rng, hence the extra dir.
@@ -117,6 +122,15 @@ bench-check:
 	    exit (ratio < 2.0) ? 1 : 0 }' \
 	    || { echo "FAIL: Milking_W8 not >=2x faster than W1 — pipelined scheduler lost its parallel efficiency"; exit 1; }; \
 	fi
+	@$(GO) test -run XXX -bench 'BenchmarkIncrementalCluster_(Append|FullRebuild)$$' -benchtime 1x . | tee BENCH_incr.txt; \
+	app=$$(awk '$$1 ~ /^BenchmarkIncrementalCluster_Append(-[0-9]+)?$$/ { for (i = 2; i < NF; i++) if ($$(i+1) == "distance-calls") print $$i }' BENCH_incr.txt); \
+	reb=$$(awk '$$1 ~ /^BenchmarkIncrementalCluster_FullRebuild(-[0-9]+)?$$/ { for (i = 2; i < NF; i++) if ($$(i+1) == "distance-calls") print $$i }' BENCH_incr.txt); \
+	rm -f BENCH_incr.txt; \
+	if [ -z "$$app" ] || [ -z "$$reb" ]; then echo "could not extract distance-calls (append=$$app rebuild=$$reb)"; exit 1; fi; \
+	awk -v app="$$app" -v reb="$$reb" 'BEGIN { \
+	  printf "incremental append %s distance calls/tranche vs full rebuild %s (limit: 20%% of rebuild)\n", app, reb; \
+	  exit (app + 0 > reb * 0.2) ? 1 : 0 }' \
+	  || { echo "FAIL: incremental append pays >20% of a full rebuild's distance calls"; exit 1; }
 	@echo "bench-check OK"
 
 # Profile the milking stage (the pipeline's hot loop) and print where

@@ -55,6 +55,7 @@ type serveConfig struct {
 	metrics      string
 	addrFile     string
 	drainTimeout time.Duration
+	oracleEvery  int
 }
 
 // parseFlags maps the command line onto a serveConfig.
@@ -67,6 +68,7 @@ func parseFlags(args []string) (*serveConfig, error) {
 		metrics  = fs.String("metrics", "", "write the final observability snapshot (JSON) to this file on shutdown")
 		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (for scripts and smoke tests)")
 		drain    = fs.Duration("drain-timeout", time.Minute, "graceful-shutdown budget; in-flight jobs past it are cancelled")
+		oracle   = fs.Int("oracle-every", 0, "self-check the incremental campaign stores against a full batch recompute every N observations (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -74,6 +76,7 @@ func parseFlags(args []string) (*serveConfig, error) {
 	return &serveConfig{
 		addr: *addr, jobs: *jobs, queueCap: *queue,
 		metrics: *metrics, addrFile: *addrFile, drainTimeout: *drain,
+		oracleEvery: *oracle,
 	}, nil
 }
 
@@ -87,10 +90,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 	reg := obs.New()
 	srv := serve.New(serve.Config{
-		Workers:  sc.jobs,
-		QueueCap: sc.queueCap,
-		Obs:      reg,
-		Version:  version,
+		Workers:     sc.jobs,
+		QueueCap:    sc.queueCap,
+		Obs:         reg,
+		Version:     version,
+		OracleEvery: sc.oracleEvery,
 	})
 
 	ln, err := net.Listen("tcp", sc.addr)

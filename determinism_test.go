@@ -233,6 +233,58 @@ func TestReportDeterministicWithNoisePlanesOnOff(t *testing.T) {
 	}
 }
 
+// TestReportDeterministicIncrementalVsBatch proves the incremental
+// campaign store path (the default) and the legacy from-scratch batch
+// clustering serialize byte-identical reports, at 1 and 4 workers.
+func TestReportDeterministicIncrementalVsBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	bytesFor := func(workers int, disableIncremental bool) []byte {
+		cfg := seacma.QuickExperimentConfig()
+		cfg.Crawler.Workers = 1
+		cfg.Milker.Workers = workers
+		cfg.Discovery.Workers = workers
+		cfg.Milker.Duration = 6 * time.Hour
+		cfg.Milker.GSBExtra = 6 * time.Hour
+		cfg.Milker.FinalLookupAfter = 24 * time.Hour
+		cfg.Milker.MaxSources = 40
+		cfg.DisableIncremental = disableIncremental
+		exp := seacma.NewExperiment(cfg)
+		res, err := exp.Run()
+		if err != nil {
+			t.Fatalf("workers=%d incremental=%v: %v", workers, !disableIncremental, err)
+		}
+		if disableIncremental {
+			if res.Discovery.Store != nil {
+				t.Fatalf("legacy path attached a store")
+			}
+		} else if res.Discovery.Store == nil {
+			t.Fatalf("incremental path did not attach a store")
+		}
+		patterns := core.PatternSetFromSeeds(exp.Pipeline.Cfg.Seeds)
+		rep := core.BuildReport(res.RunResult, patterns, exp.World.GSB, exp.World.Webcat, exp.World.Clock.Now())
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		return buf.Bytes()
+	}
+	incr := bytesFor(1, false)
+	for name, other := range map[string][]byte{
+		"batch-1w":       bytesFor(1, true),
+		"batch-4w":       bytesFor(4, true),
+		"incremental-4w": bytesFor(4, false),
+	} {
+		if !bytes.Equal(incr, other) {
+			t.Fatalf("report bytes diverge between incremental-1w and %s", name)
+		}
+	}
+	if len(incr) == 0 {
+		t.Fatal("empty report")
+	}
+}
+
 func min(a, b int) int {
 	if a < b {
 		return a

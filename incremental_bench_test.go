@@ -1,0 +1,173 @@
+package seacma
+
+// Perf-contract benches for the incremental campaign store: absorbing
+// a tranche of fresh observations into an existing store must pay an
+// order of magnitude fewer Hamming verifications than re-clustering
+// the whole log from scratch — that asymmetry is the store's reason to
+// exist, so `make bench-check` guards it (append distance calls must
+// stay under 20% of a full rebuild's).
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/campstore"
+	"repro/internal/phash"
+)
+
+// incrementalCorpus builds a deterministic steady-state observation
+// stream: nc ε-dense cluster neighbourhoods of `per` members (≤2 bit
+// flips around a random centre) plus `noise` isolated hashes.
+func incrementalCorpus(nc, per, noise int) []campstore.Event {
+	r := rand.New(rand.NewSource(42))
+	tick := time.Unix(1600000000, 0).UTC()
+	var evs []campstore.Event
+	dom := 0
+	add := func(h phash.Hash, src string) {
+		evs = append(evs, campstore.Event{
+			Hash: h, E2LD: fmt.Sprintf("d%04d.example", dom),
+			Tick: tick, Source: src,
+		})
+		dom++
+	}
+	for c := 0; c < nc; c++ {
+		centre := phash.Hash{Hi: r.Uint64(), Lo: r.Uint64()}
+		add(centre, campstore.SourceCrawl)
+		for m := 1; m < per; m++ {
+			add(centre.FlipBits(r.Intn(128), r.Intn(128)), campstore.SourceCrawl)
+		}
+	}
+	for i := 0; i < noise; i++ {
+		add(phash.Hash{Hi: r.Uint64(), Lo: r.Uint64()}, campstore.SourceCrawl)
+	}
+	return evs
+}
+
+// perturbedBatch derives one tranche of fresh sightings from the
+// corpus: new hashes ≤3 flips from existing members (still inside
+// their cluster's ε-neighbourhood), on the same domains, at new ticks.
+func perturbedBatch(corpus []campstore.Event, n, round int) []campstore.Event {
+	r := rand.New(rand.NewSource(int64(7 + round)))
+	batch := make([]campstore.Event, 0, n)
+	for j := 0; j < n; j++ {
+		src := corpus[r.Intn(len(corpus))]
+		batch = append(batch, campstore.Event{
+			Hash:   src.Hash.FlipBits(r.Intn(128), r.Intn(128), r.Intn(128)),
+			E2LD:   src.E2LD,
+			Tick:   src.Tick.Add(time.Duration(round*n+j+1) * time.Minute),
+			Source: campstore.SourceMilk,
+		})
+	}
+	return batch
+}
+
+const (
+	incrClusters  = 80
+	incrPerClust  = 8
+	incrNoise     = 240
+	incrBatchSize = 25
+)
+
+// BenchmarkIncrementalCluster_Append measures the steady state:
+// absorbing one 25-event tranche into a store that already holds the
+// ~880-point corpus. distance-calls counts the full Hamming
+// verifications per tranche — only the new hashes in the tranche pay
+// any; deriving the updated labels afterwards pays zero.
+func BenchmarkIncrementalCluster_Append(b *testing.B) {
+	corpus := incrementalCorpus(incrClusters, incrPerClust, incrNoise)
+	st := campstore.New(campstore.Config{})
+	if _, err := st.AppendBatch(corpus); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	start := st.DistanceCalls()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.AppendBatch(perturbedBatch(corpus, incrBatchSize, i)); err != nil {
+			b.Fatal(err)
+		}
+		st.LiveLabels()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(st.DistanceCalls()-start)/float64(b.N), "distance-calls")
+	b.ReportMetric(float64(st.Stats().LiveClusters), "clusters")
+}
+
+// BenchmarkIncrementalCluster_FullRebuild is the alternative the store
+// replaces: to absorb the same 25-event tranche, re-cluster the whole
+// log (corpus + tranche) from scratch. Its distance-calls is the
+// per-tranche cost the append path is measured against.
+func BenchmarkIncrementalCluster_FullRebuild(b *testing.B) {
+	corpus := incrementalCorpus(incrClusters, incrPerClust, incrNoise)
+	batch := perturbedBatch(corpus, incrBatchSize, 0)
+	b.ResetTimer()
+	var calls int64
+	for i := 0; i < b.N; i++ {
+		st := campstore.New(campstore.Config{})
+		if _, err := st.AppendBatch(corpus); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.AppendBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+		st.LiveLabels()
+		calls += st.DistanceCalls()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(calls)/float64(b.N), "distance-calls")
+}
+
+// BenchmarkIncrementalCluster_Merge isolates the most intrusive
+// incremental transition: a bridge observation lands exactly ε from
+// two so-far-separate clusters and their components union. The labels
+// of every member change, yet the append pays only the bridge hash's
+// own index probe.
+func BenchmarkIncrementalCluster_Merge(b *testing.B) {
+	a := phash.Hash{Hi: 0x0123456789abcdef, Lo: 0xfedcba9876543210}
+	farBits := make([]int, 24)
+	for i := range farBits {
+		farBits[i] = 64 + i
+	}
+	c := a.FlipBits(farBits...)
+	tick := time.Unix(1600000000, 0).UTC()
+	stream := []campstore.Event{
+		{Hash: a, E2LD: "left.example", Tick: tick, Source: campstore.SourceCrawl},
+		{Hash: c, E2LD: "right.example", Tick: tick, Source: campstore.SourceCrawl},
+	}
+	for i := 0; i < 6; i++ {
+		stream = append(stream,
+			campstore.Event{Hash: a.FlipBits(i), E2LD: fmt.Sprintf("left%d.example", i), Tick: tick, Source: campstore.SourceCrawl},
+			campstore.Event{Hash: c.FlipBits(i), E2LD: fmt.Sprintf("right%d.example", i), Tick: tick, Source: campstore.SourceCrawl})
+	}
+	bridge := campstore.Event{Hash: a.FlipBits(farBits[:12]...), E2LD: "bridge.example", Tick: tick, Source: campstore.SourceMilk}
+	var calls, merges int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := campstore.New(campstore.Config{})
+		if _, err := st.AppendBatch(stream); err != nil {
+			b.Fatal(err)
+		}
+		before, pre := st.Stats(), st.DistanceCalls()
+		if before.LiveClusters != 2 {
+			b.Fatalf("pre-merge clusters = %d, want 2", before.LiveClusters)
+		}
+		b.StartTimer()
+		if _, err := st.Append(bridge); err != nil {
+			b.Fatal(err)
+		}
+		st.LiveLabels()
+		b.StopTimer()
+		after := st.Stats()
+		if after.LiveClusters != 1 || after.Merges-before.Merges == 0 {
+			b.Fatalf("post-merge clusters = %d, merges += %d", after.LiveClusters, after.Merges-before.Merges)
+		}
+		calls += st.DistanceCalls() - pre
+		merges += after.Merges - before.Merges
+		b.StartTimer()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(calls)/float64(b.N), "distance-calls")
+	b.ReportMetric(float64(merges)/float64(b.N), "merges")
+}

@@ -1,0 +1,633 @@
+// Package campstore is the incremental campaign store: an append-only
+// observation event log feeding an incremental clustering engine that
+// maintains DBSCAN-equivalent labels as events arrive (ROADMAP item 2,
+// the paper's continuous 14-day milking deployment).
+//
+// # Event log
+//
+// Observations are (dhash, e2LD, virtual-tick, source) events. Append
+// deduplicates on the full tuple, assigns a stable 1-based sequence
+// number to each new event, and exposes the log through paginated
+// reads (Events), so multiple clients replaying the same stream in any
+// interleaving converge on the same store state.
+//
+// # Incremental clustering
+//
+// The engine never re-runs batch DBSCAN. Instead it maintains, per
+// distinct hash, exactly the state from which the batch labels are a
+// pure function:
+//
+//   - the ε-adjacency between distinct hashes, discovered by probing a
+//     mutable pigeonhole multi-index (cluster.DynamicIndex) once per
+//     new distinct hash — re-observations of a known hash cost zero
+//     distance calls;
+//   - per-view member lists and neighbourhood counts (a hash's count is
+//     the number of view points within ε, its own members included),
+//     from which core-point promotions fall out as counts cross MinPts;
+//   - a union-find over core hashes (one union per core ε-edge), which
+//     joins, extends and merges clusters without touching non-edges.
+//
+// Labels are derived on demand with zero distance calls: batch DBSCAN
+// (internal/cluster, deterministic index-order seeding) assigns cluster
+// ids in order of each component's minimal core point index, and gives
+// a border point the id of the *first* cluster that expands into it —
+// i.e. the minimum id among the core hashes adjacent to it. Both are
+// pure functions of (adjacency, coreness, union-find), so incremental
+// labels are *identical* to a from-scratch batch run over the same
+// points — not merely equivalent up to relabeling. The property/fuzz
+// tests and the periodic oracle (Config.OracleEvery) assert exactly
+// that.
+//
+// Because the log is append-only, counts never decrease: core points
+// are never demoted and clusters never split. The only merge-direction
+// events are promotions and root-joins, which is what makes the
+// union-find sufficient.
+//
+// # Views
+//
+// The store maintains two parallel views over the same log:
+//
+//   - the discovery view covers only SourceCrawl events — it is what
+//     campaign discovery (core.Discover) clusters, and it depends only
+//     on the crawl stream, so a daemon store that has absorbed prior
+//     jobs' milking events still reproduces the one-shot report
+//     byte-for-byte;
+//   - the live view covers every event (crawl + milk + api) — it is
+//     what /v1/campaigns serves.
+//
+// A Store is safe for concurrent use; all mutation is serialized under
+// one mutex (appends are O(new work), so the critical sections are
+// short).
+package campstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/phash"
+)
+
+// Event sources. Any other non-empty string is accepted and clusters
+// into the live view only.
+const (
+	// SourceCrawl marks crawl-time observations; only these feed the
+	// discovery view.
+	SourceCrawl = "crawl"
+	// SourceMilk marks milking observations.
+	SourceMilk = "milk"
+	// SourceAPI marks observations appended through /v1/observations
+	// (and is the default for an empty Source).
+	SourceAPI = "api"
+)
+
+// Event is one observation: a hashed landing of e2LD at a virtual tick.
+type Event struct {
+	Hash   phash.Hash
+	E2LD   string
+	Tick   time.Time
+	Source string
+}
+
+// LoggedEvent is an event as recorded: with its stable sequence number.
+type LoggedEvent struct {
+	Seq uint64
+	Event
+}
+
+// Config configures a Store.
+type Config struct {
+	// Params are the DBSCAN parameters (zero value = cluster.PaperParams).
+	Params cluster.Params
+	// OracleEvery runs the full batch recompute oracle after every N
+	// non-duplicate events (0 = never). The oracle re-clusters both
+	// views from scratch and fails the triggering Append if the
+	// incremental labels diverge.
+	OracleEvery int
+	// Obs receives the cluster_incremental_* counters and the
+	// campstore_observations gauge. Nil = no-op.
+	Obs *obs.Registry
+}
+
+// AppendResult reports what one Append did.
+type AppendResult struct {
+	// Seq is the event's stable sequence number (the prior one for a
+	// duplicate).
+	Seq       uint64
+	Duplicate bool
+	// NewPoint is set when the event introduced a new distinct
+	// (hash, e2LD) pair.
+	NewPoint bool
+	// NewHash is set when the event introduced a new distinct hash
+	// (the only case that pays distance calls).
+	NewHash bool
+	// DistanceCalls is the number of full Hamming verifications this
+	// append performed.
+	DistanceCalls int64
+}
+
+// BatchResult aggregates AppendBatch.
+type BatchResult struct {
+	Appended      int
+	Duplicates    int
+	NewPoints     int
+	NewHashes     int
+	DistanceCalls int64
+	Probes        int64
+	Candidates    int64
+}
+
+// View identifiers.
+const (
+	viewDiscovery = iota // crawl events only
+	viewLive             // all events
+	numViews
+)
+
+// viewState is the incremental clustering state of one view.
+type viewState struct {
+	pts   []int32 // global point ids in view arrival order
+	idxOf []int32 // global point id -> view index (-1 = absent)
+
+	members [][]int32 // hash id -> view indices (ascending)
+	cnt     []int32   // hash id -> view points within ε (incl. own members)
+	core    []bool    // hash id -> members are core points
+
+	parent []int32 // union-find over core hash ids (-1 = not core)
+	size   []int32 // union by size
+	minVi  []int32 // root -> minimal core view index in the component
+
+	merges int64 // unions that joined two distinct components
+	cycles int64 // unions whose endpoints were already connected
+
+	dirty     bool
+	labels    []int
+	nclusters int
+}
+
+func (vs *viewState) find(a int32) int32 {
+	for vs.parent[a] != a {
+		vs.parent[a] = vs.parent[vs.parent[a]] // path halving
+		a = vs.parent[a]
+	}
+	return a
+}
+
+// union joins the components of core hashes a and b, keeping the
+// minimal core view index at the surviving root. Reports whether two
+// distinct components merged.
+func (vs *viewState) union(a, b int32) bool {
+	ra, rb := vs.find(a), vs.find(b)
+	if ra == rb {
+		vs.cycles++
+		return false
+	}
+	if vs.size[ra] < vs.size[rb] {
+		ra, rb = rb, ra
+	}
+	vs.parent[rb] = ra
+	vs.size[ra] += vs.size[rb]
+	if vs.minVi[rb] < vs.minVi[ra] {
+		vs.minVi[ra] = vs.minVi[rb]
+	}
+	vs.merges++
+	return true
+}
+
+type eventKey struct {
+	h      phash.Hash
+	e2ld   string
+	tick   int64
+	source string
+}
+
+type pointKey struct {
+	h    phash.Hash
+	e2ld string
+}
+
+// Store is the incremental campaign store. Zero value is not usable;
+// call New.
+type Store struct {
+	mu          sync.Mutex
+	params      cluster.Params
+	oracleEvery int
+
+	idx   *cluster.DynamicIndex
+	log   []LoggedEvent
+	dedup map[eventKey]uint64
+
+	// points are the distinct (hash, e2LD) pairs, in first-seen order.
+	pointHash   []int32
+	pointE2LD   []string
+	pointEvents []int32 // supporting (non-duplicate) events per point
+	pointIdx    map[pointKey]int32
+
+	// adj[h] lists the distinct hashes within ε of h (excluding h).
+	adj [][]int32
+
+	views [numViews]viewState
+
+	campaigns map[int]registeredCampaign
+
+	appended      uint64 // non-duplicate events (oracle cadence)
+	oracleRuns    int64
+	oracleFailure error // poisons the store once divergence is detected
+
+	metEvents        *obs.Counter
+	metMerges        *obs.Counter
+	metSplitsAvoided *obs.Counter
+	metOracleRuns    *obs.Counter
+	metObservations  *obs.Gauge
+}
+
+// New builds an empty store.
+func New(cfg Config) *Store {
+	p := cfg.Params
+	if p.MinPts == 0 {
+		p = cluster.PaperParams
+	}
+	return &Store{
+		params:      p,
+		oracleEvery: cfg.OracleEvery,
+		idx:         cluster.NewDynamicIndex(p.Eps),
+		dedup:       map[eventKey]uint64{},
+		pointIdx:    map[pointKey]int32{},
+		campaigns:   map[int]registeredCampaign{},
+
+		metEvents:        cfg.Obs.Counter("cluster_incremental_events_total"),
+		metMerges:        cfg.Obs.Counter("cluster_incremental_merges_total"),
+		metSplitsAvoided: cfg.Obs.Counter("cluster_incremental_splits_avoided_total"),
+		metOracleRuns:    cfg.Obs.Counter("cluster_incremental_oracle_runs_total"),
+		metObservations:  cfg.Obs.Gauge("campstore_observations"),
+	}
+}
+
+// Params returns the DBSCAN parameters the store clusters under.
+func (s *Store) Params() cluster.Params { return s.params }
+
+// Append records one event and integrates it into both views. The
+// returned error is non-nil only when the event's E2LD is empty or the
+// periodic oracle detected divergence (a bug — the store is then
+// poisoned and every later Append keeps failing).
+func (s *Store) Append(ev Event) (AppendResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appendLocked(ev)
+}
+
+// AppendBatch appends events in order under one lock acquisition.
+func (s *Store) AppendBatch(events []Event) (BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st0 := s.idx.Stats()
+	var out BatchResult
+	for _, ev := range events {
+		r, err := s.appendLocked(ev)
+		if err != nil {
+			return out, err
+		}
+		if r.Duplicate {
+			out.Duplicates++
+			continue
+		}
+		out.Appended++
+		if r.NewPoint {
+			out.NewPoints++
+		}
+		if r.NewHash {
+			out.NewHashes++
+		}
+		out.DistanceCalls += r.DistanceCalls
+	}
+	st1 := s.idx.Stats()
+	out.Probes = st1.Probes - st0.Probes
+	out.Candidates = st1.Candidates - st0.Candidates
+	return out, nil
+}
+
+func (s *Store) appendLocked(ev Event) (AppendResult, error) {
+	if ev.E2LD == "" {
+		return AppendResult{}, fmt.Errorf("campstore: event with empty e2LD")
+	}
+	if err := s.oracleErrLocked(); err != nil {
+		return AppendResult{}, err
+	}
+	if ev.Source == "" {
+		ev.Source = SourceAPI
+	}
+	k := eventKey{ev.Hash, ev.E2LD, ev.Tick.UnixNano(), ev.Source}
+	if seq, ok := s.dedup[k]; ok {
+		return AppendResult{Seq: seq, Duplicate: true}, nil
+	}
+	seq := uint64(len(s.log) + 1)
+	s.log = append(s.log, LoggedEvent{Seq: seq, Event: ev})
+	s.dedup[k] = seq
+	s.appended++
+	s.metEvents.Inc()
+	s.metObservations.Set(int64(len(s.log)))
+
+	res := AppendResult{Seq: seq}
+	d0 := s.idx.DistanceCalls()
+	pk := pointKey{ev.Hash, ev.E2LD}
+	pid, known := s.pointIdx[pk]
+	if !known {
+		hid, isNewHash := s.ensureHash(ev.Hash)
+		res.NewPoint, res.NewHash = true, isNewHash
+		pid = int32(len(s.pointHash))
+		s.pointHash = append(s.pointHash, hid)
+		s.pointE2LD = append(s.pointE2LD, ev.E2LD)
+		s.pointEvents = append(s.pointEvents, 0)
+		s.pointIdx[pk] = pid
+		for v := range s.views {
+			s.views[v].idxOf = append(s.views[v].idxOf, -1)
+		}
+		s.addToView(&s.views[viewLive], pid)
+	}
+	s.pointEvents[pid]++
+	if ev.Source == SourceCrawl && s.views[viewDiscovery].idxOf[pid] < 0 {
+		s.addToView(&s.views[viewDiscovery], pid)
+	}
+	res.DistanceCalls = s.idx.DistanceCalls() - d0
+
+	if s.oracleEvery > 0 && s.appended%uint64(s.oracleEvery) == 0 {
+		if err := s.runOracleLocked(); err != nil {
+			s.oracleFailure = err
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// ensureHash registers h as a distinct hash if unseen, wiring its
+// ε-adjacency and per-view bookkeeping.
+func (s *Store) ensureHash(h phash.Hash) (int32, bool) {
+	if hid, ok := s.idx.Lookup(h); ok {
+		return hid, false
+	}
+	hid, nbrs, _ := s.idx.Add(h)
+	s.adj = append(s.adj, append([]int32(nil), nbrs...))
+	for _, n := range nbrs {
+		s.adj[n] = append(s.adj[n], hid)
+	}
+	for v := range s.views {
+		vs := &s.views[v]
+		// The new hash's count starts at the number of existing view
+		// points within ε; its own (future) members and later arrivals
+		// are added by addToView.
+		var c int32
+		for _, n := range nbrs {
+			c += int32(len(vs.members[n]))
+		}
+		vs.members = append(vs.members, nil)
+		vs.cnt = append(vs.cnt, c)
+		vs.core = append(vs.core, false)
+		vs.parent = append(vs.parent, -1)
+		vs.size = append(vs.size, 0)
+		vs.minVi = append(vs.minVi, -1)
+	}
+	return hid, true
+}
+
+// addToView appends point pid to the view: bump the ε-neighbourhood
+// count of its hash and every adjacent hash, then fire any promotions
+// those increments unlocked.
+func (s *Store) addToView(vs *viewState, pid int32) {
+	vi := int32(len(vs.pts))
+	vs.pts = append(vs.pts, pid)
+	vs.idxOf[pid] = vi
+	hid := s.pointHash[pid]
+	vs.members[hid] = append(vs.members[hid], vi)
+	vs.cnt[hid]++
+	for _, n := range s.adj[hid] {
+		vs.cnt[n]++
+	}
+	live := vs == &s.views[viewLive]
+	s.maybePromote(vs, hid, live)
+	for _, n := range s.adj[hid] {
+		s.maybePromote(vs, n, live)
+	}
+	vs.dirty = true
+}
+
+// maybePromote turns hid into a core hash once it has members in the
+// view and its ε-neighbourhood reaches MinPts, joining it to every
+// already-core neighbour. A hash whose count crossed MinPts while it
+// had no view members is promoted later, when its first member arrives.
+func (s *Store) maybePromote(vs *viewState, hid int32, live bool) {
+	if vs.core[hid] || len(vs.members[hid]) == 0 || int(vs.cnt[hid]) < s.params.MinPts {
+		return
+	}
+	vs.core[hid] = true
+	vs.parent[hid] = hid
+	vs.size[hid] = 1
+	vs.minVi[hid] = vs.members[hid][0]
+	for _, n := range s.adj[hid] {
+		if !vs.core[n] {
+			continue
+		}
+		merged := vs.union(hid, n)
+		if live {
+			if merged {
+				s.metMerges.Inc()
+			} else {
+				s.metSplitsAvoided.Inc()
+			}
+		}
+	}
+}
+
+// labelsLocked derives the view's labels from the incremental state —
+// zero distance calls. Cluster ids are assigned in order of each
+// component's minimal core view index (exactly batch DBSCAN's seeding
+// order); border points take the minimum id among adjacent core hashes
+// (exactly the first cluster that would have expanded into them).
+func (s *Store) labelsLocked(v int) ([]int, int) {
+	vs := &s.views[v]
+	if !vs.dirty {
+		return vs.labels, vs.nclusters
+	}
+	nh := s.idx.Len()
+	// Rank the components by minimal core view index.
+	type comp struct{ root, minVi int32 }
+	var comps []comp
+	rank := make(map[int32]int)
+	for hid := int32(0); hid < int32(nh); hid++ {
+		if !vs.core[hid] {
+			continue
+		}
+		r := vs.find(hid)
+		if _, seen := rank[r]; !seen {
+			rank[r] = -1
+			comps = append(comps, comp{r, vs.minVi[r]})
+		}
+	}
+	// Insertion sort by minVi: component counts are small and mostly
+	// already ordered (ids only churn on merges).
+	for i := 1; i < len(comps); i++ {
+		for j := i; j > 0 && comps[j].minVi < comps[j-1].minVi; j-- {
+			comps[j], comps[j-1] = comps[j-1], comps[j]
+		}
+	}
+	for i, c := range comps {
+		rank[c.root] = i
+	}
+	labels := make([]int, len(vs.pts))
+	for hid := int32(0); hid < int32(nh); hid++ {
+		if len(vs.members[hid]) == 0 {
+			continue
+		}
+		lbl := cluster.Noise
+		if vs.core[hid] {
+			lbl = rank[vs.find(hid)]
+		} else {
+			for _, g := range s.adj[hid] {
+				if !vs.core[g] {
+					continue
+				}
+				if id := rank[vs.find(g)]; lbl == cluster.Noise || id < lbl {
+					lbl = id
+				}
+			}
+		}
+		for _, vi := range vs.members[hid] {
+			labels[vi] = lbl
+		}
+	}
+	vs.labels, vs.nclusters, vs.dirty = labels, len(comps), false
+	return labels, len(comps)
+}
+
+// DiscoveryLabels returns the crawl-view labels (one per crawl point,
+// in crawl-point arrival order) and the cluster count. The slice is a
+// copy.
+func (s *Store) DiscoveryLabels() ([]int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, n := s.labelsLocked(viewDiscovery)
+	return append([]int(nil), l...), n
+}
+
+// LiveLabels returns the all-sources labels (one per point, in point
+// arrival order) and the cluster count. The slice is a copy.
+func (s *Store) LiveLabels() ([]int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, n := s.labelsLocked(viewLive)
+	return append([]int(nil), l...), n
+}
+
+// DiscoveryIndex returns the discovery-view index of the (hash, e2LD)
+// point, if it has one.
+func (s *Store) DiscoveryIndex(h phash.Hash, e2ld string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pid, ok := s.pointIdx[pointKey{h, e2ld}]
+	if !ok {
+		return 0, false
+	}
+	vi := s.views[viewDiscovery].idxOf[pid]
+	if vi < 0 {
+		return 0, false
+	}
+	return int(vi), true
+}
+
+// DiscoveryMatches reports whether the discovery view is exactly the
+// n-point sequence described by at (point i's hash and e2LD) — the
+// coherence precondition for serving a run's discovery labels from a
+// shared store: the store's crawl view must be the run's observation
+// sequence, no more, no less, in the same order.
+func (s *Store) DiscoveryMatches(n int, at func(int) (phash.Hash, string)) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	vs := &s.views[viewDiscovery]
+	if len(vs.pts) != n {
+		return false
+	}
+	for i, pid := range vs.pts {
+		h, e2ld := at(i)
+		if s.idx.Hash(s.pointHash[pid]) != h || s.pointE2LD[pid] != e2ld {
+			return false
+		}
+	}
+	return true
+}
+
+// DiscoveryPoints returns the size of the discovery (crawl) view.
+func (s *Store) DiscoveryPoints() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.views[viewDiscovery].pts)
+}
+
+// Points returns the number of distinct (hash, e2LD) pairs.
+func (s *Store) Points() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pointHash)
+}
+
+// EventCount returns the number of logged (non-duplicate) events.
+func (s *Store) EventCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.log)
+}
+
+// Events returns up to limit events with Seq > after, in sequence
+// order — the pagination contract of GET /v1/observations. limit <= 0
+// means no limit.
+func (s *Store) Events(after uint64, limit int) []LoggedEvent {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if after >= uint64(len(s.log)) {
+		return nil
+	}
+	tail := s.log[after:]
+	if limit > 0 && len(tail) > limit {
+		tail = tail[:limit]
+	}
+	return append([]LoggedEvent(nil), tail...)
+}
+
+// DistanceCalls returns the full Hamming verifications performed over
+// the store's lifetime.
+func (s *Store) DistanceCalls() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.DistanceCalls()
+}
+
+// Stats snapshots the store.
+type Stats struct {
+	Events          int
+	Points          int
+	DiscoveryPoints int
+	LivePoints      int
+	LiveClusters    int
+	Merges          int64 // live-view component merges
+	SplitsAvoided   int64 // live-view unions already connected
+	OracleRuns      int64
+	Index           cluster.DynamicIndexStats
+}
+
+// Stats returns a consistent snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, nLive := s.labelsLocked(viewLive)
+	return Stats{
+		Events:          len(s.log),
+		Points:          len(s.pointHash),
+		DiscoveryPoints: len(s.views[viewDiscovery].pts),
+		LivePoints:      len(s.views[viewLive].pts),
+		LiveClusters:    nLive,
+		Merges:          s.views[viewLive].merges,
+		SplitsAvoided:   s.views[viewLive].cycles,
+		OracleRuns:      s.oracleRuns,
+		Index:           s.idx.Stats(),
+	}
+}

@@ -1,0 +1,69 @@
+package campstore
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/phash"
+)
+
+// runOracleLocked re-clusters both views from scratch with the batch
+// pipeline (cluster.ClusterHashes — a fresh pigeonhole multi-index plus
+// deterministic DBSCAN) and compares labels exactly against the
+// incremental state. Any divergence is a bug in the incremental engine.
+func (s *Store) runOracleLocked() error {
+	s.oracleRuns++
+	s.metOracleRuns.Inc()
+	for v, name := range [numViews]string{viewDiscovery: "discovery", viewLive: "live"} {
+		vs := &s.views[v]
+		hashes := make([]phash.Hash, len(vs.pts))
+		for i, pid := range vs.pts {
+			hashes[i] = s.idx.Hash(s.pointHash[pid])
+		}
+		batch, _, err := cluster.ClusterHashes(hashes, s.params, 1)
+		if err != nil {
+			return fmt.Errorf("campstore oracle: batch recompute (%s view): %w", name, err)
+		}
+		inc, n := s.labelsLocked(v)
+		if n != batch.NumClusters {
+			return fmt.Errorf("campstore oracle: %s view has %d incremental clusters, batch found %d",
+				name, n, batch.NumClusters)
+		}
+		for i := range inc {
+			if inc[i] != batch.Labels[i] {
+				return fmt.Errorf("campstore oracle: %s view point %d labelled %d incrementally, %d by batch",
+					name, i, inc[i], batch.Labels[i])
+			}
+		}
+	}
+	return nil
+}
+
+// RunOracle triggers the batch-recompute oracle immediately, regardless
+// of Config.OracleEvery. A divergence error poisons the store.
+func (s *Store) RunOracle() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.oracleErrLocked(); err != nil {
+		return err
+	}
+	if err := s.runOracleLocked(); err != nil {
+		s.oracleFailure = err
+		return err
+	}
+	return nil
+}
+
+// OracleRuns returns how many times the oracle has run.
+func (s *Store) OracleRuns() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.oracleRuns
+}
+
+func (s *Store) oracleErrLocked() error {
+	if s.oracleFailure != nil {
+		return fmt.Errorf("campstore: store poisoned by oracle divergence: %w", s.oracleFailure)
+	}
+	return nil
+}

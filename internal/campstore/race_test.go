@@ -1,0 +1,99 @@
+package campstore_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campstore"
+	"repro/internal/phash"
+)
+
+// TestConcurrentAppendersAndReaders hammers one store with overlapping
+// appenders (so dedup races are exercised) while readers continuously
+// snapshot labels, events and campaign projections, then verifies the
+// final state against the serial batch oracle. Run under -race by
+// `make test-race`.
+func TestConcurrentAppendersAndReaders(t *testing.T) {
+	s := campstore.New(campstore.Config{})
+	rng := rand.New(rand.NewSource(42))
+	bases := []phash.Hash{randHash(rng), randHash(rng), randHash(rng)}
+
+	// Build the shared workload: three clusters, with every appender
+	// given a shifted copy of the same stream so most events collide.
+	var stream []campstore.Event
+	for c, base := range bases {
+		for i := 0; i < 40; i++ {
+			src := campstore.SourceCrawl
+			if i%3 == 0 {
+				src = campstore.SourceMilk
+			}
+			stream = append(stream, campstore.Event{
+				Hash:   base.FlipBits(rng.Intn(phash.Bits), rng.Intn(phash.Bits)),
+				E2LD:   fmt.Sprintf("c%dd%d.example", c, i%7),
+				Source: src,
+				Tick:   time.Unix(int64(i), 0),
+			})
+		}
+	}
+
+	const appenders = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.LiveLabels()
+				s.DiscoveryLabels()
+				s.Events(0, 16)
+				s.Stats()
+				s.LiveCampaigns()
+			}
+		}()
+	}
+	var appendWG sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		appendWG.Add(1)
+		go func(shift int) {
+			defer appendWG.Done()
+			for i := range stream {
+				ev := stream[(i+shift)%len(stream)]
+				if _, err := s.Append(ev); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(a * 17)
+	}
+	appendWG.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Every appender replayed the same set: dedup must have collapsed
+	// them to one copy each.
+	if got, want := s.EventCount(), len(stream); got != want {
+		t.Fatalf("EventCount = %d, want %d (dedup across concurrent appenders)", got, want)
+	}
+	// The serial oracle re-clusters both views from scratch in the
+	// store's own arrival order and compares labels exactly.
+	if err := s.RunOracle(); err != nil {
+		t.Fatalf("oracle after concurrent load: %v", err)
+	}
+	// A full replay afterwards is all duplicates.
+	res, err := s.AppendBatch(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Appended != 0 || res.Duplicates != len(stream) {
+		t.Fatalf("replay after load: %+v", res)
+	}
+}

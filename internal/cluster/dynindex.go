@@ -1,0 +1,151 @@
+package cluster
+
+import (
+	"repro/internal/phash"
+)
+
+// DynamicIndex is the mutable sibling of MultiIndex: the same
+// pigeonhole-partitioned Hamming index over 128-bit perceptual hashes,
+// but supporting one-at-a-time insertion so an incremental clustering
+// engine (internal/campstore) can absorb new observations without a
+// rebuild.
+//
+// The band layout is identical to MultiIndex (bandsFor bands at the
+// given bit radius, tol = ⌊maxBits/bands⌋ flips per band), so a probe
+// visits exactly the buckets a freshly built MultiIndex would. The
+// difference is lifecycle: Add both probes the existing corpus for the
+// new hash's ε-neighbourhood and registers the hash in every band
+// bucket, paying one full Hamming verification per *distinct candidate*
+// — so the marginal cost of an insert scales with the density around
+// the new hash, not with the corpus.
+//
+// DynamicIndex is deliberately not safe for concurrent use: its only
+// caller (the campaign store) already serializes all mutation under one
+// lock and needs the counters to stay exact.
+type DynamicIndex struct {
+	maxBits int
+	bands   []bandSpec
+	tol     int
+
+	distinct []phash.Hash
+	byHash   map[phash.Hash]int32
+	buckets  []map[uint64][]int32
+
+	// probe scratch: stamp-based candidate dedup across bands.
+	mark  []int64
+	stamp int64
+
+	probes, candidates, distCalls int64
+}
+
+// NewDynamicIndex builds an empty index for a normalised eps (fraction
+// of the 128 hash bits), using the same automatic band selection as
+// NewMultiIndex.
+func NewDynamicIndex(eps float64) *DynamicIndex {
+	maxBits := int(eps * float64(phash.Bits))
+	bands := bandsFor(maxBits)
+	x := &DynamicIndex{
+		maxBits: maxBits,
+		tol:     maxBits / bands,
+		byHash:  map[phash.Hash]int32{},
+		buckets: make([]map[uint64][]int32, bands),
+	}
+	base, extra := phash.Bits/bands, phash.Bits%bands
+	off := uint(0)
+	for b := 0; b < bands; b++ {
+		w := uint(base)
+		if b < extra {
+			w++
+		}
+		x.bands = append(x.bands, bandSpec{Off: off, Width: w})
+		off += w
+		x.buckets[b] = map[uint64][]int32{}
+	}
+	return x
+}
+
+// MaxBits returns eps expressed in raw hash bits.
+func (x *DynamicIndex) MaxBits() int { return x.maxBits }
+
+// Len returns the number of distinct hashes indexed.
+func (x *DynamicIndex) Len() int { return len(x.distinct) }
+
+// Hash returns the distinct hash with id d.
+func (x *DynamicIndex) Hash(d int32) phash.Hash { return x.distinct[d] }
+
+// Lookup returns the id of h if it is already indexed.
+func (x *DynamicIndex) Lookup(h phash.Hash) (int32, bool) {
+	d, ok := x.byHash[h]
+	return d, ok
+}
+
+// probe enumerates the band buckets of h and verifies each distinct
+// candidate once, appending the ids within maxBits to out.
+func (x *DynamicIndex) probe(h phash.Hash, out []int32) []int32 {
+	x.stamp++
+	for b, spec := range x.bands {
+		v := bandValue(h, spec)
+		enumBand(v, spec.Width, x.tol, func(pv uint64) {
+			x.probes++
+			for _, cd := range x.buckets[b][pv] {
+				if x.mark[cd] == x.stamp {
+					continue
+				}
+				x.mark[cd] = x.stamp
+				x.candidates++
+				x.distCalls++
+				if phash.Distance(h, x.distinct[cd]) <= x.maxBits {
+					out = append(out, cd)
+				}
+			}
+		})
+	}
+	return out
+}
+
+// Add inserts h and returns its id plus the ids of every previously
+// indexed distinct hash within maxBits (in deterministic band/bucket
+// discovery order, excluding h itself). If h is already indexed the
+// existing id is returned with a nil neighbour slice and isNew=false —
+// re-observations of a known hash cost one map lookup and zero distance
+// calls.
+func (x *DynamicIndex) Add(h phash.Hash) (id int32, neighbours []int32, isNew bool) {
+	if d, ok := x.byHash[h]; ok {
+		return d, nil, false
+	}
+	neighbours = x.probe(h, nil)
+	id = int32(len(x.distinct))
+	x.distinct = append(x.distinct, h)
+	x.byHash[h] = id
+	x.mark = append(x.mark, 0)
+	for b, spec := range x.bands {
+		v := bandValue(h, spec)
+		x.buckets[b][v] = append(x.buckets[b][v], id)
+	}
+	return id, neighbours, true
+}
+
+// DynamicIndexStats snapshots the index shape and query counters.
+type DynamicIndexStats struct {
+	Distinct      int
+	Bands         int
+	Tolerance     int
+	Probes        int64 // bucket lookups performed
+	Candidates    int64 // distinct candidates examined (pre-verification)
+	DistanceCalls int64 // full Hamming verifications
+}
+
+// Stats returns the current counters.
+func (x *DynamicIndex) Stats() DynamicIndexStats {
+	return DynamicIndexStats{
+		Distinct:      len(x.distinct),
+		Bands:         len(x.bands),
+		Tolerance:     x.tol,
+		Probes:        x.probes,
+		Candidates:    x.candidates,
+		DistanceCalls: x.distCalls,
+	}
+}
+
+// DistanceCalls reports the full Hamming verifications performed so far.
+func (x *DynamicIndex) DistanceCalls() int64 { return x.distCalls }

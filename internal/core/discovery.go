@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/campstore"
 	"repro/internal/cluster"
 	"repro/internal/crawler"
 	"repro/internal/obs"
@@ -28,6 +29,18 @@ type DiscoveryParams struct {
 	// calls, index probe/candidate counts, cluster and θc-filter
 	// counts). Nil = no-op.
 	Obs *obs.Registry
+	// Store, when non-nil, is the incremental campaign store the run's
+	// observations are appended to (as crawl events) and clustered
+	// through. A long-lived owner (the seacma-serve daemon) passes one
+	// per world so repeat runs pay only for *new* observations; when
+	// nil, Discover creates a private store, so the incremental engine
+	// is the default clustering path. Labels are identical to the batch
+	// path by the campstore property/oracle guarantees.
+	Store *campstore.Store
+	// DisableIncremental forces the legacy from-scratch batch
+	// clustering (multi-index build + DBSCAN). The A/B knob for the
+	// determinism suite and benches.
+	DisableIncremental bool
 }
 
 // PaperDiscoveryParams are the published values.
@@ -116,8 +129,15 @@ type DiscoveryResult struct {
 	// FilteredClusters counts clusters dropped by the θc domain filter.
 	FilteredClusters int
 	// DistanceCalls is the number of Hamming verifications the
-	// neighbourhood index performed during clustering.
+	// neighbourhood index performed during clustering. On the
+	// incremental path this counts only the *new* work this run paid
+	// for (zero when a shared store had already absorbed every
+	// observation).
 	DistanceCalls int64
+	// Store is the incremental campaign store the run clustered
+	// through, with the triaged campaigns registered for live
+	// projection; nil when the legacy batch path ran.
+	Store *campstore.Store
 
 	// campaigns/benign cache the triage partition; Clusters is immutable
 	// after Discover, and callers (reporting, milking, triage tables)
@@ -154,33 +174,85 @@ func (r *DiscoveryResult) BenignClusters() []*DiscoveredCampaign {
 	return r.benign
 }
 
+// discoverIncremental appends the observations to the store as crawl
+// events and derives labels from the incremental state. It declines
+// (returns false) when the store clusters under different parameters
+// or its crawl view is not exactly this run's observation sequence —
+// the caller then falls back to the batch path.
+func discoverIncremental(st *campstore.Store, obs []Observation, params DiscoveryParams) (cluster.Result, bool) {
+	if st.Params() != params.Cluster {
+		return cluster.Result{}, false
+	}
+	events := make([]campstore.Event, len(obs))
+	for i, o := range obs {
+		events[i] = campstore.Event{Hash: o.Hash, E2LD: o.E2LD, Source: campstore.SourceCrawl}
+	}
+	br, err := st.AppendBatch(events)
+	if err != nil {
+		return cluster.Result{}, false
+	}
+	if !st.DiscoveryMatches(len(obs), func(i int) (phash.Hash, string) {
+		return obs[i].Hash, obs[i].E2LD
+	}) {
+		return cluster.Result{}, false
+	}
+	labels, n := st.DiscoveryLabels()
+	params.Obs.Counter("discovery_index_probes_total").Add(br.Probes)
+	params.Obs.Counter("discovery_index_candidates_total").Add(br.Candidates)
+	return cluster.Result{Labels: labels, NumClusters: n, DistanceCalls: br.DistanceCalls}, true
+}
+
 // Discover runs clustering ⑤ and the θc filter on crawl output, then
-// triages each surviving cluster (Section 4.3).
+// triages each surviving cluster (Section 4.3). Clustering runs
+// through the incremental campaign store by default (params.Store, or
+// a private one); the legacy batch path remains as the A/B reference
+// and the fallback when a shared store is unusable for this run.
 func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryResult, error) {
 	obs := CollectObservations(sessions)
-	hashes := make([]phash.Hash, len(obs))
-	for i, o := range obs {
-		hashes[i] = o.Hash
+	var res cluster.Result
+	var store *campstore.Store
+	if !params.DisableIncremental {
+		st := params.Store
+		if st == nil {
+			st = campstore.New(campstore.Config{Params: params.Cluster, Obs: params.Obs})
+		}
+		if r, ok := discoverIncremental(st, obs, params); ok {
+			res, store = r, st
+		} else if params.Store != nil {
+			params.Obs.Counter("discovery_incremental_fallback_total").Inc()
+		}
 	}
-	workers := params.Workers
-	if workers < 1 {
-		workers = 1
-	}
-	res, idx, err := cluster.ClusterHashes(hashes, params.Cluster, workers)
-	if err != nil {
-		return nil, Errorf("clustering: %v", err)
+	if store == nil {
+		hashes := make([]phash.Hash, len(obs))
+		for i, o := range obs {
+			hashes[i] = o.Hash
+		}
+		workers := params.Workers
+		if workers < 1 {
+			workers = 1
+		}
+		r, idx, err := cluster.ClusterHashes(hashes, params.Cluster, workers)
+		if err != nil {
+			return nil, Errorf("clustering: %v", err)
+		}
+		res = r
+		ist := idx.Stats()
+		params.Obs.Counter("discovery_index_probes_total").Add(ist.Probes)
+		params.Obs.Counter("discovery_index_candidates_total").Add(ist.Candidates)
 	}
 	out := &DiscoveryResult{
 		Observations:  obs,
 		NoiseCount:    len(res.NoisePoints()),
 		DistanceCalls: res.DistanceCalls,
+		Store:         store,
 	}
-	st := idx.Stats()
+	distinct := map[phash.Hash]bool{}
+	for _, o := range obs {
+		distinct[o.Hash] = true
+	}
 	params.Obs.Counter("discovery_observations_total").Add(int64(len(obs)))
-	params.Obs.Counter("discovery_distinct_hashes_total").Add(int64(st.Distinct))
-	params.Obs.Counter("discovery_distance_calls_total").Add(st.DistanceCalls)
-	params.Obs.Counter("discovery_index_probes_total").Add(st.Probes)
-	params.Obs.Counter("discovery_index_candidates_total").Add(st.Candidates)
+	params.Obs.Counter("discovery_distinct_hashes_total").Add(int64(len(distinct)))
+	params.Obs.Counter("discovery_distance_calls_total").Add(res.DistanceCalls)
 	params.Obs.Counter("discovery_noise_points_total").Add(int64(out.NoiseCount))
 	params.Obs.Counter("discovery_clusters_raw_total").Add(int64(res.NumClusters))
 	for id, members := range res.Clusters() {
@@ -215,6 +287,25 @@ func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryRe
 		}
 		return out.Clusters[i].ID < out.Clusters[j].ID
 	})
+	// Register the triaged SE campaigns into the store so live state
+	// (milking events, /v1/campaigns) can project them forward. Keyed
+	// on cluster id, so a repeat run over a shared store idempotently
+	// re-registers the same campaigns.
+	if store != nil {
+		for _, c := range out.Campaigns() {
+			err := store.RegisterCampaign(campstore.Campaign{
+				ID:         c.ID,
+				Category:   string(c.Category),
+				RepHash:    c.Rep,
+				RepE2LD:    obs[c.Members[0]].E2LD,
+				Attacks:    attacks[c.ID],
+				ScamPhones: c.Signals.ScamPhones,
+			})
+			if err != nil {
+				return nil, Errorf("registering campaign %d: %v", c.ID, err)
+			}
+		}
+	}
 	params.Obs.Counter("discovery_clusters_filtered_total").Add(int64(out.FilteredClusters))
 	params.Obs.Counter("discovery_clusters_kept_total").Add(int64(len(out.Clusters)))
 	params.Obs.Counter("discovery_campaigns_se_total").Add(int64(len(out.Campaigns())))

@@ -12,6 +12,7 @@ import (
 	"repro/internal/adscript"
 	"repro/internal/browser"
 	"repro/internal/btgraph"
+	"repro/internal/campstore"
 	"repro/internal/crawler"
 	"repro/internal/devtools"
 	"repro/internal/gsb"
@@ -142,6 +143,14 @@ type MilkerConfig struct {
 	// DESIGN.md); the knob exists for A/B verification and as an escape
 	// hatch.
 	DisablePipeline bool
+	// Campaigns, when non-nil, receives every verified milked sighting
+	// as an incremental observation event (hash, e2LD, virtual tick,
+	// source "milk"). Events are appended by the single committer in
+	// commit order, so the event log's sequence numbers are
+	// deterministic; the store dedups on the full tuple, so repeat runs
+	// over a shared store append nothing new. Milking results are
+	// unaffected by the store.
+	Campaigns *campstore.Store
 }
 
 // PaperMilkerConfig is the published setup.
@@ -591,6 +600,14 @@ func (m *Milker) commit(src MilkSource, p milkProbe, now time.Time, res *Milking
 	}
 	m.met.newDomains.Inc()
 	m.hourly("milker_new_domains_hourly", now).Inc()
+	if m.cfg.Campaigns != nil {
+		// Commit order is the lock-step (tick, source) order, so the
+		// event log grows deterministically; only this goroutine (the
+		// single committer) appends milk events.
+		_, _ = m.cfg.Campaigns.Append(campstore.Event{
+			Hash: p.hash, E2LD: urlx.E2LD(p.host), Tick: now, Source: campstore.SourceMilk,
+		})
+	}
 	m.met.gsbPolls.Inc()
 	d := MilkedDomain{
 		Host: p.host, Category: src.Category, CampaignID: src.CampaignID,

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/adscript"
+	"repro/internal/campstore"
 	"repro/internal/crawler"
 	"repro/internal/gsb"
 	"repro/internal/obs"
@@ -51,6 +52,18 @@ type PipelineConfig struct {
 	Scripts *adscript.ProgramCache
 	// DisableScriptCache forces parse-per-run even when Scripts is nil.
 	DisableScriptCache bool
+	// Campaigns is the incremental campaign store: discovery appends
+	// crawl observations and clusters through it, the milker appends
+	// verified milked sightings, and a service owner queries live
+	// campaign state from it. Left nil, Discover creates a run-private
+	// store (reachable via DiscoveryResult.Store); a long-lived owner
+	// (seacma-serve) passes one per world so repeat jobs reuse the
+	// absorbed observations.
+	Campaigns *campstore.Store
+	// DisableIncremental pins discovery to the legacy from-scratch
+	// batch clustering and detaches the milker from the store — the
+	// A/B knob proving reports are byte-identical either way.
+	DisableIncremental bool
 }
 
 // Pipeline is the end-to-end SEACMA system bound to one (synthetic) web.
@@ -218,6 +231,12 @@ func (p *Pipeline) Discover(sessions []*crawler.Session) (*DiscoveryResult, erro
 	if params.Obs == nil {
 		params.Obs = p.Cfg.Obs
 	}
+	if params.Store == nil {
+		params.Store = p.Cfg.Campaigns
+	}
+	if p.Cfg.DisableIncremental {
+		params.DisableIncremental = true
+	}
 	return Discover(sessions, params)
 }
 
@@ -239,6 +258,11 @@ func (p *Pipeline) MilkContext(ctx context.Context, sessions []*crawler.Session,
 	mcfg := p.Cfg.Milker
 	if mcfg.Obs == nil {
 		mcfg.Obs = p.Cfg.Obs
+	}
+	if mcfg.Campaigns == nil && disc != nil && !p.Cfg.DisableIncremental {
+		// Milked sightings extend the same store discovery clustered
+		// through, so live campaign state keeps tracking during milking.
+		mcfg.Campaigns = disc.Store
 	}
 	if mcfg.Capture == nil {
 		mcfg.Capture = p.Cfg.Capture

@@ -83,17 +83,28 @@ type PhaseMark struct {
 	StartedAt time.Time `json:"started_at"`
 }
 
-// CampaignSummary is the queryable record of one discovered SE campaign.
+// CampaignSummary is the queryable record of one discovered SE
+// campaign. Job-scoped summaries (built from a finished job's
+// discovery result) carry JobID and a "<job id>/<id>" key; live
+// summaries (projected from a world's incremental campaign store)
+// carry World, a "<world>/<id>" key, and the live-view extent fields.
 type CampaignSummary struct {
-	// Key is the global campaign address: "<job id>/<campaign id>".
+	// Key is the global campaign address: "<job id>/<campaign id>" for
+	// job-scoped records, "<world key>/<campaign id>" for live ones.
 	Key        string   `json:"key"`
-	JobID      string   `json:"job_id"`
+	JobID      string   `json:"job_id,omitempty"`
+	World      string   `json:"world,omitempty"`
 	ID         int      `json:"id"`
 	Category   string   `json:"category"`
 	Attacks    int      `json:"attacks"`
 	Domains    []string `json:"domains"`
 	RepHash    string   `json:"rep_hash"`
 	ScamPhones []string `json:"scam_phones,omitempty"`
+	// Observations counts the logged events supporting the campaign's
+	// live cluster; Merged is set when two registered campaigns now
+	// share one live cluster. Both are live-view only.
+	Observations int  `json:"observations,omitempty"`
+	Merged       bool `json:"merged,omitempty"`
 }
 
 // ClusterSummary is the queryable record of one cluster, SE or benign.

@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/campstore"
+	"repro/internal/phash"
+)
+
+// ObservationRequest is the POST /v1/observations body: one external
+// sighting of a screenshot hash on an e2LD, appended to a world's
+// incremental campaign store. The target world is addressed either by
+// its key ("world-1-tiny") or by the spec fields that derive it.
+type ObservationRequest struct {
+	World         string   `json:"world,omitempty"`
+	Seed          int64    `json:"seed,omitempty"`
+	Tiny          bool     `json:"tiny,omitempty"`
+	MaxPublishers int      `json:"max_publishers,omitempty"`
+	Networks      []string `json:"networks,omitempty"`
+
+	// Hash is the 128-bit perceptual hash, 32 hex digits.
+	Hash string `json:"hash"`
+	// E2LD is the effective second-level domain the hash was seen on.
+	E2LD string `json:"e2ld"`
+	// Tick is the observation's virtual timestamp (optional; part of
+	// the dedup identity).
+	Tick time.Time `json:"tick"`
+	// Source tags the event origin: "milk" or "api" (default "api").
+	// "crawl" is reserved for the pipeline's own discovery stream.
+	Source string `json:"source,omitempty"`
+}
+
+// worldKey resolves the request's target world.
+func (o ObservationRequest) worldKey() string {
+	if o.World != "" {
+		return o.World
+	}
+	return WorldKey(JobSpec{
+		Seed:          o.Seed,
+		Tiny:          o.Tiny,
+		MaxPublishers: o.MaxPublishers,
+		Networks:      o.Networks,
+	})
+}
+
+// ObservationRecord is one logged event as the read API returns it.
+type ObservationRecord struct {
+	Seq    uint64    `json:"seq"`
+	Hash   string    `json:"hash"`
+	E2LD   string    `json:"e2ld"`
+	Tick   time.Time `json:"tick"`
+	Source string    `json:"source"`
+}
+
+// appendResponse is the POST /v1/observations reply.
+type appendResponse struct {
+	World     string `json:"world"`
+	Seq       uint64 `json:"seq"`
+	Duplicate bool   `json:"duplicate"`
+	NewPoint  bool   `json:"new_point"`
+	NewHash   bool   `json:"new_hash"`
+	// DistanceCalls is the number of full Hamming verifications the
+	// append performed against the pigeonhole index (0 for known
+	// hashes and duplicates).
+	DistanceCalls int64 `json:"distance_calls"`
+}
+
+func (s *Server) handleAppendObservation(w http.ResponseWriter, r *http.Request) {
+	if s.owner == nil {
+		writeError(w, http.StatusServiceUnavailable, "observation log requires the built-in pipeline runner")
+		return
+	}
+	var req ObservationRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad observation: "+err.Error())
+		return
+	}
+	h, err := phash.ParseHash(req.Hash)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad observation hash: "+err.Error())
+		return
+	}
+	if req.E2LD == "" {
+		writeError(w, http.StatusBadRequest, "observation needs an e2ld")
+		return
+	}
+	switch req.Source {
+	case "", campstore.SourceAPI, campstore.SourceMilk:
+	case campstore.SourceCrawl:
+		writeError(w, http.StatusBadRequest, `source "crawl" is reserved for the pipeline's discovery stream`)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, "unknown observation source "+strconv.Quote(req.Source))
+		return
+	}
+	world := req.worldKey()
+	st := s.owner.world(world, true)
+	res, err := st.Append(campstore.Event{Hash: h, E2LD: req.E2LD, Tick: req.Tick, Source: req.Source})
+	if err != nil {
+		// The only append failure past validation is a poisoned store
+		// (the batch oracle caught an incremental divergence).
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, appendResponse{
+		World:         world,
+		Seq:           res.Seq,
+		Duplicate:     res.Duplicate,
+		NewPoint:      res.NewPoint,
+		NewHash:       res.NewHash,
+		DistanceCalls: res.DistanceCalls,
+	})
+}
+
+// worldInfo summarizes one world store in the GET /v1/observations
+// index (no ?world= given).
+type worldInfo struct {
+	World         string `json:"world"`
+	Observations  int    `json:"observations"`
+	Points        int    `json:"points"`
+	LiveClusters  int    `json:"live_clusters"`
+	Merges        int64  `json:"merges"`
+	OracleRuns    int64  `json:"oracle_runs"`
+	DistanceCalls int64  `json:"distance_calls"`
+}
+
+func (s *Server) handleListObservations(w http.ResponseWriter, r *http.Request) {
+	if s.owner == nil {
+		writeError(w, http.StatusServiceUnavailable, "observation log requires the built-in pipeline runner")
+		return
+	}
+	q := r.URL.Query()
+	world := q.Get("world")
+	if world == "" {
+		worlds := []worldInfo{}
+		for _, k := range s.owner.Worlds() {
+			st := s.owner.world(k, false)
+			if st == nil {
+				continue
+			}
+			stats := st.Stats()
+			worlds = append(worlds, worldInfo{
+				World:         k,
+				Observations:  stats.Events,
+				Points:        stats.Points,
+				LiveClusters:  stats.LiveClusters,
+				Merges:        stats.Merges,
+				OracleRuns:    stats.OracleRuns,
+				DistanceCalls: stats.Index.DistanceCalls,
+			})
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"worlds": worlds})
+		return
+	}
+	st := s.owner.world(world, false)
+	if st == nil {
+		writeError(w, http.StatusNotFound, "unknown world "+strconv.Quote(world))
+		return
+	}
+	after, err := queryUint(q.Get("after"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad after: "+err.Error())
+		return
+	}
+	limit, err := queryUint(q.Get("limit"), 100)
+	if err != nil || limit == 0 || limit > 1000 {
+		writeError(w, http.StatusBadRequest, "limit must be in [1,1000]")
+		return
+	}
+	events := st.Events(after, int(limit))
+	records := make([]ObservationRecord, 0, len(events))
+	for _, ev := range events {
+		records = append(records, ObservationRecord{
+			Seq:    ev.Seq,
+			Hash:   ev.Hash.String(),
+			E2LD:   ev.E2LD,
+			Tick:   ev.Tick,
+			Source: ev.Source,
+		})
+	}
+	body := map[string]any{
+		"world":        world,
+		"total":        st.EventCount(),
+		"observations": records,
+	}
+	if n := len(records); n > 0 && records[n-1].Seq < uint64(st.EventCount()) {
+		body["next_after"] = records[n-1].Seq
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// queryUint parses an optional unsigned query parameter.
+func queryUint(s string, def uint64) (uint64, error) {
+	if s == "" {
+		return def, nil
+	}
+	return strconv.ParseUint(s, 10, 63)
+}

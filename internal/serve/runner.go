@@ -4,24 +4,37 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro"
 	"repro/internal/adscript"
+	"repro/internal/campstore"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/screenshot"
 )
 
 // PipelineOwner is the daemon's long-lived pipeline context: the obs
-// registry and the two content-addressed caches shared by every job.
-// Sharing is safe because both caches are proven behaviour-invariant
-// (reports are byte-identical with them on, off, or shared) and
-// concurrency-safe (they already back the crawl and milking pools).
+// registry, the two content-addressed caches shared by every job, and
+// one incremental campaign store per world. Sharing the caches is safe
+// because both are proven behaviour-invariant (reports are
+// byte-identical with them on, off, or shared) and concurrency-safe;
+// sharing a world's campaign store is safe because discovery verifies
+// the store's crawl view against the run's own observation stream and
+// falls back to batch clustering on any mismatch.
 type PipelineOwner struct {
 	Obs     *obs.Registry
 	Capture *screenshot.Cache
 	Scripts *adscript.ProgramCache
+	// OracleEvery is forwarded to every world store: run the full batch
+	// recompute oracle after every N non-duplicate events (0 = never).
+	OracleEvery int
+
+	mu     sync.Mutex
+	stores map[string]*campstore.Store
 }
 
 // NewPipelineOwner builds the shared context, binding both caches to
@@ -32,7 +45,104 @@ func NewPipelineOwner(reg *obs.Registry) *PipelineOwner {
 		Obs:     reg,
 		Capture: screenshot.NewCache(0, reg),
 		Scripts: adscript.NewProgramCache(0, reg),
+		stores:  map[string]*campstore.Store{},
 	}
+}
+
+// WorldKey fingerprints the part of a job spec that determines the
+// crawl observation stream: seed, world scale, publisher cap and seed
+// network filter. Milking knobs (days, max_sources, skip_milking) are
+// deliberately excluded — they only change which milk events extend
+// the live view, so runs that differ only in them share one store and
+// one absorbed clustering state.
+func WorldKey(spec JobSpec) string {
+	seed := spec.Seed
+	if seed <= 0 {
+		seed = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "world-%d", seed)
+	if spec.Tiny {
+		b.WriteString("-tiny")
+	}
+	if spec.MaxPublishers > 0 {
+		fmt.Fprintf(&b, "-p%d", spec.MaxPublishers)
+	}
+	for _, n := range spec.Networks {
+		b.WriteString("-n:")
+		b.WriteString(n)
+	}
+	return b.String()
+}
+
+// StoreFor returns the campaign store of the spec's world, creating it
+// on first use.
+func (o *PipelineOwner) StoreFor(spec JobSpec) *campstore.Store {
+	return o.world(WorldKey(spec), true)
+}
+
+func (o *PipelineOwner) world(key string, create bool) *campstore.Store {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	st := o.stores[key]
+	if st == nil && create {
+		st = campstore.New(campstore.Config{Obs: o.Obs, OracleEvery: o.OracleEvery})
+		o.stores[key] = st
+	}
+	return st
+}
+
+// Worlds lists the known world keys, sorted.
+func (o *PipelineOwner) Worlds() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	keys := make([]string, 0, len(o.stores))
+	for k := range o.stores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LiveCampaigns projects the registered campaigns of one world (or,
+// with world == "", of every world in key order) onto the live
+// incremental state.
+func (o *PipelineOwner) LiveCampaigns(world string) []CampaignSummary {
+	keys := []string{world}
+	if world == "" {
+		keys = o.Worlds()
+	}
+	var out []CampaignSummary
+	for _, k := range keys {
+		st := o.world(k, false)
+		if st == nil {
+			continue
+		}
+		out = append(out, LiveCampaignSummaries(k, st)...)
+	}
+	return out
+}
+
+// LiveCampaignSummaries projects one store's live campaign views onto
+// the API summary shape. Keys are world-scoped ("<world>/<id>") since
+// live state outlives any single job.
+func LiveCampaignSummaries(world string, st *campstore.Store) []CampaignSummary {
+	var out []CampaignSummary
+	for _, cv := range st.LiveCampaigns() {
+		out = append(out, CampaignSummary{
+			Key:          fmt.Sprintf("%s/%d", world, cv.ID),
+			World:        world,
+			ID:           cv.ID,
+			Category:     cv.Category,
+			Attacks:      cv.Attacks,
+			Domains:      cv.Domains,
+			RepHash:      cv.RepHash.String(),
+			ScamPhones:   cv.ScamPhones,
+			Observations: cv.Observations,
+			Merged:       cv.Merged,
+		})
+	}
+	return out
 }
 
 // SpecExperimentConfig maps a job spec onto the experiment
@@ -76,6 +186,7 @@ func (o *PipelineOwner) Run(ctx context.Context, spec JobSpec, onPhase func(stri
 	cfg.Obs = o.Obs
 	cfg.Capture = o.Capture
 	cfg.Scripts = o.Scripts
+	cfg.Campaigns = o.StoreFor(spec)
 	exp := seacma.NewExperiment(cfg)
 	if len(spec.Networks) > 0 {
 		kept, err := filterSeeds(exp.Pipeline.Cfg.Seeds, spec.Networks)

@@ -41,8 +41,14 @@ type Config struct {
 	// /metrics. Nil disables instrumentation (the API still works).
 	Obs *obs.Registry
 	// Runner executes one job. Nil selects the real pipeline runner
-	// (NewPipelineOwner(Obs).Run); tests inject stubs.
+	// (NewPipelineOwner(Obs).Run), which also owns the per-world
+	// incremental campaign stores behind /v1/observations and the live
+	// /v1/campaigns view; tests inject stubs (and lose those routes).
 	Runner Runner
+	// OracleEvery forwards to every world campaign store: run the full
+	// batch-recompute clustering oracle after every N non-duplicate
+	// observations, failing the append on divergence (0 = never).
+	OracleEvery int
 	// Version is reported by /v1/version (default "dev").
 	Version string
 }

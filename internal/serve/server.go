@@ -16,21 +16,27 @@ import (
 type Server struct {
 	cfg       Config
 	store     *Store
+	owner     *PipelineOwner // nil when a stub Runner was injected
 	mux       *http.ServeMux
 	startedAt time.Time
 }
 
 // New builds a Server (and its Store). With a nil cfg.Runner the real
 // pipeline runner is used, owning one shared capture cache, program
-// cache and obs registry for the daemon's lifetime.
+// cache, obs registry and the per-world incremental campaign stores
+// for the daemon's lifetime.
 func New(cfg Config) *Server {
 	runner := cfg.Runner
+	var owner *PipelineOwner
 	if runner == nil {
-		runner = NewPipelineOwner(cfg.Obs).Run
+		owner = NewPipelineOwner(cfg.Obs)
+		owner.OracleEvery = cfg.OracleEvery
+		runner = owner.Run
 	}
 	s := &Server{
 		cfg:       cfg,
 		store:     NewStore(cfg.Workers, cfg.QueueCap, runner, cfg.Obs),
+		owner:     owner,
 		mux:       http.NewServeMux(),
 		startedAt: time.Now(),
 	}
@@ -41,6 +47,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaigns)
+	s.mux.HandleFunc("POST /v1/observations", s.handleAppendObservation)
+	s.mux.HandleFunc("GET /v1/observations", s.handleListObservations)
 	s.mux.HandleFunc("GET /v1/campaigns/{job}/{id}", s.handleCampaign)
 	s.mux.HandleFunc("GET /v1/clusters", s.handleClusters)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
@@ -155,8 +163,20 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(report)
 }
 
+// handleCampaigns serves the live incremental view by default: the
+// registered campaigns of every world store, projected onto the
+// clustering state all appended observations (crawl, milk, API) have
+// grown so far. ?job= addresses one finished job's discovery-time
+// summaries instead; with a stub runner (no pipeline owner) only the
+// job-scoped view exists.
 func (s *Server) handleCampaigns(w http.ResponseWriter, r *http.Request) {
-	list := s.store.Campaigns(r.URL.Query().Get("job"))
+	q := r.URL.Query()
+	var list []CampaignSummary
+	if job := q.Get("job"); job != "" || s.owner == nil {
+		list = s.store.Campaigns(job)
+	} else {
+		list = s.owner.LiveCampaigns(q.Get("world"))
+	}
 	if list == nil {
 		list = []CampaignSummary{}
 	}

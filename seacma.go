@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/adnet"
 	"repro/internal/adscript"
+	"repro/internal/campstore"
 	"repro/internal/core"
 	"repro/internal/crawler"
 	"repro/internal/obs"
@@ -92,6 +93,18 @@ type ExperimentConfig struct {
 	// Scripts is the analogous shared compile-once ad-script program
 	// cache.
 	Scripts *adscript.ProgramCache
+	// Campaigns, when non-nil, is the incremental campaign store the
+	// run appends to and clusters through (crawl observations at
+	// discovery, verified sightings during milking). A long-lived owner
+	// (the seacma-serve daemon) passes one store per world so repeat
+	// runs reuse the absorbed state; left nil, discovery creates a
+	// run-private store, reachable afterwards via
+	// Result.Discovery.Store.
+	Campaigns *campstore.Store
+	// DisableIncremental pins discovery to the legacy batch clustering
+	// (reports are byte-identical either way — the knob exists for A/B
+	// verification).
+	DisableIncremental bool
 }
 
 // DefaultExperimentConfig is the 1/8-scale default world with the
@@ -143,14 +156,16 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 	cfg.Obs.SetVirtualNow(w.Clock.Now)
 	w.Internet.SetObs(cfg.Obs)
 	p := core.NewPipeline(core.PipelineConfig{
-		Seeds:         SeedsFromSpecs(w),
-		Crawler:       cfg.Crawler,
-		Discovery:     cfg.Discovery,
-		Milker:        cfg.Milker,
-		MaxPublishers: cfg.MaxPublishers,
-		Obs:           cfg.Obs,
-		Capture:       cfg.Capture,
-		Scripts:       cfg.Scripts,
+		Seeds:              SeedsFromSpecs(w),
+		Crawler:            cfg.Crawler,
+		Discovery:          cfg.Discovery,
+		Milker:             cfg.Milker,
+		MaxPublishers:      cfg.MaxPublishers,
+		Obs:                cfg.Obs,
+		Capture:            cfg.Capture,
+		Scripts:            cfg.Scripts,
+		Campaigns:          cfg.Campaigns,
+		DisableIncremental: cfg.DisableIncremental,
 	}, w.Internet, w.Clock, w.Search, w.GSB, w.VT, w.Webcat)
 	return &Experiment{Cfg: cfg, World: w, Pipeline: p}
 }
