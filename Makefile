@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race serve-smoke check bench-obs bench-baseline bench-check profile-milk
+.PHONY: all build vet test test-race serve-smoke check bench-obs bench-baseline bench-check profile-milk profile-serve
 
 all: check
 
@@ -56,12 +56,14 @@ bench-obs:
 # stage per worker count, cluster triage (which reports the
 # distance-calls metric of the multi-index), the capture fast path
 # (cold miss vs memoized hit, with allocs/op), and the script fast path
-# (parse-per-run vs cached program on a reused interpreter), and the
+# (parse-per-run vs cached program on a reused interpreter), the
 # incremental campaign store (append / merge / full-rebuild, each
-# reporting its distance-calls).
+# reporting its distance-calls), and the concurrent store surface
+# (AppendBatch scaling across 1/4/8 writers plus a read-heavy mix
+# against the lock-free snapshots).
 # -benchtime 1x keeps a baseline run under a minute; these are
 # regression sentinels, not statistically tight measurements.
-BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_|BenchmarkIncrementalCluster_
+BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_|BenchmarkIncrementalCluster_|BenchmarkStoreAppend_W|BenchmarkStoreMixed_
 # The hashing/rng kernel sentinels run at a higher benchtime: they are
 # microseconds-to-milliseconds each, so 1x would mostly measure timer
 # noise. BenchmarkRngSplit_ lives in internal/rng, hence the extra dir.
@@ -122,6 +124,21 @@ bench-check:
 	    exit (ratio < 2.0) ? 1 : 0 }' \
 	    || { echo "FAIL: Milking_W8 not >=2x faster than W1 — pipelined scheduler lost its parallel efficiency"; exit 1; }; \
 	fi
+	@cpus=$$(nproc 2>/dev/null || echo 1); \
+	if [ "$$cpus" -lt 4 ]; then \
+	  echo "SKIP: store append scaling guard needs >=4 CPUs (have $$cpus)"; \
+	else \
+	  $(GO) test -run XXX -bench 'BenchmarkStoreAppend_W[18]$$' -benchtime 1x . | tee BENCH_store.txt; \
+	  w1=$$(awk '$$1 ~ /^BenchmarkStoreAppend_W1(-[0-9]+)?$$/ { print $$3 }' BENCH_store.txt); \
+	  w8=$$(awk '$$1 ~ /^BenchmarkStoreAppend_W8(-[0-9]+)?$$/ { print $$3 }' BENCH_store.txt); \
+	  rm -f BENCH_store.txt; \
+	  if [ -z "$$w1" ] || [ -z "$$w8" ]; then echo "could not extract store ns/op (w1=$$w1 w8=$$w8)"; exit 1; fi; \
+	  awk -v w1="$$w1" -v w8="$$w8" 'BEGIN { \
+	    ratio = w1 / w8; \
+	    printf "store append W1 %s ns/op, W8 %s ns/op, speedup %.2fx (need >=2x)\n", w1, w8, ratio; \
+	    exit (ratio < 2.0) ? 1 : 0 }' \
+	    || { echo "FAIL: StoreAppend_W8 not >=2x faster than W1 — band-sharded index lost its write scaling"; exit 1; }; \
+	fi
 	@$(GO) test -run XXX -bench 'BenchmarkIncrementalCluster_(Append|FullRebuild)$$' -benchtime 1x . | tee BENCH_incr.txt; \
 	app=$$(awk '$$1 ~ /^BenchmarkIncrementalCluster_Append(-[0-9]+)?$$/ { for (i = 2; i < NF; i++) if ($$(i+1) == "distance-calls") print $$i }' BENCH_incr.txt); \
 	reb=$$(awk '$$1 ~ /^BenchmarkIncrementalCluster_FullRebuild(-[0-9]+)?$$/ { for (i = 2; i < NF; i++) if ($$(i+1) == "distance-calls") print $$i }' BENCH_incr.txt); \
@@ -146,3 +163,19 @@ profile-milk:
 	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_space repro.test milk_mem.prof
 	@echo "=== alloc_objects top-10 (alloc-site breakdown by count) ==="
 	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_objects repro.test milk_mem.prof
+
+# Profile the daemon's concurrent ingest path under the canned load
+# (TestServeIngestLoad: 4 writers batching appends against one world
+# store while snapshot readers ride along) and print where goroutines
+# contend. Mutex shows lock hold-time by owner; block shows wait time
+# at acquisition sites — together they locate the next lock to shard.
+# Leaves serve_mutex.prof / serve_block.prof + serve.test behind for
+# interactive pprof sessions.
+profile-serve:
+	$(GO) test -run 'TestServeIngestLoad$$' -count 5 \
+		-mutexprofile serve_mutex.prof -blockprofile serve_block.prof \
+		-o serve.test ./internal/serve/
+	@echo "=== mutex contention top-10 ==="
+	$(GO) tool pprof -top -nodecount=10 serve.test serve_mutex.prof
+	@echo "=== block top-10 ==="
+	$(GO) tool pprof -top -nodecount=10 serve.test serve_block.prof

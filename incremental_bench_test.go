@@ -10,6 +10,8 @@ package seacma
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -170,4 +172,96 @@ func BenchmarkIncrementalCluster_Merge(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(calls)/float64(b.N), "distance-calls")
 	b.ReportMetric(float64(merges)/float64(b.N), "merges")
+}
+
+// benchmarkStoreAppend ingests the full steady-state corpus into a
+// fresh store with `workers` concurrent appenders, each submitting
+// every workers'th 25-event tranche via AppendBatch. One op = one full
+// corpus ingest, so ns/op across the W variants is the scaling curve
+// of the band-sharded index + staged batch commit: `make bench-check`
+// requires W8 ≥ 2x faster than W1 on hosts with ≥4 CPUs.
+func benchmarkStoreAppend(b *testing.B, workers int) {
+	corpus := incrementalCorpus(incrClusters, incrPerClust, incrNoise)
+	var tranches [][]campstore.Event
+	for off := 0; off < len(corpus); off += incrBatchSize {
+		end := off + incrBatchSize
+		if end > len(corpus) {
+			end = len(corpus)
+		}
+		tranches = append(tranches, corpus[off:end])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := campstore.New(campstore.Config{})
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for t := w; t < len(tranches); t += workers {
+					if _, err := st.AppendBatch(tranches[t]); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		st.LiveLabels()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(corpus)*b.N)/b.Elapsed().Seconds(), "events/sec")
+}
+
+func BenchmarkStoreAppend_W1(b *testing.B) { benchmarkStoreAppend(b, 1) }
+func BenchmarkStoreAppend_W4(b *testing.B) { benchmarkStoreAppend(b, 4) }
+func BenchmarkStoreAppend_W8(b *testing.B) { benchmarkStoreAppend(b, 8) }
+
+// BenchmarkStoreMixed_ReadHeavy runs one writer ingesting the corpus
+// while three readers continuously walk the lock-free snapshot surface
+// (labels, pagination, stats, campaign projections). The contract is
+// that reads never block writes: ns/op should track the W1 append
+// bench, and reads/op records how much snapshot traffic rode along.
+func BenchmarkStoreMixed_ReadHeavy(b *testing.B) {
+	corpus := incrementalCorpus(incrClusters, incrPerClust, incrNoise)
+	b.ReportAllocs()
+	var reads atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := campstore.New(campstore.Config{})
+		stop := make(chan struct{})
+		var readWG sync.WaitGroup
+		for r := 0; r < 3; r++ {
+			readWG.Add(1)
+			go func() {
+				defer readWG.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					st.LiveLabels()
+					st.Events(0, 32)
+					st.Stats()
+					st.LiveCampaigns()
+					reads.Add(1)
+				}
+			}()
+		}
+		for off := 0; off < len(corpus); off += incrBatchSize {
+			end := off + incrBatchSize
+			if end > len(corpus) {
+				end = len(corpus)
+			}
+			if _, err := st.AppendBatch(corpus[off:end]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		close(stop)
+		readWG.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(reads.Load())/float64(b.N), "reads")
 }

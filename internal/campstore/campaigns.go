@@ -35,18 +35,23 @@ type registeredCampaign struct {
 }
 
 // RegisterCampaign records (or overwrites, keyed on ID) a discovered
-// campaign. The representative observation must already be in the
-// store — discovery appends its events before triage.
+// campaign and republishes the read snapshot so /v1/campaigns reflects
+// it immediately. The representative observation must already be in
+// the store — discovery appends its events before triage.
 func (s *Store) RegisterCampaign(c Campaign) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
 	pid, ok := s.pointIdx[pointKey{c.RepHash, c.RepE2LD}]
 	if !ok {
+		s.stateMu.Unlock()
 		return fmt.Errorf("campstore: campaign %d representative (%s, %s) not in store",
 			c.ID, c.RepHash, c.RepE2LD)
 	}
 	c.ScamPhones = append([]string(nil), c.ScamPhones...)
 	s.campaigns[c.ID] = registeredCampaign{Campaign: c, pid: pid}
+	s.gen.Add(1)
+	sn := s.buildSnapshotLocked()
+	s.stateMu.Unlock()
+	s.publish(sn)
 	return nil
 }
 
@@ -65,15 +70,13 @@ type CampaignView struct {
 	Merged bool
 }
 
-// LiveCampaigns projects every registered campaign onto the current
-// live view, in ascending campaign id order.
-func (s *Store) LiveCampaigns() []CampaignView {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// projectCampaignsLocked projects every registered campaign onto the
+// live view at snapshot-build time, in ascending campaign id order.
+// The result is immutable once published.
+func (s *Store) projectCampaignsLocked(labels []int) []CampaignView {
 	if len(s.campaigns) == 0 {
 		return nil
 	}
-	labels, _ := s.labelsLocked(viewLive)
 	vs := &s.views[viewLive]
 	domains := map[int]map[string]bool{}
 	events := map[int]int{}
@@ -121,4 +124,12 @@ func (s *Store) LiveCampaigns() []CampaignView {
 		out = append(out, cv)
 	}
 	return out
+}
+
+// LiveCampaigns returns every registered campaign projected onto the
+// live view, in ascending campaign id order — served from the
+// published snapshot without taking any lock. The returned slice and
+// its contents are shared and must not be modified.
+func (s *Store) LiveCampaigns() []CampaignView {
+	return s.snap.Load().campaigns
 }

@@ -3,6 +3,7 @@ package campstore_test
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -96,4 +97,148 @@ func TestConcurrentAppendersAndReaders(t *testing.T) {
 	if res.Appended != 0 || res.Duplicates != len(stream) {
 		t.Fatalf("replay after load: %+v", res)
 	}
+}
+
+// TestConcurrentBatchAppendersMergeHeavy drives the staged AppendBatch
+// path from several writers whose tranches keep bridging each other's
+// clusters (so cross-tranche edge wiring, count seeding and union-find
+// merges all race), while readers walk /v1/campaigns-style projections
+// and Events pagination off the lock-free snapshot. The final state is
+// checked against the serial batch oracle, and the test asserts the
+// store leaves no goroutines behind (the probe fan-out must fully
+// drain).
+func TestConcurrentBatchAppendersMergeHeavy(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := campstore.New(campstore.Config{})
+	rng := rand.New(rand.NewSource(99))
+
+	// Per-appender private streams: appender a owns chains whose left
+	// and right halves are ε-connected only through a bridge hash that
+	// EVERY appender also replays (shared suffix) — so merges depend on
+	// cross-appender arrivals and most bridge claims collide.
+	const appenders = 4
+	const chains = 3
+	var shared []campstore.Event
+	streams := make([][]campstore.Event, appenders)
+	for a := 0; a < appenders; a++ {
+		for c := 0; c < chains; c++ {
+			base := randHash(rng)
+			far := base.FlipBits(seqFlips(0, 19)...)   // 20 bits: separate cluster
+			bridge := base.FlipBits(seqFlips(0, 9)...) // 10 bits from both
+			mk := func(h phash.Hash, dom string) campstore.Event {
+				return campstore.Event{Hash: h, E2LD: dom, Source: campstore.SourceCrawl,
+					Tick: time.Unix(int64(a*1000+c*100), 0)}
+			}
+			for i := 0; i < 4; i++ {
+				streams[a] = append(streams[a],
+					mk(base.FlipBits(120, 100+i), fmt.Sprintf("a%dc%dl%d.example", a, c, i)),
+					mk(far.FlipBits(110, 80+i), fmt.Sprintf("a%dc%dr%d.example", a, c, i)))
+			}
+			shared = append(shared, mk(bridge, fmt.Sprintf("a%dc%dbridge.example", a, c)))
+		}
+	}
+
+	stop := make(chan struct{})
+	var readWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			var lastCount, lastLabels int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// The log is append-only: the event count must never
+				// regress, and a pagination walk must see contiguous
+				// ascending sequence numbers.
+				n := s.EventCount()
+				if n < lastCount {
+					t.Errorf("EventCount regressed: %d -> %d", lastCount, n)
+					return
+				}
+				lastCount = n
+				var after uint64
+				for {
+					page := s.Events(after, 8)
+					if len(page) == 0 {
+						break
+					}
+					for _, ev := range page {
+						after++
+						if ev.Seq != after {
+							t.Errorf("pagination: seq %d at position %d", ev.Seq, after)
+							return
+						}
+					}
+				}
+				// Published snapshots are monotone: a later read never
+				// serves fewer points than an earlier one. (LiveLabels
+				// and Stats are separate snapshot loads, so they may
+				// legitimately disagree with each other mid-ingest.)
+				labels, _ := s.LiveLabels()
+				if len(labels) < lastLabels {
+					t.Errorf("snapshot regressed: %d labels after seeing %d", len(labels), lastLabels)
+					return
+				}
+				lastLabels = len(labels)
+				if st := s.Stats(); st.LivePoints > st.Points {
+					t.Errorf("inconsistent snapshot: %d live points, %d points", st.LivePoints, st.Points)
+					return
+				}
+				s.LiveCampaigns()
+			}
+		}()
+	}
+
+	var appendWG sync.WaitGroup
+	for a := 0; a < appenders; a++ {
+		appendWG.Add(1)
+		go func(a int) {
+			defer appendWG.Done()
+			work := append(append([]campstore.Event(nil), streams[a]...), shared...)
+			for len(work) > 0 {
+				n := 7
+				if n > len(work) {
+					n = len(work)
+				}
+				if _, err := s.AppendBatch(work[:n]); err != nil {
+					t.Errorf("batch append: %v", err)
+					return
+				}
+				work = work[n:]
+			}
+		}(a)
+	}
+	appendWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	want := 0
+	for a := range streams {
+		want += len(streams[a])
+	}
+	want += len(shared) // every appender replayed it; dedup collapses
+	if got := s.EventCount(); got != want {
+		t.Fatalf("EventCount = %d, want %d", got, want)
+	}
+	if st := s.Stats(); st.Merges == 0 {
+		t.Fatalf("merge-heavy workload produced no live-view merges: %+v", st)
+	}
+	if err := s.RunOracle(); err != nil {
+		t.Fatalf("oracle after concurrent batch load: %v", err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutine leak: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
 }

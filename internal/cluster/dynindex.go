@@ -1,41 +1,116 @@
 package cluster
 
 import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/phash"
 )
 
 // DynamicIndex is the mutable sibling of MultiIndex: the same
 // pigeonhole-partitioned Hamming index over 128-bit perceptual hashes,
-// but supporting one-at-a-time insertion so an incremental clustering
-// engine (internal/campstore) can absorb new observations without a
-// rebuild.
+// but supporting insertion so an incremental clustering engine
+// (internal/campstore) can absorb new observations without a rebuild.
 //
 // The band layout is identical to MultiIndex (bandsFor bands at the
 // given bit radius, tol = ⌊maxBits/bands⌋ flips per band), so a probe
-// visits exactly the buckets a freshly built MultiIndex would. The
-// difference is lifecycle: Add both probes the existing corpus for the
-// new hash's ε-neighbourhood and registers the hash in every band
-// bucket, paying one full Hamming verification per *distinct candidate*
-// — so the marginal cost of an insert scales with the density around
-// the new hash, not with the corpus.
+// visits exactly the buckets a freshly built MultiIndex would, paying
+// one full Hamming verification per *distinct candidate* — the marginal
+// cost of an insert scales with the density around the new hash, not
+// with the corpus.
 //
-// DynamicIndex is deliberately not safe for concurrent use: its only
-// caller (the campaign store) already serializes all mutation under one
-// lock and needs the counters to stay exact.
+// # Concurrency
+//
+// Unlike its pre-sharded ancestor, DynamicIndex is safe for concurrent
+// use, and its locking is band-sharded: every band owns an independent
+// bucket map behind its own RWMutex, so concurrent probes share each
+// shard read-locked and a registration write-locks one shard at a time.
+// The remaining shared state is lock-free for readers:
+//
+//   - the distinct-hash table is a chunked append-only store — chunks
+//     are fixed arrays, the chunk directory is swapped atomically, and
+//     an id obtained from a bucket (or from byHash) is always safe to
+//     dereference because the hash cell is written before the id is
+//     published under the band lock (or the map's internal atomics);
+//   - byHash is a sync.Map, so the known-hash fast path (Lookup — zero
+//     distance calls) takes no lock at all;
+//   - the query counters are atomics, with an extra per-shard probe
+//     counter feeding cluster_index_shard_probes_total.
+//
+// Only id assignment (Claim) serializes on a mutex, and it is O(1).
+//
+// The split lifecycle — Claim (assign id), Register (publish into every
+// band bucket), ProbeNeighbours (collect candidates across shards,
+// dedup, verify once each) — is what the campaign store's staged ingest
+// builds on. The discovery guarantee it relies on: if every caller
+// completes Register(h) before calling ProbeNeighbours(h), then for any
+// two hashes within maxBits at least one of the two probes finds the
+// other, regardless of interleaving. Proof sketch: take any band b both
+// hashes fall into within tol (pigeonhole: one exists). The band-b lock
+// serializes each hash's insert-then-read; if neither probe saw the
+// other, each read preceded the other's insert, giving the cycle
+// read_a < insert_b < read_b < insert_a < read_a — impossible.
+// The compatibility Add keeps the claim→register→probe order, so
+// plain concurrent Adds inherit the guarantee.
 type DynamicIndex struct {
 	maxBits int
-	bands   []bandSpec
 	tol     int
+	specs   []bandSpec
+	shards  []indexShard
 
-	distinct []phash.Hash
-	byHash   map[phash.Hash]int32
-	buckets  []map[uint64][]int32
+	claimMu sync.Mutex // serializes id assignment + distinct append
+	byHash  sync.Map   // phash.Hash -> int32
+	hashes  hashTable
 
-	// probe scratch: stamp-based candidate dedup across bands.
-	mark  []int64
-	stamp int64
+	candidates, distCalls atomic.Int64
+}
 
-	probes, candidates, distCalls int64
+// indexShard is one band's buckets plus its share of the probe counter.
+type indexShard struct {
+	mu      sync.RWMutex
+	buckets map[uint64][]int32
+	probes  atomic.Int64
+}
+
+// hashChunkBits sizes the chunks of the append-only distinct-hash
+// table: 1024 hashes (16 KiB) per chunk.
+const hashChunkBits = 10
+
+type hashChunk [1 << hashChunkBits]phash.Hash
+
+// hashTable is the chunked append-only distinct-hash store. Appends are
+// serialized by the index's claimMu; reads are lock-free. A reader may
+// only dereference ids it obtained from a published source (a band
+// bucket or byHash) — publication orders the cell write before the id
+// becomes visible.
+type hashTable struct {
+	chunks atomic.Pointer[[]*hashChunk]
+	n      atomic.Int64
+}
+
+func (t *hashTable) at(i int32) phash.Hash {
+	return (*t.chunks.Load())[i>>hashChunkBits][i&(1<<hashChunkBits-1)]
+}
+
+// append stores h and returns its id. Caller must hold claimMu.
+func (t *hashTable) append(h phash.Hash) int32 {
+	i := t.n.Load()
+	ci, off := int(i>>hashChunkBits), i&(1<<hashChunkBits-1)
+	chunks := t.chunks.Load()
+	if chunks == nil || ci == len(*chunks) {
+		var next []*hashChunk
+		if chunks != nil {
+			next = append(next, *chunks...)
+		}
+		next = append(next, new(hashChunk))
+		t.chunks.Store(&next)
+		chunks = &next
+	}
+	(*chunks)[ci][off] = h
+	t.n.Store(i + 1)
+	return int32(i)
 }
 
 // NewDynamicIndex builds an empty index for a normalised eps (fraction
@@ -47,8 +122,7 @@ func NewDynamicIndex(eps float64) *DynamicIndex {
 	x := &DynamicIndex{
 		maxBits: maxBits,
 		tol:     maxBits / bands,
-		byHash:  map[phash.Hash]int32{},
-		buckets: make([]map[uint64][]int32, bands),
+		shards:  make([]indexShard, bands),
 	}
 	base, extra := phash.Bits/bands, phash.Bits%bands
 	off := uint(0)
@@ -57,9 +131,9 @@ func NewDynamicIndex(eps float64) *DynamicIndex {
 		if b < extra {
 			w++
 		}
-		x.bands = append(x.bands, bandSpec{Off: off, Width: w})
+		x.specs = append(x.specs, bandSpec{Off: off, Width: w})
 		off += w
-		x.buckets[b] = map[uint64][]int32{}
+		x.shards[b].buckets = map[uint64][]int32{}
 	}
 	return x
 }
@@ -67,61 +141,179 @@ func NewDynamicIndex(eps float64) *DynamicIndex {
 // MaxBits returns eps expressed in raw hash bits.
 func (x *DynamicIndex) MaxBits() int { return x.maxBits }
 
-// Len returns the number of distinct hashes indexed.
-func (x *DynamicIndex) Len() int { return len(x.distinct) }
+// Bands returns the number of band shards.
+func (x *DynamicIndex) Bands() int { return len(x.shards) }
 
-// Hash returns the distinct hash with id d.
-func (x *DynamicIndex) Hash(d int32) phash.Hash { return x.distinct[d] }
+// Len returns the number of distinct hashes indexed (claimed ids;
+// registration may still be in flight for the newest ones).
+func (x *DynamicIndex) Len() int { return int(x.hashes.n.Load()) }
 
-// Lookup returns the id of h if it is already indexed.
+// Hash returns the distinct hash with id d. d must come from Lookup,
+// Claim, Add or a probe result.
+func (x *DynamicIndex) Hash(d int32) phash.Hash { return x.hashes.at(d) }
+
+// Lookup returns the id of h if it is already claimed. Lock-free.
 func (x *DynamicIndex) Lookup(h phash.Hash) (int32, bool) {
-	d, ok := x.byHash[h]
-	return d, ok
+	if v, ok := x.byHash.Load(h); ok {
+		return v.(int32), true
+	}
+	return 0, false
 }
 
-// probe enumerates the band buckets of h and verifies each distinct
-// candidate once, appending the ids within maxBits to out.
-func (x *DynamicIndex) probe(h phash.Hash, out []int32) []int32 {
-	x.stamp++
-	for b, spec := range x.bands {
-		v := bandValue(h, spec)
-		enumBand(v, spec.Width, x.tol, func(pv uint64) {
-			x.probes++
-			for _, cd := range x.buckets[b][pv] {
-				if x.mark[cd] == x.stamp {
-					continue
-				}
-				x.mark[cd] = x.stamp
-				x.candidates++
-				x.distCalls++
-				if phash.Distance(h, x.distinct[cd]) <= x.maxBits {
-					out = append(out, cd)
-				}
-			}
-		})
+// Claim assigns an id to h if it has none, without touching the band
+// buckets. The caller that wins the claim (isNew) must Register the
+// hash before probing for it; losers share the winner's id.
+func (x *DynamicIndex) Claim(h phash.Hash) (id int32, isNew bool) {
+	if v, ok := x.byHash.Load(h); ok {
+		return v.(int32), false
 	}
-	return out
+	x.claimMu.Lock()
+	defer x.claimMu.Unlock()
+	if v, ok := x.byHash.Load(h); ok {
+		return v.(int32), false
+	}
+	id = x.hashes.append(h)
+	x.byHash.Store(h, id)
+	return id, true
+}
+
+// Register publishes a claimed hash into every band bucket, one shard
+// write-lock at a time. Must be called exactly once per claimed id, by
+// the claim winner, before that caller probes for the hash.
+func (x *DynamicIndex) Register(id int32, h phash.Hash) {
+	for b := range x.shards {
+		v := bandValue(h, x.specs[b])
+		sh := &x.shards[b]
+		sh.mu.Lock()
+		sh.buckets[v] = append(sh.buckets[v], id)
+		sh.mu.Unlock()
+	}
+}
+
+// ProbeStats reports what one probe cost.
+type ProbeStats struct {
+	Probes        int64 // bucket lookups across shards
+	Candidates    int64 // distinct candidates examined (self excluded)
+	DistanceCalls int64 // full Hamming verifications
+}
+
+// probeScratch is pooled per-probe state: per-band candidate slots plus
+// the merged id list.
+type probeScratch struct {
+	perBand [][]int32
+	ids     []int32
+}
+
+var probePool = sync.Pool{New: func() any { return &probeScratch{} }}
+
+// bandParallelMin gates the parallel band fan-out: below this many
+// distinct hashes the per-band work is a handful of map lookups and
+// goroutine dispatch would dominate, so the bands are walked serially
+// on the calling goroutine.
+const bandParallelMin = 4096
+
+// ProbeNeighbours returns the ids of every registered distinct hash
+// within maxBits of h, ascending, excluding self (pass self = -1 when h
+// is not registered). Candidates are collected per band shard — in
+// parallel across shards once the corpus is large enough (or whenever
+// tol > 0 makes the per-band enumeration wide) — deduplicated across
+// shards, and each verified with one full Hamming distance call.
+func (x *DynamicIndex) ProbeNeighbours(h phash.Hash, self int32) ([]int32, ProbeStats) {
+	sc := probePool.Get().(*probeScratch)
+	if len(sc.perBand) < len(x.shards) {
+		sc.perBand = make([][]int32, len(x.shards))
+	}
+
+	var st ProbeStats
+	parallel := x.tol > 0 || int(x.hashes.n.Load()) >= bandParallelMin
+	if parallel && runtime.GOMAXPROCS(0) > 1 {
+		var wg sync.WaitGroup
+		var probes atomic.Int64
+		for b := range x.shards {
+			wg.Add(1)
+			go func(b int) {
+				defer wg.Done()
+				n, out := x.collectBand(b, h, sc.perBand[b][:0])
+				sc.perBand[b] = out
+				probes.Add(n)
+			}(b)
+		}
+		wg.Wait()
+		st.Probes = probes.Load()
+	} else {
+		for b := range x.shards {
+			n, out := x.collectBand(b, h, sc.perBand[b][:0])
+			sc.perBand[b] = out
+			st.Probes += n
+		}
+	}
+
+	// Dedup across shards: merge, sort, unique, drop self.
+	ids := sc.ids[:0]
+	for b := range x.shards {
+		ids = append(ids, sc.perBand[b]...)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w := 0
+	for i, id := range ids {
+		if id == self || (i > 0 && id == ids[i-1]) {
+			continue
+		}
+		ids[w] = id
+		w++
+	}
+	ids = ids[:w]
+
+	// Verify each distinct candidate once. No locks held: candidate
+	// cells are immutable once their ids were published.
+	var nbrs []int32
+	for _, cd := range ids {
+		st.Candidates++
+		st.DistanceCalls++
+		if phash.Distance(h, x.hashes.at(cd)) <= x.maxBits {
+			nbrs = append(nbrs, cd)
+		}
+	}
+	sc.ids = ids[:0]
+	probePool.Put(sc)
+
+	x.candidates.Add(st.Candidates)
+	x.distCalls.Add(st.DistanceCalls)
+	return nbrs, st
+}
+
+// collectBand gathers the candidate ids of one band shard under its
+// read lock, returning the bucket-lookup count (also recorded on the
+// shard's probe counter).
+func (x *DynamicIndex) collectBand(b int, h phash.Hash, out []int32) (int64, []int32) {
+	spec := x.specs[b]
+	v := bandValue(h, spec)
+	sh := &x.shards[b]
+	var lookups int64
+	sh.mu.RLock()
+	enumBand(v, spec.Width, x.tol, func(pv uint64) {
+		lookups++
+		out = append(out, sh.buckets[pv]...)
+	})
+	sh.mu.RUnlock()
+	sh.probes.Add(lookups)
+	return lookups, out
 }
 
 // Add inserts h and returns its id plus the ids of every previously
-// indexed distinct hash within maxBits (in deterministic band/bucket
-// discovery order, excluding h itself). If h is already indexed the
-// existing id is returned with a nil neighbour slice and isNew=false —
-// re-observations of a known hash cost one map lookup and zero distance
-// calls.
+// registered distinct hash within maxBits (ascending, excluding h
+// itself). If h is already claimed the existing id is returned with a
+// nil neighbour slice and isNew=false — re-observations of a known hash
+// cost a lock-free map lookup and zero distance calls. Concurrent Adds
+// are safe; for hashes racing their registrations, at least one of the
+// two overlapping Adds reports the other in its neighbour slice.
 func (x *DynamicIndex) Add(h phash.Hash) (id int32, neighbours []int32, isNew bool) {
-	if d, ok := x.byHash[h]; ok {
-		return d, nil, false
+	id, isNew = x.Claim(h)
+	if !isNew {
+		return id, nil, false
 	}
-	neighbours = x.probe(h, nil)
-	id = int32(len(x.distinct))
-	x.distinct = append(x.distinct, h)
-	x.byHash[h] = id
-	x.mark = append(x.mark, 0)
-	for b, spec := range x.bands {
-		v := bandValue(h, spec)
-		x.buckets[b][v] = append(x.buckets[b][v], id)
-	}
+	x.Register(id, h)
+	neighbours, _ = x.ProbeNeighbours(h, id)
 	return id, neighbours, true
 }
 
@@ -130,22 +322,29 @@ type DynamicIndexStats struct {
 	Distinct      int
 	Bands         int
 	Tolerance     int
-	Probes        int64 // bucket lookups performed
-	Candidates    int64 // distinct candidates examined (pre-verification)
-	DistanceCalls int64 // full Hamming verifications
+	Probes        int64   // bucket lookups performed (all shards)
+	Candidates    int64   // distinct candidates examined (pre-verification)
+	DistanceCalls int64   // full Hamming verifications
+	ShardProbes   []int64 // bucket lookups per band shard
 }
 
 // Stats returns the current counters.
 func (x *DynamicIndex) Stats() DynamicIndexStats {
-	return DynamicIndexStats{
-		Distinct:      len(x.distinct),
-		Bands:         len(x.bands),
+	st := DynamicIndexStats{
+		Distinct:      x.Len(),
+		Bands:         len(x.shards),
 		Tolerance:     x.tol,
-		Probes:        x.probes,
-		Candidates:    x.candidates,
-		DistanceCalls: x.distCalls,
+		Candidates:    x.candidates.Load(),
+		DistanceCalls: x.distCalls.Load(),
+		ShardProbes:   make([]int64, len(x.shards)),
 	}
+	for b := range x.shards {
+		p := x.shards[b].probes.Load()
+		st.ShardProbes[b] = p
+		st.Probes += p
+	}
+	return st
 }
 
 // DistanceCalls reports the full Hamming verifications performed so far.
-func (x *DynamicIndex) DistanceCalls() int64 { return x.distCalls }
+func (x *DynamicIndex) DistanceCalls() int64 { return x.distCalls.Load() }

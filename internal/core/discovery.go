@@ -197,6 +197,12 @@ func discoverIncremental(st *campstore.Store, obs []Observation, params Discover
 		return cluster.Result{}, false
 	}
 	labels, n := st.DiscoveryLabels()
+	if len(labels) != len(obs) {
+		// A concurrent writer slipped crawl events into the shared store
+		// between the coherence check and the snapshot read; the labels
+		// no longer describe this run's observation sequence.
+		return cluster.Result{}, false
+	}
 	params.Obs.Counter("discovery_index_probes_total").Add(br.Probes)
 	params.Obs.Counter("discovery_index_candidates_total").Add(br.Candidates)
 	return cluster.Result{Labels: labels, NumClusters: n, DistanceCalls: br.DistanceCalls}, true

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -192,6 +193,14 @@ func (c *MilkerConfig) fillDefaults() {
 	}
 	if c.Workers == 0 {
 		c.Workers = p.Workers
+	}
+	// More probe workers than CPUs is pure oversubscription: probes are
+	// compute-bound (render + hash), so extra workers only add scheduler
+	// churn — BENCH_pipeline.json measured W4 8% slower than W1 on a
+	// 1-vCPU host. Reports are byte-identical at any worker count, so
+	// capping is free.
+	if max := runtime.GOMAXPROCS(0); c.Workers > max {
+		c.Workers = max
 	}
 }
 
@@ -580,7 +589,7 @@ func (m *Milker) Close() {
 // sequencing and result-slice order — everything the probe phase
 // deliberately leaves untouched. A client retained by the probe is
 // returned to the pool here on every path.
-func (m *Milker) commit(src MilkSource, p milkProbe, now time.Time, res *MilkingResult, seen *seenSet, unlisted *[]int) {
+func (m *Milker) commit(src MilkSource, p milkProbe, now time.Time, res *MilkingResult, seen *seenSet, unlisted *[]int, milkEvents *[]campstore.Event) {
 	if p.client != nil {
 		defer m.releaseClient(p.client)
 	}
@@ -602,9 +611,10 @@ func (m *Milker) commit(src MilkSource, p milkProbe, now time.Time, res *Milking
 	m.hourly("milker_new_domains_hourly", now).Inc()
 	if m.cfg.Campaigns != nil {
 		// Commit order is the lock-step (tick, source) order, so the
-		// event log grows deterministically; only this goroutine (the
-		// single committer) appends milk events.
-		_, _ = m.cfg.Campaigns.Append(campstore.Event{
+		// event log grows deterministically; events are buffered here
+		// and flushed as one AppendBatch per commit group (the store's
+		// batched ingest path), still from the single committer.
+		*milkEvents = append(*milkEvents, campstore.Event{
 			Hash: p.hash, E2LD: urlx.E2LD(p.host), Tick: now, Source: campstore.SourceMilk,
 		})
 	}
@@ -855,15 +865,24 @@ func (m *Milker) RunContext(ctx context.Context, sources []MilkSource) (*Milking
 	}
 
 	// commitGroup replays the group serially in (tick, source) order —
-	// the exact order the lock-step scheduler commits in.
+	// the exact order the lock-step scheduler commits in — then flushes
+	// the group's verified milk events to the campaign store as one
+	// batched append. milkEvents is only ever touched by the single
+	// committer (commitWG serializes the handoff between the inline and
+	// background paths).
+	var milkEvents []campstore.Event
 	commitGroup := func(g *milkGroup) {
 		k := 0
 		for i := range g.ticks {
 			t := &g.ticks[i]
 			for _, si := range t.due {
-				m.commit(sources[si], g.probes[k], t.now, res, seen, &unlisted)
+				m.commit(sources[si], g.probes[k], t.now, res, seen, &unlisted, &milkEvents)
 				k++
 			}
+		}
+		if m.cfg.Campaigns != nil && len(milkEvents) > 0 {
+			_, _ = m.cfg.Campaigns.AppendBatch(milkEvents)
+			milkEvents = milkEvents[:0]
 		}
 	}
 

@@ -1,7 +1,10 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -68,39 +71,128 @@ type appendResponse struct {
 	DistanceCalls int64 `json:"distance_calls"`
 }
 
+// toEvent validates one observation request and converts it to a
+// store event. The returned message is a ready-to-serve 400 body when
+// non-empty.
+func (o ObservationRequest) toEvent() (campstore.Event, string) {
+	h, err := phash.ParseHash(o.Hash)
+	if err != nil {
+		return campstore.Event{}, "bad observation hash: " + err.Error()
+	}
+	if o.E2LD == "" {
+		return campstore.Event{}, "observation needs an e2ld"
+	}
+	switch o.Source {
+	case "", campstore.SourceAPI, campstore.SourceMilk:
+	case campstore.SourceCrawl:
+		return campstore.Event{}, `source "crawl" is reserved for the pipeline's discovery stream`
+	default:
+		return campstore.Event{}, "unknown observation source " + strconv.Quote(o.Source)
+	}
+	return campstore.Event{Hash: h, E2LD: o.E2LD, Tick: o.Tick, Source: o.Source}, ""
+}
+
+// batchAppendResponse is the POST /v1/observations reply for a JSON
+// array body: one result per submitted observation, in input order.
+type batchAppendResponse struct {
+	World   string           `json:"world"`
+	Results []appendedResult `json:"results"`
+}
+
+// appendedResult is one event's outcome inside a batch append.
+type appendedResult struct {
+	Seq           uint64 `json:"seq"`
+	Duplicate     bool   `json:"duplicate"`
+	NewPoint      bool   `json:"new_point"`
+	NewHash       bool   `json:"new_hash"`
+	DistanceCalls int64  `json:"distance_calls"`
+}
+
 func (s *Server) handleAppendObservation(w http.ResponseWriter, r *http.Request) {
 	if s.owner == nil {
 		writeError(w, http.StatusServiceUnavailable, "observation log requires the built-in pipeline runner")
 		return
 	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad observation: "+err.Error())
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) == 0 {
+		writeError(w, http.StatusBadRequest, "bad observation: empty body")
+		return
+	}
+
+	// A JSON array body is a batch append: all entries must address the
+	// same world, validation failures reject the whole batch before
+	// anything is appended, and the reply carries per-event results.
+	// A JSON object body is the original single-observation form.
+	if trimmed[0] == '[' {
+		var reqs []ObservationRequest
+		dec := json.NewDecoder(bytes.NewReader(trimmed))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&reqs); err != nil {
+			writeError(w, http.StatusBadRequest, "bad observation batch: "+err.Error())
+			return
+		}
+		if len(reqs) == 0 {
+			writeError(w, http.StatusBadRequest, "observation batch is empty")
+			return
+		}
+		world := reqs[0].worldKey()
+		events := make([]campstore.Event, len(reqs))
+		for i, req := range reqs {
+			if req.worldKey() != world {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf(
+					"observation %d addresses world %q, batch started with %q", i, req.worldKey(), world))
+				return
+			}
+			ev, msg := req.toEvent()
+			if msg != "" {
+				writeError(w, http.StatusBadRequest, fmt.Sprintf("observation %d: %s", i, msg))
+				return
+			}
+			events[i] = ev
+		}
+		st := s.owner.world(world, true)
+		br, err := st.AppendBatch(events)
+		if err != nil {
+			// Validation ran above, so the only batch failure is a
+			// poisoned store (the oracle caught a divergence).
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		resp := batchAppendResponse{World: world, Results: make([]appendedResult, len(br.Results))}
+		for i, res := range br.Results {
+			resp.Results[i] = appendedResult{
+				Seq:           res.Seq,
+				Duplicate:     res.Duplicate,
+				NewPoint:      res.NewPoint,
+				NewHash:       res.NewHash,
+				DistanceCalls: res.DistanceCalls,
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	// Single-object form.
 	var req ObservationRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(bytes.NewReader(trimmed))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad observation: "+err.Error())
 		return
 	}
-	h, err := phash.ParseHash(req.Hash)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad observation hash: "+err.Error())
-		return
-	}
-	if req.E2LD == "" {
-		writeError(w, http.StatusBadRequest, "observation needs an e2ld")
-		return
-	}
-	switch req.Source {
-	case "", campstore.SourceAPI, campstore.SourceMilk:
-	case campstore.SourceCrawl:
-		writeError(w, http.StatusBadRequest, `source "crawl" is reserved for the pipeline's discovery stream`)
-		return
-	default:
-		writeError(w, http.StatusBadRequest, "unknown observation source "+strconv.Quote(req.Source))
+	ev, msg := req.toEvent()
+	if msg != "" {
+		writeError(w, http.StatusBadRequest, msg)
 		return
 	}
 	world := req.worldKey()
 	st := s.owner.world(world, true)
-	res, err := st.Append(campstore.Event{Hash: h, E2LD: req.E2LD, Tick: req.Tick, Source: req.Source})
+	res, err := st.Append(ev)
 	if err != nil {
 		// The only append failure past validation is a poisoned store
 		// (the batch oracle caught an incremental divergence).
