@@ -63,7 +63,7 @@ bench-obs:
 # against the lock-free snapshots).
 # -benchtime 1x keeps a baseline run under a minute; these are
 # regression sentinels, not statistically tight measurements.
-BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_|BenchmarkIncrementalCluster_|BenchmarkStoreAppend_W|BenchmarkStoreMixed_
+BENCH_PATTERN = BenchmarkFigure2_PipelineEndToEnd$$|BenchmarkPipelineE2E_|BenchmarkMilking_W|BenchmarkScalars_ClusterTriage|BenchmarkCapturePath_|BenchmarkScriptPath_|BenchmarkIncrementalCluster_|BenchmarkStoreAppend_W|BenchmarkStoreMixed_
 # The hashing/rng kernel sentinels run at a higher benchtime: they are
 # microseconds-to-milliseconds each, so 1x would mostly measure timer
 # noise. BenchmarkRngSplit_ lives in internal/rng, hence the extra dir.
@@ -139,6 +139,24 @@ bench-check:
 	    exit (ratio < 2.0) ? 1 : 0 }' \
 	    || { echo "FAIL: StoreAppend_W8 not >=2x faster than W1 — band-sharded index lost its write scaling"; exit 1; }; \
 	fi
+	@$(GO) test -run XXX -bench 'BenchmarkPipelineE2E_(Phased|Streaming)$$' -benchtime 3x . | tee BENCH_stream.txt; \
+	ph=$$(awk '$$1 ~ /^BenchmarkPipelineE2E_Phased(-[0-9]+)?$$/ { print $$3 }' BENCH_stream.txt); \
+	st=$$(awk '$$1 ~ /^BenchmarkPipelineE2E_Streaming(-[0-9]+)?$$/ { print $$3 }' BENCH_stream.txt); \
+	rm -f BENCH_stream.txt; \
+	if [ -z "$$ph" ] || [ -z "$$st" ]; then echo "could not extract e2e schedule ns/op (phased=$$ph streaming=$$st)"; exit 1; fi; \
+	awk -v ph="$$ph" -v st="$$st" 'BEGIN { \
+	  printf "pipeline phased %s ns/op, streaming %s ns/op\n", ph, st; \
+	  exit (st + 0 > ph * 1.05) ? 1 : 0 }' \
+	  || { echo "FAIL: streaming pipeline slower than phased — the coordinator must never cost wall-clock"; exit 1; }; \
+	cpus=$$(nproc 2>/dev/null || echo 1); \
+	if [ "$$cpus" -lt 4 ]; then \
+	  echo "SKIP: streaming-overlap speedup guard needs >=4 CPUs (have $$cpus)"; \
+	else \
+	  awk -v ph="$$ph" -v st="$$st" 'BEGIN { \
+	    printf "streaming speedup %.2fx (need >=1.15x on a multi-core host)\n", ph / st; \
+	    exit (st + 0 > ph * 0.85) ? 1 : 0 }' \
+	    || { echo "FAIL: streaming pipeline <15% faster than phased — stage overlap lost its parallel win"; exit 1; }; \
+	fi
 	@$(GO) test -run XXX -bench 'BenchmarkIncrementalCluster_(Append|FullRebuild)$$' -benchtime 1x . | tee BENCH_incr.txt; \
 	app=$$(awk '$$1 ~ /^BenchmarkIncrementalCluster_Append(-[0-9]+)?$$/ { for (i = 2; i < NF; i++) if ($$(i+1) == "distance-calls") print $$i }' BENCH_incr.txt); \
 	reb=$$(awk '$$1 ~ /^BenchmarkIncrementalCluster_FullRebuild(-[0-9]+)?$$/ { for (i = 2; i < NF; i++) if ($$(i+1) == "distance-calls") print $$i }' BENCH_incr.txt); \
@@ -169,13 +187,15 @@ profile-milk:
 # store while snapshot readers ride along) and print where goroutines
 # contend. Mutex shows lock hold-time by owner; block shows wait time
 # at acquisition sites — together they locate the next lock to shard.
-# Leaves serve_mutex.prof / serve_block.prof + serve.test behind for
-# interactive pprof sessions.
+# Profiles land under the ignored prof/ directory for interactive pprof
+# sessions; the compiled test binary is removed once the reports print.
 profile-serve:
+	@mkdir -p prof
 	$(GO) test -run 'TestServeIngestLoad$$' -count 5 \
-		-mutexprofile serve_mutex.prof -blockprofile serve_block.prof \
-		-o serve.test ./internal/serve/
+		-mutexprofile prof/serve_mutex.prof -blockprofile prof/serve_block.prof \
+		-o prof/serve.test ./internal/serve/
 	@echo "=== mutex contention top-10 ==="
-	$(GO) tool pprof -top -nodecount=10 serve.test serve_mutex.prof
+	$(GO) tool pprof -top -nodecount=10 prof/serve.test prof/serve_mutex.prof
 	@echo "=== block top-10 ==="
-	$(GO) tool pprof -top -nodecount=10 serve.test serve_block.prof
+	$(GO) tool pprof -top -nodecount=10 prof/serve.test prof/serve_block.prof
+	@rm -f prof/serve.test

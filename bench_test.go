@@ -217,6 +217,33 @@ func benchFigure2(b *testing.B, workers int) {
 	}
 }
 
+// BenchmarkPipelineE2E_{Phased,Streaming} run the identical tiny-world
+// experiment under the two schedules: the legacy five-stage serial
+// pipeline vs the streaming coordinator (per-session analysis and
+// store appends under the crawl, shared backtracking graphs into
+// milking). Reports are byte-identical either way — see
+// TestReportDeterministicStreamingVsPhased — so the pair measures pure
+// schedule cost. bench-check guards that streaming is never slower,
+// and at least 15% faster where cores allow overlap.
+func BenchmarkPipelineE2E_Phased(b *testing.B)    { benchPipelineE2E(b, true) }
+func BenchmarkPipelineE2E_Streaming(b *testing.B) { benchPipelineE2E(b, false) }
+
+func benchPipelineE2E(b *testing.B, phased bool) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := QuickExperimentConfig()
+		cfg.World.Seed = int64(100 + i)
+		cfg.DisableStreaming = phased
+		res, err := NewExperiment(cfg).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Discovery.Campaigns()) == 0 {
+			b.Fatal("no campaigns")
+		}
+	}
+}
+
 // BenchmarkMilking_W* measures only the tracking (milking) stage at a
 // given engine worker count; the world build, crawl and discovery that
 // produce the milking sources run outside the timer. One row per worker

@@ -26,7 +26,15 @@ func reportBytes(t *testing.T, workers int) []byte {
 // cache-on/cache-off invariance contracts.
 func reportBytesCfg(t *testing.T, workers int, disableScriptCache, disableNoisePlanes bool) []byte {
 	t.Helper()
+	return reportBytesMode(t, workers, disableScriptCache, disableNoisePlanes, false)
+}
+
+// reportBytesMode additionally selects the execution schedule: streaming
+// coordinator (the default) or the legacy phased path.
+func reportBytesMode(t *testing.T, workers int, disableScriptCache, disableNoisePlanes, disableStreaming bool) []byte {
+	t.Helper()
 	cfg := seacma.QuickExperimentConfig()
+	cfg.DisableStreaming = disableStreaming
 	cfg.Crawler.Workers = 1
 	cfg.Milker.Workers = workers
 	cfg.Discovery.Workers = workers
@@ -282,6 +290,32 @@ func TestReportDeterministicIncrementalVsBatch(t *testing.T) {
 	}
 	if len(incr) == 0 {
 		t.Fatal("empty report")
+	}
+}
+
+// TestReportDeterministicStreamingVsPhased is the streaming
+// coordinator's equivalence contract: overlapping crawl, discovery and
+// attribution behind the session stream must serialize the exact same
+// report bytes as the five-barrier phased schedule — at 1, 4 and 8
+// workers, and with the script/noise-plane caches both on and off.
+func TestReportDeterministicStreamingVsPhased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline run")
+	}
+	baseline := reportBytesMode(t, 1, false, false, true)
+	if len(baseline) == 0 {
+		t.Fatal("empty report")
+	}
+	for name, b := range map[string][]byte{
+		"streaming-1w":         reportBytesMode(t, 1, false, false, false),
+		"streaming-4w":         reportBytesMode(t, 4, false, false, false),
+		"streaming-8w":         reportBytesMode(t, 8, false, false, false),
+		"phased-4w":            reportBytesMode(t, 4, false, false, true),
+		"phased-8w":            reportBytesMode(t, 8, false, false, true),
+		"streaming-4w-nocache": reportBytesMode(t, 4, true, true, false),
+		"phased-4w-nocache":    reportBytesMode(t, 4, true, true, true),
+	} {
+		assertSameReport(t, "phased-1w", name, baseline, b)
 	}
 }
 

@@ -30,34 +30,47 @@ type Attribution struct {
 func AttributeSessions(sessions []*crawler.Session, patterns *urlx.PatternSet) []Attribution {
 	var out []Attribution
 	for si, s := range sessions {
-		if s == nil || len(s.Landings) == 0 {
+		out = append(out, attributeSession(si, s, nil, patterns)...)
+	}
+	return out
+}
+
+// attributeSession attributes one session's landings. Sessions are
+// independent, so the streaming coordinator runs this per session as the
+// crawl emits them; concatenating the results in session order yields
+// exactly AttributeSessions' output. g, when non-nil, is the session's
+// prebuilt backtracking graph (shared with milking-source extraction).
+func attributeSession(si int, s *crawler.Session, g *btgraph.Graph, patterns *urlx.PatternSet) []Attribution {
+	if s == nil || len(s.Landings) == 0 {
+		return nil
+	}
+	if g == nil {
+		g = btgraph.FromEvents(s.Events)
+	}
+	var out []Attribution
+	for li, l := range s.Landings {
+		if l.URL.IsZero() {
 			continue
 		}
-		g := btgraph.FromEvents(s.Events)
-		for li, l := range s.Landings {
-			if l.URL.IsZero() {
-				continue
-			}
-			a := Attribution{
-				Ref:     LandingRef{Session: si, Landing: li},
-				URL:     l.URL.String(),
-				Network: UnknownNetwork,
-			}
-			if path, err := g.BacktrackPath(l.URL.String()); err == nil {
-				a.Chain = path
-				for _, raw := range path {
-					u, err := urlx.Parse(raw)
-					if err != nil {
-						continue
-					}
-					if owner := patterns.MatchURL(u); owner != "" {
-						a.Network = owner
-						break
-					}
+		a := Attribution{
+			Ref:     LandingRef{Session: si, Landing: li},
+			URL:     l.URL.String(),
+			Network: UnknownNetwork,
+		}
+		if path, err := g.BacktrackPath(l.URL.String()); err == nil {
+			a.Chain = path
+			for _, raw := range path {
+				u, err := urlx.Parse(raw)
+				if err != nil {
+					continue
+				}
+				if owner := patterns.MatchURL(u); owner != "" {
+					a.Network = owner
+					break
 				}
 			}
-			out = append(out, a)
 		}
+		out = append(out, a)
 	}
 	return out
 }

@@ -62,34 +62,58 @@ type LandingRef struct {
 	Landing int // index into Session.Landings
 }
 
+// obsKey identifies one distinct (dhash, e2LD) observation.
+type obsKey struct {
+	h    phash.Hash
+	e2ld string
+}
+
+// obsCollector accumulates the distinct (dhash, e2LD) observation
+// sequence across sessions, in first-occurrence order. The streaming
+// coordinator feeds it one session at a time; CollectObservations feeds
+// it a whole crawl. Either way the resulting sequence is identical.
+type obsCollector struct {
+	index map[obsKey]int
+	obs   []Observation
+}
+
+func newObsCollector() *obsCollector {
+	return &obsCollector{index: map[obsKey]int{}}
+}
+
+// addSession folds one session's hashed landings in, returning the
+// observations this session introduced (in order) as crawl events —
+// exactly the slice of the global event sequence this session appends.
+func (c *obsCollector) addSession(si int, s *crawler.Session) []campstore.Event {
+	if s == nil {
+		return nil
+	}
+	var events []campstore.Event
+	for li, l := range s.Landings {
+		if !l.Hashed {
+			continue
+		}
+		k := obsKey{l.Hash, l.E2LD}
+		idx, ok := c.index[k]
+		if !ok {
+			idx = len(c.obs)
+			c.index[k] = idx
+			c.obs = append(c.obs, Observation{Hash: l.Hash, E2LD: l.E2LD})
+			events = append(events, campstore.Event{Hash: l.Hash, E2LD: l.E2LD, Source: campstore.SourceCrawl})
+		}
+		c.obs[idx].Refs = append(c.obs[idx].Refs, LandingRef{Session: si, Landing: li})
+	}
+	return events
+}
+
 // CollectObservations extracts the distinct (dhash, e2LD) pairs from the
 // crawl. Unhashed landings (wedged tabs, direct downloads) are skipped.
 func CollectObservations(sessions []*crawler.Session) []Observation {
-	type key struct {
-		h    phash.Hash
-		e2ld string
-	}
-	index := map[key]int{}
-	var out []Observation
+	c := newObsCollector()
 	for si, s := range sessions {
-		if s == nil {
-			continue
-		}
-		for li, l := range s.Landings {
-			if !l.Hashed {
-				continue
-			}
-			k := key{l.Hash, l.E2LD}
-			idx, ok := index[k]
-			if !ok {
-				idx = len(out)
-				index[k] = idx
-				out = append(out, Observation{Hash: l.Hash, E2LD: l.E2LD})
-			}
-			out[idx].Refs = append(out[idx].Refs, LandingRef{Session: si, Landing: li})
-		}
+		c.addSession(si, s)
 	}
-	return out
+	return c.obs
 }
 
 // DiscoveredCampaign is one candidate SEACMA campaign: a visually
@@ -229,23 +253,42 @@ func Discover(sessions []*crawler.Session, params DiscoveryParams) (*DiscoveryRe
 		}
 	}
 	if store == nil {
-		hashes := make([]phash.Hash, len(obs))
-		for i, o := range obs {
-			hashes[i] = o.Hash
-		}
-		workers := params.Workers
-		if workers < 1 {
-			workers = 1
-		}
-		r, idx, err := cluster.ClusterHashes(hashes, params.Cluster, workers)
+		r, err := clusterBatch(obs, params)
 		if err != nil {
-			return nil, Errorf("clustering: %v", err)
+			return nil, err
 		}
 		res = r
-		ist := idx.Stats()
-		params.Obs.Counter("discovery_index_probes_total").Add(ist.Probes)
-		params.Obs.Counter("discovery_index_candidates_total").Add(ist.Candidates)
 	}
+	return assembleDiscovery(sessions, obs, res, store, params)
+}
+
+// clusterBatch is the legacy from-scratch clustering path: multi-index
+// build + batch DBSCAN over the full observation sequence.
+func clusterBatch(obs []Observation, params DiscoveryParams) (cluster.Result, error) {
+	hashes := make([]phash.Hash, len(obs))
+	for i, o := range obs {
+		hashes[i] = o.Hash
+	}
+	workers := params.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	res, idx, err := cluster.ClusterHashes(hashes, params.Cluster, workers)
+	if err != nil {
+		return cluster.Result{}, Errorf("clustering: %v", err)
+	}
+	ist := idx.Stats()
+	params.Obs.Counter("discovery_index_probes_total").Add(ist.Probes)
+	params.Obs.Counter("discovery_index_candidates_total").Add(ist.Candidates)
+	return res, nil
+}
+
+// assembleDiscovery is everything downstream of clustering: the θc
+// domain filter, triage, stable ordering and campaign registration. The
+// phased path and the streaming coordinator both end here, with an
+// identical observation sequence and label assignment — which is what
+// makes their DiscoveryResults (and report bytes) identical.
+func assembleDiscovery(sessions []*crawler.Session, obs []Observation, res cluster.Result, store *campstore.Store, params DiscoveryParams) (*DiscoveryResult, error) {
 	out := &DiscoveryResult{
 		Observations:  obs,
 		NoiseCount:    len(res.NoisePoints()),

@@ -46,7 +46,18 @@ type MilkSource struct {
 // collects candidate (upstream URL, UA) pairs (Section 3.5): the first
 // off-domain URLs upstream of each attack page.
 func ExtractMilkingSources(sessions []*crawler.Session, disc *DiscoveryResult) []MilkSource {
-	graphs := map[int]*btgraph.Graph{}
+	return extractMilkingSources(sessions, disc, nil)
+}
+
+// extractMilkingSources is ExtractMilkingSources with an optional
+// prebuilt backtracking-graph cache keyed by session index. The
+// streaming coordinator passes the graphs it already built for
+// attribution, so extraction pays no FromEvents rebuilds; missing
+// entries are built (and memoized) on demand.
+func extractMilkingSources(sessions []*crawler.Session, disc *DiscoveryResult, graphs map[int]*btgraph.Graph) []MilkSource {
+	if graphs == nil {
+		graphs = map[int]*btgraph.Graph{}
+	}
 	graphFor := func(si int) *btgraph.Graph {
 		if g, ok := graphs[si]; ok {
 			return g

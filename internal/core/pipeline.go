@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/adscript"
+	"repro/internal/btgraph"
 	"repro/internal/campstore"
 	"repro/internal/crawler"
 	"repro/internal/gsb"
@@ -64,6 +65,11 @@ type PipelineConfig struct {
 	// batch clustering and detaches the milker from the store — the
 	// A/B knob proving reports are byte-identical either way.
 	DisableIncremental bool
+	// DisableStreaming pins RunContext to the legacy phased execution
+	// (five serial stages with full barriers) instead of the streaming
+	// coordinator that overlaps crawl, discovery and attribution. The
+	// A/B knob proving reports are byte-identical either way.
+	DisableStreaming bool
 }
 
 // Pipeline is the end-to-end SEACMA system bound to one (synthetic) web.
@@ -186,6 +192,23 @@ func (p *Pipeline) Crawl(byHost map[string][]string) []*crawler.Session {
 // far (unstarted slots filtered out).
 func (p *Pipeline) CrawlContext(ctx context.Context, byHost map[string][]string) ([]*crawler.Session, error) {
 	defer p.Cfg.Obs.StartSpan("crawl").End()
+	farm, tasks := p.crawlFarm(byHost)
+	sessions, err := farm.CrawlAllContext(ctx, tasks)
+	if err != nil {
+		kept := sessions[:0]
+		for _, s := range sessions {
+			if s != nil {
+				kept = append(kept, s)
+			}
+		}
+		return kept, err
+	}
+	return sessions, nil
+}
+
+// crawlFarm builds the deterministic (task, UA) crawl plan and the farm,
+// shared by the phased and streaming paths.
+func (p *Pipeline) crawlFarm(byHost map[string][]string) (*crawler.Crawler, []crawler.Task) {
 	inst, res := GroupPublishers(byHost, p.Cfg.Seeds)
 	var tasks []crawler.Task
 	for _, h := range inst.Hosts {
@@ -207,18 +230,7 @@ func (p *Pipeline) CrawlContext(ctx context.Context, byHost map[string][]string)
 	if ccfg.Scripts == nil {
 		ccfg.Scripts = p.Cfg.Scripts
 	}
-	farm := crawler.New(p.Internet, p.Clock, ccfg)
-	sessions, err := farm.CrawlAllContext(ctx, tasks)
-	if err != nil {
-		kept := sessions[:0]
-		for _, s := range sessions {
-			if s != nil {
-				kept = append(kept, s)
-			}
-		}
-		return kept, err
-	}
-	return sessions, nil
+	return crawler.New(p.Internet, p.Clock, ccfg), tasks
 }
 
 // Discover runs step ⑤.
@@ -255,6 +267,12 @@ func (p *Pipeline) Milk(sessions []*crawler.Session, disc *DiscoveryResult) ([]M
 // verification and tracking and at every virtual tick of the tracking
 // loop.
 func (p *Pipeline) MilkContext(ctx context.Context, sessions []*crawler.Session, disc *DiscoveryResult) ([]MilkSource, *MilkingResult, error) {
+	return p.milkContext(ctx, sessions, disc, nil)
+}
+
+// milkContext is MilkContext with an optional prebuilt backtracking
+// graph cache from the streaming coordinator (nil on the phased path).
+func (p *Pipeline) milkContext(ctx context.Context, sessions []*crawler.Session, disc *DiscoveryResult, graphs map[int]*btgraph.Graph) ([]MilkSource, *MilkingResult, error) {
 	mcfg := p.Cfg.Milker
 	if mcfg.Obs == nil {
 		mcfg.Obs = p.Cfg.Obs
@@ -270,7 +288,7 @@ func (p *Pipeline) MilkContext(ctx context.Context, sessions []*crawler.Session,
 	if mcfg.Scripts == nil {
 		mcfg.Scripts = p.Cfg.Scripts
 	}
-	cands := ExtractMilkingSources(sessions, disc)
+	cands := extractMilkingSources(sessions, disc, graphs)
 	milker := NewMilker(p.Internet, p.Clock, p.GSB, p.VT, mcfg)
 	defer milker.Close()
 	verifySpan := p.Cfg.Obs.StartSpan("verify")
@@ -297,7 +315,20 @@ func (p *Pipeline) Run() (*RunResult, error) {
 // observed between stages and inside the two long-running loops (crawl
 // session feed, milking virtual ticks); a cancelled run returns
 // ctx.Err() and the partial result must be discarded.
+//
+// The streaming coordinator (RunStream) is the default execution; the
+// DisableStreaming knob selects the legacy phased path. Both produce
+// byte-identical results.
 func (p *Pipeline) RunContext(ctx context.Context) (*RunResult, error) {
+	if p.Cfg.DisableStreaming {
+		return p.runPhasedContext(ctx)
+	}
+	return p.RunStream(ctx, StreamOptions{})
+}
+
+// runPhasedContext is the legacy five-serial-stage execution, kept as
+// the A/B reference for the streaming coordinator.
+func (p *Pipeline) runPhasedContext(ctx context.Context) (*RunResult, error) {
 	out := &RunResult{}
 	out.PublisherHosts, out.NetworksByHost = p.Reverse()
 	if len(out.PublisherHosts) == 0 {

@@ -204,13 +204,40 @@ func (c *Crawler) CrawlAll(tasks []Task) []*Session {
 // returned alongside the sessions completed so far. Unstarted slots stay
 // nil, so callers that keep a partial result must filter them.
 func (c *Crawler) CrawlAllContext(ctx context.Context, tasks []Task) ([]*Session, error) {
+	events, total := c.CrawlStream(ctx, tasks)
+	out := make([]*Session, total)
+	for ev := range events {
+		out[ev.Index] = ev.Session
+	}
+	return out, ctx.Err()
+}
+
+// SessionEvent is one finished crawl session as emitted by CrawlStream.
+// Index is the session's slot in the deterministic (task, UA) order that
+// CrawlAll returns.
+type SessionEvent struct {
+	Index   int
+	Session *Session
+}
+
+// CrawlStream runs every (task, UA) session across the worker pool and
+// emits each session on the returned channel the moment its worker
+// finishes it — in completion order, not slot order; consumers that need
+// the deterministic ordering commit by Index. total is the number of
+// session slots (len(tasks) × user agents). The channel is buffered for
+// all slots (workers never block on a slow consumer) and is closed once
+// the pool drains. Once ctx is done no new session starts, so a
+// cancelled stream emits exactly the contiguous prefix of slots that
+// were fed before cancellation.
+func (c *Crawler) CrawlStream(ctx context.Context, tasks []Task) (<-chan SessionEvent, int) {
 	type job struct {
 		idx  int
 		task Task
 		ua   webtx.UserAgent
 	}
+	total := len(tasks) * len(c.cfg.UserAgents)
 	jobs := make(chan job)
-	out := make([]*Session, len(tasks)*len(c.cfg.UserAgents))
+	events := make(chan SessionEvent, total)
 	var wg sync.WaitGroup
 	for w := 0; w < c.cfg.Workers; w++ {
 		sessions := c.cfg.Obs.Counter("crawler_sessions_total", "worker="+strconv.Itoa(w))
@@ -218,25 +245,28 @@ func (c *Crawler) CrawlAllContext(ctx context.Context, tasks []Task) ([]*Session
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				out[j.idx] = c.RunSession(j.task, j.ua)
+				events <- SessionEvent{Index: j.idx, Session: c.RunSession(j.task, j.ua)}
 				sessions.Inc()
 			}
 		}()
 	}
-	i := 0
-feed:
-	for _, t := range tasks {
-		for _, ua := range c.cfg.UserAgents {
-			if ctx.Err() != nil {
-				break feed
+	go func() {
+		i := 0
+	feed:
+		for _, t := range tasks {
+			for _, ua := range c.cfg.UserAgents {
+				if ctx.Err() != nil {
+					break feed
+				}
+				jobs <- job{idx: i, task: t, ua: ua}
+				i++
 			}
-			jobs <- job{idx: i, task: t, ua: ua}
-			i++
 		}
-	}
-	close(jobs)
-	wg.Wait()
-	return out, ctx.Err()
+		close(jobs)
+		wg.Wait()
+		close(events)
+	}()
+	return events, total
 }
 
 // RunSession crawls one publisher with one UA.

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// StageTracker accounts for wall-clock overlap between pipeline stages.
+// The span log records each stage's own window, but once the streaming
+// coordinator runs stages concurrently the spans alone cannot show how
+// much of the run was actually overlapped; the tracker publishes that
+// directly:
+//
+//   - pipeline_stage_overlap_ns_total — wall nanoseconds during which
+//     two or more distinct stages were active at once
+//   - stage_active — the number of currently active distinct stages
+//
+// Enter/Exit are re-entrant per stage: N concurrent workers of one
+// stage count as one active stage until the last Exit.
+type StageTracker struct {
+	overlap *Counter
+	active  *Gauge
+
+	mu   sync.Mutex
+	refs map[string]int
+	nact int       // distinct stages with refs > 0
+	last time.Time // instant of the previous transition
+}
+
+// StageTracker returns a tracker publishing into the registry. Returns
+// nil on a nil Registry; a nil tracker is a no-op.
+func (r *Registry) StageTracker() *StageTracker {
+	if r == nil {
+		return nil
+	}
+	return &StageTracker{
+		overlap: r.Counter("pipeline_stage_overlap_ns_total"),
+		active:  r.Gauge("stage_active"),
+		refs:    map[string]int{},
+	}
+}
+
+// Enter marks stage active. Safe on a nil tracker.
+func (t *StageTracker) Enter(stage string) { t.transition(stage, 1) }
+
+// Exit undoes one Enter of stage. Safe on a nil tracker.
+func (t *StageTracker) Exit(stage string) { t.transition(stage, -1) }
+
+func (t *StageTracker) transition(stage string, delta int) {
+	if t == nil {
+		return
+	}
+	now := time.Now()
+	t.mu.Lock()
+	// The interval since the previous transition had a constant active
+	// count; attribute it to overlap if two or more stages ran through it.
+	if t.nact >= 2 {
+		t.overlap.Add(now.Sub(t.last).Nanoseconds())
+	}
+	t.last = now
+	before := t.refs[stage]
+	after := before + delta
+	if after < 0 {
+		after = 0
+	}
+	t.refs[stage] = after
+	switch {
+	case before == 0 && after > 0:
+		t.nact++
+	case before > 0 && after == 0:
+		t.nact--
+	}
+	t.active.Set(int64(t.nact))
+	t.mu.Unlock()
+}

@@ -83,6 +83,18 @@ type PhaseMark struct {
 	StartedAt time.Time `json:"started_at"`
 }
 
+// JobEvent is one progress notification of a running job: a phase
+// transition (Sessions == 0) or a per-session crawl commit tick from
+// the streaming coordinator. It is both what Runners report and what
+// the /v1/jobs/{id}/events SSE stream serializes.
+type JobEvent struct {
+	Phase string `json:"phase"`
+	// Sessions/Total count crawl session slots committed in task order;
+	// both are zero on pure phase transitions.
+	Sessions int `json:"sessions,omitempty"`
+	Total    int `json:"total,omitempty"`
+}
+
 // CampaignSummary is the queryable record of one discovered SE
 // campaign. Job-scoped summaries (built from a finished job's
 // discovery result) carry JobID and a "<job id>/<id>" key; live
@@ -142,6 +154,8 @@ type Job struct {
 	state     JobState
 	phase     string
 	phases    []PhaseMark
+	sessions  int // crawl session slots committed so far
+	total     int // crawl session slots overall (streaming runs only)
 	err       string
 	submitted time.Time
 	started   time.Time
@@ -149,34 +163,66 @@ type Job struct {
 	cancelled bool
 	cancel    func()
 	result    *JobResult
+
+	// subs are the live progress subscribers (SSE handlers). Events are
+	// sent non-blocking — a slow consumer loses intermediate ticks, never
+	// the terminal close. Channels are closed exactly once, when the job
+	// reaches a terminal state.
+	subs    map[int]chan JobEvent
+	nextSub int
+}
+
+// notify fans an event out to subscribers; caller holds the store mutex.
+func (j *Job) notify(ev JobEvent) {
+	for _, ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// closeSubs releases every subscriber on terminal state; caller holds
+// the store mutex.
+func (j *Job) closeSubs() {
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
 }
 
 // JobView is the JSON projection of a Job at one instant.
 type JobView struct {
-	ID          string      `json:"id"`
-	State       JobState    `json:"state"`
-	Spec        JobSpec     `json:"spec"`
-	Phase       string      `json:"phase,omitempty"`
-	Phases      []PhaseMark `json:"phases,omitempty"`
-	Error       string      `json:"error,omitempty"`
-	SubmittedAt time.Time   `json:"submitted_at"`
-	StartedAt   *time.Time  `json:"started_at,omitempty"`
-	FinishedAt  *time.Time  `json:"finished_at,omitempty"`
-	Campaigns   int         `json:"campaigns,omitempty"`
-	Clusters    int         `json:"clusters,omitempty"`
-	ReportURL   string      `json:"report_url,omitempty"`
+	ID     string      `json:"id"`
+	State  JobState    `json:"state"`
+	Spec   JobSpec     `json:"spec"`
+	Phase  string      `json:"phase,omitempty"`
+	Phases []PhaseMark `json:"phases,omitempty"`
+	// Sessions/SessionsTotal expose streaming crawl progress: committed
+	// session slots out of the crawl total (zero until the crawl begins).
+	Sessions      int        `json:"sessions,omitempty"`
+	SessionsTotal int        `json:"sessions_total,omitempty"`
+	Error         string     `json:"error,omitempty"`
+	SubmittedAt   time.Time  `json:"submitted_at"`
+	StartedAt     *time.Time `json:"started_at,omitempty"`
+	FinishedAt    *time.Time `json:"finished_at,omitempty"`
+	Campaigns     int        `json:"campaigns,omitempty"`
+	Clusters      int        `json:"clusters,omitempty"`
+	ReportURL     string     `json:"report_url,omitempty"`
 }
 
 // view snapshots the job; caller holds the store mutex.
 func (j *Job) view() JobView {
 	v := JobView{
-		ID:          j.ID,
-		State:       j.state,
-		Spec:        j.Spec,
-		Phase:       j.phase,
-		Phases:      append([]PhaseMark(nil), j.phases...),
-		Error:       j.err,
-		SubmittedAt: j.submitted,
+		ID:            j.ID,
+		State:         j.state,
+		Spec:          j.Spec,
+		Phase:         j.phase,
+		Phases:        append([]PhaseMark(nil), j.phases...),
+		Sessions:      j.sessions,
+		SessionsTotal: j.total,
+		Error:         j.err,
+		SubmittedAt:   j.submitted,
 	}
 	if !j.started.IsZero() {
 		t := j.started

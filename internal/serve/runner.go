@@ -180,8 +180,10 @@ func SpecExperimentConfig(spec JobSpec) seacma.ExperimentConfig {
 }
 
 // Run executes one job against the shared pipeline context. It is the
-// store's production Runner.
-func (o *PipelineOwner) Run(ctx context.Context, spec JobSpec, onPhase func(string)) (*JobResult, error) {
+// store's production Runner. Jobs run through the streaming pipeline,
+// so onEvent carries per-session crawl progress alongside the phase
+// transitions (the report stays byte-identical to the phased path).
+func (o *PipelineOwner) Run(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobResult, error) {
 	cfg := SpecExperimentConfig(spec)
 	cfg.Obs = o.Obs
 	cfg.Capture = o.Capture
@@ -195,7 +197,13 @@ func (o *PipelineOwner) Run(ctx context.Context, spec JobSpec, onPhase func(stri
 		}
 		exp.Pipeline.Cfg.Seeds = kept
 	}
-	res, err := exp.RunPhased(ctx, onPhase)
+	var onProgress func(seacma.ProgressEvent)
+	if onEvent != nil {
+		onProgress = func(ev seacma.ProgressEvent) {
+			onEvent(JobEvent{Phase: ev.Phase, Sessions: ev.Committed, Total: ev.Total})
+		}
+	}
+	res, err := exp.RunStream(ctx, onProgress)
 	if err != nil {
 		return nil, err
 	}

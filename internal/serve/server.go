@@ -46,6 +46,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleCampaigns)
 	s.mux.HandleFunc("POST /v1/observations", s.handleAppendObservation)
 	s.mux.HandleFunc("GET /v1/observations", s.handleListObservations)
@@ -161,6 +162,71 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(report)
+}
+
+// handleJobEvents streams a job's progress as Server-Sent Events. The
+// stream opens with a replay — one "phase" event per recorded phase
+// mark, plus a "progress" event if crawl commits have been counted —
+// then forwards live JobEvents ("phase" on transitions, "progress" on
+// per-session crawl ticks) until the job reaches a terminal state,
+// which is delivered as a closing "done" event carrying the final job
+// view. A finished job replays and closes immediately, so the event
+// sequence a late subscriber sees is a prefix-compressed version of
+// what a live one saw.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	view, events, unsub, err := s.store.Subscribe(r.PathValue("id"))
+	if err != nil {
+		storeError(w, err)
+		return
+	}
+	defer unsub()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	if flusher != nil {
+		// Push the headers out immediately: a subscriber to a job with no
+		// recorded progress yet would otherwise block on a buffered
+		// response while this handler blocks on the event channel.
+		flusher.Flush()
+	}
+	send := func(event string, v any) {
+		data, _ := json.Marshal(v)
+		_, _ = w.Write([]byte("event: " + event + "\ndata: " + string(data) + "\n\n"))
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	// Replay: the phases already recorded, then current crawl progress.
+	for _, pm := range view.Phases {
+		send("phase", JobEvent{Phase: pm.Name})
+	}
+	if view.SessionsTotal > 0 {
+		send("progress", JobEvent{Phase: "crawl", Sessions: view.Sessions, Total: view.SessionsTotal})
+	}
+
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				final, err := s.store.Get(view.ID)
+				if err == nil {
+					send("done", final)
+				}
+				return
+			}
+			if ev.Total > 0 {
+				send("progress", ev)
+			} else {
+				send("phase", ev)
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // handleCampaigns serves the live incremental view by default: the

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -222,6 +224,165 @@ func TestAPIVersionMetricsHealth(t *testing.T) {
 	code, body = do(t, "GET", ts.URL+"/healthz", "")
 	if code != http.StatusOK || !strings.Contains(string(body), `"ok"`) {
 		t.Fatalf("healthz = %d %s", code, body)
+	}
+}
+
+// eventRunner emits a scripted streaming-progress sequence (the phase
+// transitions plus three crawl commit ticks) once released, so SSE
+// tests control exactly when events flow.
+type eventRunner struct {
+	started chan struct{}
+	release chan struct{}
+}
+
+func (e *eventRunner) run(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobResult, error) {
+	e.started <- struct{}{}
+	select {
+	case <-e.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	onEvent(JobEvent{Phase: "reverse"})
+	onEvent(JobEvent{Phase: "crawl"})
+	for i := 1; i <= 3; i++ {
+		onEvent(JobEvent{Phase: "crawl", Sessions: i, Total: 3})
+	}
+	for _, ph := range []string{"discover", "attribute", "milk"} {
+		onEvent(JobEvent{Phase: ph})
+	}
+	return fakeResult(fmt.Sprintf("seed-%d", spec.Seed)), nil
+}
+
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE drains a text/event-stream body until EOF (the handler closes
+// the stream after its "done" event).
+func readSSE(t *testing.T, rd io.Reader) []sseEvent {
+	t.Helper()
+	var out []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(rd)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.name != "" {
+				out = append(out, cur)
+			}
+			cur = sseEvent{}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("read SSE stream: %v", err)
+	}
+	return out
+}
+
+// summarizeSSE compresses a decoded event stream into comparable
+// "name:detail" strings.
+func summarizeSSE(t *testing.T, evs []sseEvent) []string {
+	t.Helper()
+	var out []string
+	for _, e := range evs {
+		switch e.name {
+		case "phase", "progress":
+			var ev JobEvent
+			if err := json.Unmarshal([]byte(e.data), &ev); err != nil {
+				t.Fatalf("decode %s event %q: %v", e.name, e.data, err)
+			}
+			if e.name == "phase" {
+				out = append(out, "phase:"+ev.Phase)
+			} else {
+				out = append(out, fmt.Sprintf("progress:%d/%d", ev.Sessions, ev.Total))
+			}
+		case "done":
+			var v JobView
+			if err := json.Unmarshal([]byte(e.data), &v); err != nil {
+				t.Fatalf("decode done event %q: %v", e.data, err)
+			}
+			out = append(out, "done:"+string(v.State))
+		default:
+			t.Fatalf("unexpected SSE event %q (%s)", e.name, e.data)
+		}
+	}
+	return out
+}
+
+// TestAPIJobEventsSSE covers the /v1/jobs/{id}/events stream end to
+// end: a live subscriber opened before any progress sees every phase
+// transition, every per-session crawl tick and the closing done event
+// in runner order; a late subscriber to the finished job gets the
+// prefix-compressed replay (phase marks, final crawl progress, done).
+func TestAPIJobEventsSSE(t *testing.T) {
+	er := &eventRunner{started: make(chan struct{}, 1), release: make(chan struct{})}
+	srv, ts, _ := newTestServer(t, er.run)
+
+	if code, _ := do(t, "GET", ts.URL+"/v1/jobs/job-999999/events", ""); code != http.StatusNotFound {
+		t.Fatalf("events for unknown job = %d, want 404", code)
+	}
+
+	code, body := do(t, "POST", ts.URL+"/v1/jobs", `{"seed": 7}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d", code)
+	}
+	v := decodeView(t, body)
+	<-er.started
+
+	// Live stream: subscribe while the job is parked, then release it.
+	// The subscription is registered before response headers are written,
+	// so once Get returns no event can be missed.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		t.Fatalf("events = %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	close(er.release)
+	live := summarizeSSE(t, readSSE(t, resp.Body))
+	resp.Body.Close()
+	wantLive := []string{
+		"phase:reverse", "phase:crawl",
+		"progress:1/3", "progress:2/3", "progress:3/3",
+		"phase:discover", "phase:attribute", "phase:milk",
+		"done:done",
+	}
+	if fmt.Sprint(live) != fmt.Sprint(wantLive) {
+		t.Fatalf("live event sequence:\n got %v\nwant %v", live, wantLive)
+	}
+
+	// Replay: a finished job's stream is the recorded phase marks, the
+	// final crawl progress, and an immediate done.
+	waitState(t, srv.Store(), v.ID, StateDone)
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := summarizeSSE(t, readSSE(t, resp.Body))
+	resp.Body.Close()
+	wantReplay := []string{
+		"phase:reverse", "phase:crawl", "phase:discover", "phase:attribute", "phase:milk",
+		"progress:3/3",
+		"done:done",
+	}
+	if fmt.Sprint(replay) != fmt.Sprint(wantReplay) {
+		t.Fatalf("replay event sequence:\n got %v\nwant %v", replay, wantReplay)
+	}
+
+	// The job view carries the streaming progress fields too.
+	final, err := srv.Store().Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Sessions != 3 || final.SessionsTotal != 3 {
+		t.Fatalf("final view progress = %d/%d, want 3/3", final.Sessions, final.SessionsTotal)
 	}
 }
 

@@ -11,9 +11,10 @@ import (
 )
 
 // Runner executes one job: build the world, run the pipeline under ctx,
-// and return the retained result. onPhase is invoked as each pipeline
-// stage begins (never concurrently for one job).
-type Runner func(ctx context.Context, spec JobSpec, onPhase func(phase string)) (*JobResult, error)
+// and return the retained result. onEvent is invoked as each pipeline
+// stage begins and on every per-session crawl commit (never
+// concurrently for one job).
+type Runner func(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobResult, error)
 
 // Store errors, mapped onto HTTP statuses by the server.
 var (
@@ -129,13 +130,20 @@ func (s *Store) runJob(job *Job) {
 	s.running++
 	s.mu.Unlock()
 
-	onPhase := func(name string) {
+	onEvent := func(ev JobEvent) {
 		s.mu.Lock()
-		job.phase = name
-		job.phases = append(job.phases, PhaseMark{Name: name, StartedAt: time.Now()})
+		if job.phase != ev.Phase {
+			job.phase = ev.Phase
+			job.phases = append(job.phases, PhaseMark{Name: ev.Phase, StartedAt: time.Now()})
+		}
+		if ev.Total > 0 {
+			job.sessions = ev.Sessions
+			job.total = ev.Total
+		}
+		job.notify(ev)
 		s.mu.Unlock()
 	}
-	result, err := s.runner(ctx, job.Spec, onPhase)
+	result, err := s.runner(ctx, job.Spec, onEvent)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -144,6 +152,7 @@ func (s *Store) runJob(job *Job) {
 	job.cancel = nil
 	job.phase = ""
 	job.finished = time.Now()
+	defer job.closeSubs()
 	switch {
 	case err != nil:
 		job.state = StateFailed
@@ -204,6 +213,42 @@ func (s *Store) Report(id string) ([]byte, JobState, error) {
 	return job.result.ReportJSON, job.state, nil
 }
 
+// Subscribe attaches a progress listener to a job, returning a snapshot
+// taken at subscription time, the event channel, and an unsubscribe
+// function. The channel closes when the job reaches a terminal state;
+// for an already-finished job it is returned closed, so consumers see
+// the same "drain then re-snapshot" shape either way. Events are
+// delivered best-effort: a consumer slower than its 64-event buffer
+// loses intermediate ticks, never the close.
+func (s *Store) Subscribe(id string) (JobView, <-chan JobEvent, func(), error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	job, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, nil, nil, ErrNotFound
+	}
+	ch := make(chan JobEvent, 64)
+	if job.state.Finished() {
+		close(ch)
+		return job.view(), ch, func() {}, nil
+	}
+	if job.subs == nil {
+		job.subs = map[int]chan JobEvent{}
+	}
+	job.nextSub++
+	key := job.nextSub
+	job.subs[key] = ch
+	unsub := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, live := job.subs[key]; live {
+			delete(job.subs, key)
+			close(ch)
+		}
+	}
+	return job.view(), ch, unsub, nil
+}
+
 // Cancel stops a job: a queued job is marked failed immediately (the
 // pool skips it), a running job has its context cancelled and fails
 // once the pipeline observes it. Finished jobs return ErrFinished.
@@ -220,6 +265,7 @@ func (s *Store) Cancel(id string) (JobView, error) {
 		job.state = StateFailed
 		job.err = "cancelled before start"
 		job.finished = time.Now()
+		job.closeSubs()
 		s.metFailed.Inc()
 		s.metInflight.Add(-1)
 	case StateRunning:

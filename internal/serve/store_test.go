@@ -30,10 +30,10 @@ func fakeResult(tag string) *JobResult {
 }
 
 // instantRunner completes immediately with a fake result.
-func instantRunner(ctx context.Context, spec JobSpec, onPhase func(string)) (*JobResult, error) {
-	if onPhase != nil {
+func instantRunner(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobResult, error) {
+	if onEvent != nil {
 		for _, ph := range []string{"reverse", "crawl", "discover", "attribute", "milk"} {
-			onPhase(ph)
+			onEvent(JobEvent{Phase: ph})
 		}
 	}
 	return fakeResult(fmt.Sprintf("seed-%d", spec.Seed)), nil
@@ -50,7 +50,7 @@ func newBlockingRunner() *blockingRunner {
 	return &blockingRunner{started: make(chan string, 64), release: make(chan struct{})}
 }
 
-func (b *blockingRunner) run(ctx context.Context, spec JobSpec, onPhase func(string)) (*JobResult, error) {
+func (b *blockingRunner) run(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobResult, error) {
 	b.started <- fmt.Sprintf("seed-%d", spec.Seed)
 	select {
 	case <-b.release:
@@ -263,7 +263,7 @@ func TestStoreCancelQueued(t *testing.T) {
 
 func TestStoreRunnerErrors(t *testing.T) {
 	calls := 0
-	runner := func(ctx context.Context, spec JobSpec, onPhase func(string)) (*JobResult, error) {
+	runner := func(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobResult, error) {
 		calls++
 		if calls == 1 {
 			return nil, errors.New("synthetic failure")
@@ -292,7 +292,7 @@ func TestStoreConcurrency(t *testing.T) {
 	const jobs = 12
 	var mu sync.Mutex
 	running, maxRunning := 0, 0
-	runner := func(ctx context.Context, spec JobSpec, onPhase func(string)) (*JobResult, error) {
+	runner := func(ctx context.Context, spec JobSpec, onEvent func(JobEvent)) (*JobResult, error) {
 		mu.Lock()
 		running++
 		if running > maxRunning {

@@ -105,6 +105,11 @@ type ExperimentConfig struct {
 	// (reports are byte-identical either way — the knob exists for A/B
 	// verification).
 	DisableIncremental bool
+	// DisableStreaming pins the run to the legacy phased execution
+	// (five serial stages) instead of the streaming coordinator that
+	// overlaps crawl, discovery and attribution. Reports are
+	// byte-identical either way — the knob exists for A/B verification.
+	DisableStreaming bool
 }
 
 // DefaultExperimentConfig is the 1/8-scale default world with the
@@ -166,6 +171,7 @@ func NewExperiment(cfg ExperimentConfig) *Experiment {
 		Scripts:            cfg.Scripts,
 		Campaigns:          cfg.Campaigns,
 		DisableIncremental: cfg.DisableIncremental,
+		DisableStreaming:   cfg.DisableStreaming,
 	}, w.Internet, w.Clock, w.Search, w.GSB, w.VT, w.Webcat)
 	return &Experiment{Cfg: cfg, World: w, Pipeline: p}
 }
@@ -198,18 +204,50 @@ type Result struct {
 }
 
 // Run executes the full pipeline. With SkipMilking the milking stage is
-// omitted and Milking stays nil.
+// omitted and Milking stays nil. The streaming coordinator is the
+// default execution (crawl, discovery and attribution overlap); set
+// DisableStreaming for the legacy phased path — results are
+// byte-identical either way.
 func (e *Experiment) Run() (*Result, error) {
-	return e.RunPhased(context.Background(), nil)
+	return e.RunStream(context.Background(), nil)
 }
 
-// RunPhased executes the pipeline under ctx, invoking onPhase (when
-// non-nil) as each Figure-2 stage begins. The phase names match the obs
-// span names — reverse, crawl, discover, attribute, milk — so a
-// progress consumer (the seacma-serve job engine) can correlate them
-// with the span log. Cancellation is observed between stages, in the
-// crawl session feed and at every milking virtual tick; a cancelled run
-// returns ctx.Err() and no Result.
+// ProgressEvent re-exports the streaming pipeline's progress
+// notification: a phase transition or a per-session crawl commit tick.
+type ProgressEvent = core.ProgressEvent
+
+// RunStream executes the pipeline under ctx through the streaming
+// coordinator, invoking onProgress (when non-nil) on every phase
+// transition and per-session commit. With DisableStreaming set it runs
+// the phased path instead, forwarding phase transitions only. Phase
+// names match the obs span names; cancellation semantics are the same
+// as RunPhased.
+func (e *Experiment) RunStream(ctx context.Context, onProgress func(ProgressEvent)) (*Result, error) {
+	if e.Cfg.DisableStreaming {
+		var onPhase func(string)
+		if onProgress != nil {
+			onPhase = func(name string) { onProgress(ProgressEvent{Phase: name}) }
+		}
+		return e.RunPhased(ctx, onPhase)
+	}
+	res, err := e.Pipeline.RunStream(ctx, core.StreamOptions{
+		SkipMilking: e.Cfg.SkipMilking,
+		OnProgress:  onProgress,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RunResult: res, exp: e}, nil
+}
+
+// RunPhased executes the pipeline under ctx with the legacy five-stage
+// serial schedule, invoking onPhase (when non-nil) as each Figure-2
+// stage begins. The phase names match the obs span names — reverse,
+// crawl, discover, attribute, milk — so a progress consumer (the
+// seacma-serve job engine) can correlate them with the span log.
+// Cancellation is observed between stages, in the crawl session feed
+// and at every milking virtual tick; a cancelled run returns ctx.Err()
+// and no Result.
 func (e *Experiment) RunPhased(ctx context.Context, onPhase func(phase string)) (*Result, error) {
 	phase := func(name string) {
 		if onPhase != nil {
